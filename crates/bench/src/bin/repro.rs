@@ -1,0 +1,164 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [options]
+//!
+//! experiments:
+//!   table1          dataset information (Table I)
+//!   fig8            MAE/time on six selected queries (Fig. 8)
+//!   fig9            MAE/time Tukey stats, all queries with distinct (Fig. 9)
+//!   fig10           same without distinct (Fig. 10)
+//!   fig11           rejection rates per query (Fig. 11)
+//!   sampletime      per-walk timings (§V-C)
+//!   ablate-tipping  tipping-threshold sweep (A1)
+//!   ablate-cache    CTJ vs LFTJ (A2)
+//!   ablate-order    WJ walk-order selection (A3)
+//!   verify          all exact engines agree on the whole workload
+//!   all             everything above
+//!
+//! options:
+//!   --scale tiny|small|medium|large   dataset scale   (default small)
+//!   --ticks N                         report points   (default 5)
+//!   --tick-ms N                       tick length     (default 200)
+//!   --runs N                          generator runs  (default 25)
+//!   --steps N                         max exploration depth (default 4)
+//!   --seed N                          workload seed
+//!   --tipping X                       AJ tipping threshold (default 1024)
+//!   --paper                           paper protocol: 9 ticks × 1 s
+//! ```
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use kgoa_bench::{
+    ablate_cache, ablate_order, ablate_tipping, fig11, fig8, fig9_10, load_datasets,
+    parallel_scaling, prepare_workload, sample_time, table1, verify_engines, BenchConfig,
+};
+use kgoa_datagen::Scale;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <table1|fig8|fig9|fig10|fig11|sampletime|ablate-tipping|ablate-cache|ablate-order|verify|all> \
+         [--scale S] [--ticks N] [--tick-ms N] [--runs N] [--steps N] [--seed N] [--tipping X] [--paper]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(experiment) = args.first().cloned() else {
+        return usage();
+    };
+    let mut cfg = BenchConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(v) = take_value(&mut i) else { return usage() };
+                cfg.scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    "large" => Scale::Large,
+                    _ => return usage(),
+                };
+            }
+            "--ticks" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.ticks = v,
+                None => return usage(),
+            },
+            "--tick-ms" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.tick = Duration::from_millis(v),
+                None => return usage(),
+            },
+            "--runs" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.runs = v,
+                None => return usage(),
+            },
+            "--steps" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_steps = v,
+                None => return usage(),
+            },
+            "--seed" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seed = v,
+                None => return usage(),
+            },
+            "--tipping" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.tipping_threshold = v,
+                None => return usage(),
+            },
+            "--paper" => {
+                cfg.ticks = 9;
+                cfg.tick = Duration::from_secs(1);
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "# kgoa repro: {experiment} (scale {:?}, {} ticks × {:?}, {} runs × ≤{} steps, seed {})",
+        cfg.scale, cfg.ticks, cfg.tick, cfg.runs, cfg.max_steps, cfg.seed
+    );
+    let t0 = Instant::now();
+    eprintln!("# building datasets…");
+    let datasets = load_datasets(cfg.scale);
+    eprintln!("# generating workload…");
+    let workload = prepare_workload(&datasets, &cfg);
+    eprintln!(
+        "# ready: {} queries over {} datasets in {:.1}s",
+        workload.len(),
+        datasets.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let run = |name: &str| -> Option<String> {
+        match name {
+            "table1" => Some(table1(&datasets)),
+            "fig8" => Some(fig8(&datasets, &workload, &cfg)),
+            "fig9" => Some(fig9_10(&datasets, &workload, &cfg, true)),
+            "fig10" => Some(fig9_10(&datasets, &workload, &cfg, false)),
+            "fig11" => Some(fig11(&datasets, &workload, &cfg)),
+            "sampletime" => Some(sample_time(&datasets, &workload, &cfg)),
+            "ablate-tipping" => Some(ablate_tipping(&datasets, &workload, &cfg)),
+            "ablate-cache" => Some(ablate_cache(&datasets, &workload)),
+            "ablate-order" => Some(ablate_order(&datasets, &workload, &cfg)),
+            "verify" => Some(verify_engines(&datasets, &workload)),
+            "parallel" => Some(parallel_scaling(&datasets, &workload, &cfg)),
+            _ => None,
+        }
+    };
+
+    let all = [
+        "table1",
+        "verify",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "sampletime",
+        "ablate-tipping",
+        "ablate-cache",
+        "ablate-order",
+        "parallel",
+    ];
+    // One experiment, a comma-separated list, or "all".
+    let selected: Vec<&str> = if experiment == "all" {
+        all.to_vec()
+    } else {
+        experiment.split(',').collect()
+    };
+    for name in selected {
+        eprintln!("# running {name}…");
+        match run(name) {
+            Some(report) => println!("{report}"),
+            None => return usage(),
+        }
+    }
+    eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

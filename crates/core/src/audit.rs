@@ -1,0 +1,546 @@
+//! Audit Join — the paper's contribution (§IV-D, Fig. 7).
+//!
+//! Audit Join runs Wander Join's random walk, but after every step it
+//! estimates (PostgreSQL-style, precomputed per plan) how many completions
+//! the current prefix δ can have. When that estimate drops below the
+//! *tipping threshold*, the walk stops and the remaining suffix is computed
+//! **exactly** with Cached Trie Join; the estimator
+//! `C_aj(δ) = |Γ_δ| / Pr(δ)` remains unbiased (Prop. IV.1), and the caches
+//! persist across walks so repeated prefixes get cheaper over time.
+//!
+//! For count-distinct, the walk's contribution to group `a` is
+//! `Σ_b Pr(a,b,δ) / (Pr(a,b) · Pr(δ))` (Eq. 1 / Fig. 7 line 13), which this
+//! implementation evaluates as `Σ_b M_δ(a,b) / Pr(a,b)` where `M_δ(a,b)` is
+//! the exact probability mass of walk suffixes from δ that realize `(a,b)`
+//! — the `Pr(δ)` factor cancels. `Pr(a,b)` is computed online and cached
+//! (see [`crate::pinned::PrAb`]); Prop. IV.2 shows the estimator is
+//! unbiased.
+
+use kgoa_engine::CtjCounter;
+use kgoa_index::{pack2, FxHashMap, IndexedGraph};
+use kgoa_query::{ExplorationQuery, QueryError, SuffixEstimator, Var, WalkPlan};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::accum::{GroupAccumulator, WalkStats};
+use crate::online::OnlineAggregator;
+use crate::pinned::PrAb;
+
+/// Configuration for an Audit Join run.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditJoinConfig {
+    /// Switch to exact computation when the estimated number of suffix
+    /// completions falls strictly below this value. `0.0` disables tipping
+    /// entirely (pure random walks with the unbiased distinct estimator).
+    pub tipping_threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AuditJoinConfig {
+    fn default() -> Self {
+        AuditJoinConfig { tipping_threshold: 1024.0, seed: 0 }
+    }
+}
+
+/// An Audit Join run over one query.
+pub struct AuditJoin<'g> {
+    ig: &'g IndexedGraph,
+    plan: WalkPlan,
+    est: SuffixEstimator,
+    counter: CtjCounter<'g>,
+    prab: PrAb<'g>,
+    distinct: bool,
+    alpha: Var,
+    beta: Var,
+    threshold: f64,
+    assignment: Vec<u32>,
+    accum: GroupAccumulator,
+    stats: WalkStats,
+    rng: SmallRng,
+    // Per-walk scratch buffers (cleared each walk, reused to avoid
+    // allocation on the hot path).
+    masses: FxHashMap<u64, f64>,
+    group_counts: FxHashMap<u32, u64>,
+    group_sums: FxHashMap<u32, f64>,
+}
+
+impl<'g> AuditJoin<'g> {
+    /// Create a run using the canonical walk order.
+    pub fn new(
+        ig: &'g IndexedGraph,
+        query: &ExplorationQuery,
+        config: AuditJoinConfig,
+    ) -> Result<Self, QueryError> {
+        let plan = WalkPlan::canonical(query, &kgoa_index::IndexOrder::PAPER_DEFAULT)?;
+        Self::with_plan(ig, query, plan, config)
+    }
+
+    /// Create a run with an explicit walk plan.
+    pub fn with_plan(
+        ig: &'g IndexedGraph,
+        query: &ExplorationQuery,
+        plan: WalkPlan,
+        config: AuditJoinConfig,
+    ) -> Result<Self, QueryError> {
+        let est = SuffixEstimator::new(ig, query, &plan);
+        let counter = CtjCounter::new(ig, plan.clone());
+        let prab = PrAb::new(ig, query.clone(), plan.clone());
+        Ok(AuditJoin {
+            ig,
+            est,
+            counter,
+            prab,
+            distinct: query.distinct(),
+            alpha: query.alpha(),
+            beta: query.beta(),
+            threshold: config.tipping_threshold,
+            assignment: vec![0u32; query.var_count()],
+            plan,
+            accum: GroupAccumulator::new(),
+            stats: WalkStats::default(),
+            rng: SmallRng::seed_from_u64(config.seed),
+            masses: FxHashMap::default(),
+            group_counts: FxHashMap::default(),
+            group_sums: FxHashMap::default(),
+        })
+    }
+
+    /// The raw per-group accumulator (used by the parallel runner).
+    pub fn accumulator(&self) -> &GroupAccumulator {
+        &self.accum
+    }
+
+    /// Cache statistics of the underlying CTJ computations.
+    pub fn cache_stats(&self) -> kgoa_engine::CacheStats {
+        self.counter.cache_stats()
+    }
+
+    /// Number of cached `Pr(a, b)` pairs.
+    pub fn cached_pairs(&self) -> usize {
+        self.prab.cached_pairs()
+    }
+
+    /// Execute one walk (lines 5–20 of Fig. 7).
+    pub fn walk(&mut self) {
+        self.stats.walks += 1;
+        let n = self.plan.len();
+        let mut prob_inv = 1.0f64;
+        let mut i = 0usize;
+        let step0 = &self.plan.steps()[0];
+        let mut range = step0.access.resolve(self.ig.require(step0.access.order), None);
+        loop {
+            let d = range.len();
+            let Some(pos) = range.pick(&mut self.rng) else {
+                self.stats.rejected += 1;
+                return;
+            };
+            prob_inv *= d as f64;
+            let index = self.ig.require(self.plan.steps()[i].access.order);
+            let row = index.row(pos);
+            self.plan.extract(i, row, &mut self.assignment);
+            if i + 1 == n {
+                self.finish_full(prob_inv);
+                self.stats.full += 1;
+                return;
+            }
+            let next_step = &self.plan.steps()[i + 1];
+            let next_index = self.ig.require(next_step.access.order);
+            let in_value = next_step.in_var.map(|(v, _)| self.assignment[v.index()]);
+            let next = next_step.access.resolve(next_index, in_value);
+            // Tipping point (Fig. 7 line 11): estimated completions of the
+            // remaining suffix, using the exact next fan-out.
+            let est_rem = self.est.remaining(i + 1, next.len() as u64);
+            if est_rem < self.threshold {
+                if self.finish_tipped(i + 1, prob_inv) {
+                    self.stats.tipped += 1;
+                } else {
+                    self.stats.rejected += 1;
+                }
+                return;
+            }
+            i += 1;
+            range = next;
+        }
+    }
+
+    /// Walk completed: δ is a full path.
+    fn finish_full(&mut self, prob_inv: f64) {
+        let a = self.assignment[self.alpha.index()];
+        if self.distinct {
+            let b = self.assignment[self.beta.index()];
+            let pr = self.prab.pr(a, b);
+            debug_assert!(pr > 0.0, "completed walk implies Pr(a,b) > 0");
+            self.accum.add(a, 1.0 / pr);
+        } else {
+            self.accum.add(a, prob_inv);
+        }
+    }
+
+    /// Tipping point reached before step `step`: replace the remaining walk
+    /// with an exact computation. Returns whether anything was contributed.
+    fn finish_tipped(&mut self, step: usize, prob_inv: f64) -> bool {
+        if self.distinct {
+            self.masses.clear();
+            suffix_masses(
+                self.ig,
+                &self.plan,
+                &mut self.counter,
+                self.alpha,
+                self.beta,
+                step,
+                1.0,
+                &mut self.assignment,
+                &mut self.masses,
+            );
+            if self.masses.is_empty() {
+                return false;
+            }
+            // One accumulator sample per group: sum the per-(a, b) terms
+            // first so the confidence-interval bookkeeping sees a single
+            // sample per walk.
+            self.group_sums.clear();
+            for (&key, &m) in self.masses.iter() {
+                let a = (key >> 32) as u32;
+                let b = key as u32;
+                let pr = self.prab.pr(a, b);
+                debug_assert!(pr > 0.0);
+                *self.group_sums.entry(a).or_insert(0.0) += m / pr;
+            }
+            for (&a, &x) in self.group_sums.iter() {
+                self.accum.add(a, x);
+            }
+            true
+        } else {
+            self.group_counts.clear();
+            suffix_group_counts(
+                self.ig,
+                &self.plan,
+                &mut self.counter,
+                self.alpha,
+                step,
+                &mut self.assignment,
+                &mut self.group_counts,
+            );
+            if self.group_counts.is_empty() {
+                return false;
+            }
+            for (&a, &c) in self.group_counts.iter() {
+                self.accum.add(a, c as f64 * prob_inv);
+            }
+            true
+        }
+    }
+}
+
+impl OnlineAggregator for AuditJoin<'_> {
+    fn name(&self) -> &'static str {
+        "aj"
+    }
+
+    fn step(&mut self) {
+        self.walk();
+    }
+
+    fn estimates(&self) -> kgoa_engine::GroupedEstimates {
+        self.accum.estimates(self.stats.walks)
+    }
+
+    fn stats(&self) -> WalkStats {
+        self.stats
+    }
+}
+
+/// Exact per-(a, b) suffix probability masses `M_δ(a, b)` of a walk prefix
+/// δ ending before `step`: enumerate the suffix until both α and β are
+/// bound, then close with the cached walk-success mass. Public because the
+/// exact-expectation unbiasedness tests re-derive the estimator from it.
+#[allow(clippy::too_many_arguments)]
+pub fn suffix_masses(
+    ig: &IndexedGraph,
+    plan: &WalkPlan,
+    counter: &mut CtjCounter<'_>,
+    alpha: Var,
+    beta: Var,
+    step: usize,
+    weight: f64,
+    assignment: &mut [u32],
+    out: &mut FxHashMap<u64, f64>,
+) {
+    if plan.binder_step(alpha) < step && plan.binder_step(beta) < step {
+        let m = counter.mass_from(step, assignment);
+        if m > 0.0 {
+            let a = assignment[alpha.index()];
+            let b = assignment[beta.index()];
+            *out.entry(pack2(a, b)).or_insert(0.0) += weight * m;
+        }
+        return;
+    }
+    debug_assert!(step < plan.len(), "all variables bound at plan end");
+    let s = &plan.steps()[step];
+    let index = ig.require(s.access.order);
+    let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
+    let range = s.access.resolve(index, in_value);
+    if range.is_empty() {
+        return;
+    }
+    let w = weight / range.len() as f64;
+    for pos in range.start..range.end {
+        plan.extract(step, index.row(pos), assignment);
+        suffix_masses(ig, plan, counter, alpha, beta, step + 1, w, assignment, out);
+    }
+}
+
+/// Exact per-group suffix completion counts `|Γ_{δ,a}|`: enumerate until α
+/// is bound, then close with the cached suffix count. Public for the same
+/// reason as [`suffix_masses`].
+pub fn suffix_group_counts(
+    ig: &IndexedGraph,
+    plan: &WalkPlan,
+    counter: &mut CtjCounter<'_>,
+    alpha: Var,
+    step: usize,
+    assignment: &mut [u32],
+    out: &mut FxHashMap<u32, u64>,
+) {
+    if plan.binder_step(alpha) < step {
+        let c = counter.count_from(step, assignment);
+        if c > 0 {
+            *out.entry(assignment[alpha.index()]).or_insert(0) += c;
+        }
+        return;
+    }
+    debug_assert!(step < plan.len(), "α is bound by the end of the plan");
+    let s = &plan.steps()[step];
+    let index = ig.require(s.access.order);
+    let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
+    let range = s.access.resolve(index, in_value);
+    for pos in range.start..range.end {
+        plan.extract(step, index.row(pos), assignment);
+        suffix_group_counts(ig, plan, counter, alpha, step + 1, assignment, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::run_walks;
+    use kgoa_engine::{CountEngine, YannakakisEngine};
+    use kgoa_query::TriplePattern;
+    use kgoa_rdf::{GraphBuilder, TermId, Triple};
+
+    /// Skewed two-hop graph: many sources, duplicated reaches, two classes.
+    fn graph() -> (IndexedGraph, TermId, TermId) {
+        let mut b = GraphBuilder::new();
+        let p = b.dict_mut().intern_iri("u:p");
+        let q = b.dict_mut().intern_iri("u:q");
+        let classes: Vec<TermId> =
+            (0..3).map(|i| b.dict_mut().intern_iri(format!("u:c{i}"))).collect();
+        let objs: Vec<TermId> =
+            (0..8).map(|i| b.dict_mut().intern_iri(format!("u:o{i}"))).collect();
+        for si in 0..20u32 {
+            let s = b.dict_mut().intern_iri(format!("u:s{si}"));
+            for (oi, o) in objs.iter().enumerate() {
+                if (si as usize + oi).is_multiple_of(3) {
+                    b.add(Triple::new(s, p, *o));
+                }
+            }
+        }
+        for (oi, o) in objs.iter().enumerate() {
+            // Objects 0..6 have classes; 6, 7 are dead ends (rejections!).
+            if oi < 6 {
+                b.add(Triple::new(*o, q, classes[oi % 3]));
+            }
+        }
+        (IndexedGraph::build(b.build()), p, q)
+    }
+
+    fn query(p: TermId, q: TermId, distinct: bool) -> ExplorationQuery {
+        ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+            ],
+            Var(2),
+            Var(1),
+            distinct,
+        )
+        .unwrap()
+    }
+
+    fn check_convergence(distinct: bool, threshold: f64, walks: u64, tol: f64) {
+        let (ig, p, q) = graph();
+        let query = query(p, q, distinct);
+        let exact = YannakakisEngine.evaluate(&ig, &query).unwrap();
+        assert!(!exact.is_empty());
+        let mut aj = AuditJoin::new(
+            &ig,
+            &query,
+            AuditJoinConfig { tipping_threshold: threshold, seed: 11 },
+        )
+        .unwrap();
+        run_walks(&mut aj, walks);
+        let est = aj.estimates();
+        for (g, c) in exact.iter() {
+            let rel = (est.get(g) - c as f64).abs() / c as f64;
+            assert!(
+                rel < tol,
+                "distinct={distinct} thr={threshold} group {g}: est {} vs exact {c}",
+                est.get(g)
+            );
+        }
+    }
+
+    #[test]
+    fn non_distinct_converges_with_tipping() {
+        check_convergence(false, 1024.0, 20_000, 0.05);
+    }
+
+    #[test]
+    fn non_distinct_converges_without_tipping() {
+        check_convergence(false, 0.0, 60_000, 0.05);
+    }
+
+    #[test]
+    fn distinct_converges_with_tipping() {
+        check_convergence(true, 1024.0, 20_000, 0.05);
+    }
+
+    #[test]
+    fn distinct_converges_without_tipping() {
+        check_convergence(true, 0.0, 60_000, 0.08);
+    }
+
+    /// Three-hop graph with heavy dead-ending in the last hop: one source
+    /// -p-> 20 objects, each object -q-> 5 mids, but only 1 mid in 5 has an
+    /// -r-> edge to a class. A Wander Join walk dies ~80% of the time at
+    /// the last step; Audit Join tips after the second step and computes
+    /// the surviving completions exactly.
+    fn deep_graph() -> (IndexedGraph, TermId, TermId, TermId) {
+        let mut b = GraphBuilder::new();
+        let p = b.dict_mut().intern_iri("u:p");
+        let q = b.dict_mut().intern_iri("u:q");
+        let r = b.dict_mut().intern_iri("u:r");
+        let s = b.dict_mut().intern_iri("u:s");
+        let classes: Vec<TermId> =
+            (0..2).map(|i| b.dict_mut().intern_iri(format!("u:c{i}"))).collect();
+        for oi in 0..20u32 {
+            let o = b.dict_mut().intern_iri(format!("u:o{oi}"));
+            b.add(Triple::new(s, p, o));
+            for mi in 0..5u32 {
+                let m = b.dict_mut().intern_iri(format!("u:m{oi}_{mi}"));
+                b.add(Triple::new(o, q, m));
+                if mi == 0 {
+                    b.add(Triple::new(m, r, classes[(oi % 2) as usize]));
+                }
+            }
+        }
+        (IndexedGraph::build(b.build()), p, q, r)
+    }
+
+    fn deep_query(p: TermId, q: TermId, r: TermId, distinct: bool) -> ExplorationQuery {
+        ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+                TriplePattern::new(Var(2), r, Var(3)),
+            ],
+            Var(3),
+            Var(2),
+            distinct,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn high_threshold_converges_fast() {
+        let (ig, p, q, r) = deep_graph();
+        let query = deep_query(p, q, r, true);
+        let exact = YannakakisEngine.evaluate(&ig, &query).unwrap();
+        let mut aj = AuditJoin::new(
+            &ig,
+            &query,
+            AuditJoinConfig { tipping_threshold: f64::INFINITY, seed: 1 },
+        )
+        .unwrap();
+        // With an infinite threshold every walk tips right after its first
+        // step and computes the remainder exactly — only the first-step
+        // randomness is left, and here step 0 has a single subject, so the
+        // per-walk estimate is already exact.
+        run_walks(&mut aj, 64);
+        let est = aj.estimates();
+        for (g, c) in exact.iter() {
+            let rel = (est.get(g) - c as f64).abs() / c as f64;
+            assert!(rel < 1e-9, "group {g}: est {} vs exact {c}", est.get(g));
+        }
+        assert_eq!(aj.stats().tipped, 64);
+        assert_eq!(aj.stats().rejected, 0);
+    }
+
+    #[test]
+    fn tipping_reduces_rejections() {
+        let (ig, p, q, r) = deep_graph();
+        let query = deep_query(p, q, r, false);
+        let mk = |thr: f64| {
+            let mut aj = AuditJoin::new(
+                &ig,
+                &query,
+                AuditJoinConfig { tipping_threshold: thr, seed: 5 },
+            )
+            .unwrap();
+            run_walks(&mut aj, 4000);
+            aj.stats().rejection_rate()
+        };
+        let rr_wj_like = mk(0.0);
+        let rr_aj = mk(1024.0);
+        assert!(
+            rr_wj_like > 0.7,
+            "walks without tipping should mostly die: {rr_wj_like}"
+        );
+        assert!(
+            rr_aj < 0.05,
+            "tipping should eliminate rejections here: {rr_aj} vs {rr_wj_like}"
+        );
+    }
+
+    #[test]
+    fn caches_warm_up_across_walks() {
+        let (ig, p, q, r) = deep_graph();
+        // Group by the mid node, count distinct objects: both α and β are
+        // bound before the final r-pattern, so the walk-success mass of the
+        // r-suffix is computed by CTJ and cached per mid value.
+        let query = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+                TriplePattern::new(Var(2), r, Var(3)),
+            ],
+            Var(2),
+            Var(1),
+            true,
+        )
+        .unwrap();
+        let mut aj =
+            AuditJoin::new(&ig, &query, AuditJoinConfig { tipping_threshold: 1e6, seed: 2 })
+                .unwrap();
+        run_walks(&mut aj, 200);
+        let stats = aj.cache_stats();
+        assert!(stats.misses > 0, "cache stats {stats:?}");
+        assert!(stats.hits > 0, "cache stats {stats:?}");
+        assert!(aj.cached_pairs() > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (ig, p, q) = graph();
+        let query = query(p, q, true);
+        let cfg = AuditJoinConfig { tipping_threshold: 100.0, seed: 77 };
+        let mut a = AuditJoin::new(&ig, &query, cfg).unwrap();
+        let mut b = AuditJoin::new(&ig, &query, cfg).unwrap();
+        run_walks(&mut a, 300);
+        run_walks(&mut b, 300);
+        for (g, x) in a.estimates().estimates.iter() {
+            assert_eq!(b.estimates().estimates.get(g), Some(x));
+        }
+    }
+}

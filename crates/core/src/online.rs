@@ -1,0 +1,125 @@
+//! The online-aggregation interface and time-based runners.
+//!
+//! The paper's protocol (§V-B): "we run each online aggregation algorithm
+//! for nine seconds and report the estimate after each second". The
+//! [`run_timed`] helper reproduces that — it steps an aggregator until each
+//! tick boundary and snapshots the estimates — while [`run_walks`] gives
+//! deterministic, walk-count-based runs for tests.
+
+use std::time::{Duration, Instant};
+
+use kgoa_engine::GroupedEstimates;
+
+use crate::accum::WalkStats;
+
+/// An online-aggregation algorithm over one query: repeatedly stepped,
+/// queryable for its current estimates at any time.
+pub trait OnlineAggregator {
+    /// Short name for reports ("wj", "aj").
+    fn name(&self) -> &'static str;
+
+    /// Perform one random walk (one estimator sample).
+    fn step(&mut self);
+
+    /// Snapshot the current per-group estimates and confidence intervals.
+    fn estimates(&self) -> GroupedEstimates;
+
+    /// Walk counters so far.
+    fn stats(&self) -> WalkStats;
+}
+
+/// One snapshot of an aggregator's state at a tick boundary.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Wall-clock time since the run started.
+    pub elapsed: Duration,
+    /// The per-group estimates at this point.
+    pub estimates: GroupedEstimates,
+    /// Walk counters at this point.
+    pub stats: WalkStats,
+}
+
+/// Step the aggregator for a fixed number of walks (deterministic).
+pub fn run_walks<A: OnlineAggregator + ?Sized>(agg: &mut A, walks: u64) {
+    for _ in 0..walks {
+        agg.step();
+    }
+}
+
+/// Run for `ticks` intervals of `tick` wall-clock time each, snapshotting
+/// the estimates at every boundary — the measurement loop behind the
+/// paper's MAE-over-time plots (Figs. 8–10).
+///
+/// Steps are checked against the clock in small batches so a tick boundary
+/// is never overshot by more than a batch.
+pub fn run_timed<A: OnlineAggregator + ?Sized>(
+    agg: &mut A,
+    ticks: usize,
+    tick: Duration,
+) -> Vec<Snapshot> {
+    const BATCH: u32 = 64;
+    let start = Instant::now();
+    let mut snapshots = Vec::with_capacity(ticks);
+    for t in 1..=ticks {
+        let deadline = tick * t as u32;
+        while start.elapsed() < deadline {
+            for _ in 0..BATCH {
+                agg.step();
+            }
+        }
+        snapshots.push(Snapshot {
+            elapsed: start.elapsed(),
+            estimates: agg.estimates(),
+            stats: agg.stats(),
+        });
+    }
+    snapshots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgoa_index::FxHashMap;
+
+    /// A fake aggregator whose estimate is the number of steps taken.
+    struct Counting {
+        n: u64,
+    }
+
+    impl OnlineAggregator for Counting {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+
+        fn step(&mut self) {
+            self.n += 1;
+        }
+
+        fn estimates(&self) -> GroupedEstimates {
+            let mut estimates = FxHashMap::default();
+            estimates.insert(0u32, self.n as f64);
+            GroupedEstimates { estimates, half_widths: FxHashMap::default() }
+        }
+
+        fn stats(&self) -> WalkStats {
+            WalkStats { walks: self.n, ..WalkStats::default() }
+        }
+    }
+
+    #[test]
+    fn run_walks_steps_exactly() {
+        let mut c = Counting { n: 0 };
+        run_walks(&mut c, 123);
+        assert_eq!(c.n, 123);
+    }
+
+    #[test]
+    fn run_timed_produces_monotone_snapshots() {
+        let mut c = Counting { n: 0 };
+        let snaps = run_timed(&mut c, 3, Duration::from_millis(5));
+        assert_eq!(snaps.len(), 3);
+        assert!(snaps[0].stats.walks <= snaps[1].stats.walks);
+        assert!(snaps[1].stats.walks <= snaps[2].stats.walks);
+        assert!(snaps[2].elapsed >= Duration::from_millis(15));
+    }
+}

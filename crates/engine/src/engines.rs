@@ -1,0 +1,312 @@
+//! The common exact-engine interface and its four implementations.
+
+use kgoa_index::{FxHashSet, IndexOrder, IndexedGraph};
+use kgoa_query::{ExplorationQuery, JoinPlan, WalkPlan};
+
+use crate::baseline::{baseline_grouped, DEFAULT_TUPLE_LIMIT};
+use crate::ctj::CtjCounter;
+use crate::error::EngineError;
+use crate::lftj::LftjExec;
+use crate::result::GroupedCounts;
+use crate::yannakakis::yannakakis_grouped_distinct;
+
+/// An engine that evaluates exploration queries exactly.
+pub trait CountEngine {
+    /// A short name for reports ("ctj", "lftj", ...).
+    fn name(&self) -> &'static str;
+
+    /// Evaluate the query: per group α, the (distinct) count of β.
+    fn evaluate(
+        &self,
+        ig: &IndexedGraph,
+        query: &ExplorationQuery,
+    ) -> Result<GroupedCounts, EngineError>;
+}
+
+/// Pure LeapFrog Trie Join: worst-case-optimal, no caching.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LftjEngine;
+
+impl CountEngine for LftjEngine {
+    fn name(&self) -> &'static str {
+        "lftj"
+    }
+
+    fn evaluate(
+        &self,
+        ig: &IndexedGraph,
+        query: &ExplorationQuery,
+    ) -> Result<GroupedCounts, EngineError> {
+        let plan = JoinPlan::canonical(query, &IndexOrder::PAPER_DEFAULT)?;
+        let mut exec = LftjExec::new(ig, query, plan)?;
+        let alpha = query.alpha().index();
+        let beta = query.beta().index();
+        let mut out = GroupedCounts::new();
+        if query.distinct() {
+            let mut seen: FxHashSet<u64> = FxHashSet::default();
+            exec.run(|asg| {
+                if seen.insert(kgoa_index::pack2(asg[alpha], asg[beta])) {
+                    out.add(asg[alpha], 1);
+                }
+            });
+        } else {
+            exec.run(|asg| out.add(asg[alpha], 1));
+        }
+        Ok(out)
+    }
+}
+
+/// Cached Trie Join: the paper's exact engine of choice (§IV-B).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CtjEngine;
+
+impl CountEngine for CtjEngine {
+    fn name(&self) -> &'static str {
+        "ctj"
+    }
+
+    fn evaluate(
+        &self,
+        ig: &IndexedGraph,
+        query: &ExplorationQuery,
+    ) -> Result<GroupedCounts, EngineError> {
+        let plan = WalkPlan::canonical(query, &IndexOrder::PAPER_DEFAULT)?;
+        let mut counter = CtjCounter::new(ig, plan);
+        let mut assignment = vec![0u32; query.var_count()];
+        let mut out = GroupedCounts::new();
+        if query.distinct() {
+            let mut seen: FxHashSet<u64> = FxHashSet::default();
+            ctj_distinct_rec(query, &mut counter, 0, &mut assignment, &mut seen, &mut out);
+        } else {
+            ctj_count_rec(query, &mut counter, 0, &mut assignment, &mut out);
+        }
+        Ok(out)
+    }
+}
+
+/// Enumerate until α is bound, then finish each branch with a cached
+/// suffix count.
+fn ctj_count_rec(
+    query: &ExplorationQuery,
+    counter: &mut CtjCounter<'_>,
+    step: usize,
+    assignment: &mut [u32],
+    out: &mut GroupedCounts,
+) {
+    let plan_len = counter.plan().len();
+    let alpha = query.alpha();
+    let alpha_bound = counter.plan().binder_step(alpha) < step;
+    if alpha_bound || step == plan_len {
+        let a = assignment[alpha.index()];
+        let c = counter.count_from(step, assignment);
+        if c > 0 {
+            out.add(a, c);
+        }
+        return;
+    }
+    let s = &counter.plan().steps()[step];
+    let index = counter.graph().require(s.access.order);
+    let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
+    let range = s.access.resolve(index, in_value);
+    for pos in range.start..range.end {
+        let row = index.row(pos);
+        counter.plan().extract(step, row, assignment);
+        ctj_count_rec(query, counter, step + 1, assignment, out);
+    }
+}
+
+/// Enumerate until both α and β are bound, then a cached existence check
+/// decides whether the pair contributes.
+fn ctj_distinct_rec(
+    query: &ExplorationQuery,
+    counter: &mut CtjCounter<'_>,
+    step: usize,
+    assignment: &mut [u32],
+    seen: &mut FxHashSet<u64>,
+    out: &mut GroupedCounts,
+) {
+    let alpha = query.alpha();
+    let beta = query.beta();
+    let both_bound = counter.plan().binder_step(alpha) < step
+        && counter.plan().binder_step(beta) < step;
+    if both_bound {
+        let a = assignment[alpha.index()];
+        let b = assignment[beta.index()];
+        if counter.exists_from(step, assignment) && seen.insert(kgoa_index::pack2(a, b)) {
+            out.add(a, 1);
+        }
+        return;
+    }
+    debug_assert!(step < counter.plan().len(), "all vars bound at plan end");
+    let s = &counter.plan().steps()[step];
+    let index = counter.graph().require(s.access.order);
+    let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
+    let range = s.access.resolve(index, in_value);
+    for pos in range.start..range.end {
+        let row = index.row(pos);
+        counter.plan().extract(step, row, assignment);
+        ctj_distinct_rec(query, counter, step + 1, assignment, seen, out);
+    }
+}
+
+/// The conventional materializing engine (Virtuoso stand-in, see DESIGN.md).
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineEngine {
+    /// Intermediate-tuple budget.
+    pub tuple_limit: usize,
+}
+
+impl Default for BaselineEngine {
+    fn default() -> Self {
+        BaselineEngine { tuple_limit: DEFAULT_TUPLE_LIMIT }
+    }
+}
+
+impl CountEngine for BaselineEngine {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn evaluate(
+        &self,
+        ig: &IndexedGraph,
+        query: &ExplorationQuery,
+    ) -> Result<GroupedCounts, EngineError> {
+        baseline_grouped(ig, query, self.tuple_limit)
+    }
+}
+
+/// Semi-join (Yannakakis) engine — the harness's ground truth. Falls back
+/// to CTJ when α and β do not co-occur in one pattern.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct YannakakisEngine;
+
+impl CountEngine for YannakakisEngine {
+    fn name(&self) -> &'static str {
+        "yannakakis"
+    }
+
+    fn evaluate(
+        &self,
+        ig: &IndexedGraph,
+        query: &ExplorationQuery,
+    ) -> Result<GroupedCounts, EngineError> {
+        match yannakakis_grouped_distinct(ig, query) {
+            Err(EngineError::Unsupported(_)) => CtjEngine.evaluate(ig, query),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgoa_query::{TriplePattern, Var};
+    use kgoa_rdf::{GraphBuilder, TermId, Triple};
+
+    /// a -p-> {x,y,z}; x,y -q-> c1; z -q-> c2; also b -p-> x
+    /// (so x is reachable twice → distinct matters).
+    fn graph() -> (IndexedGraph, TermId, TermId) {
+        let mut b = GraphBuilder::new();
+        let p = b.dict_mut().intern_iri("u:p");
+        let q = b.dict_mut().intern_iri("u:q");
+        let n = |b: &mut GraphBuilder, s: &str| b.dict_mut().intern_iri(format!("u:{s}"));
+        let a = n(&mut b, "a");
+        let bb = n(&mut b, "b");
+        let x = n(&mut b, "x");
+        let y = n(&mut b, "y");
+        let z = n(&mut b, "z");
+        let c1 = n(&mut b, "c1");
+        let c2 = n(&mut b, "c2");
+        for t in [
+            Triple::new(a, p, x),
+            Triple::new(a, p, y),
+            Triple::new(a, p, z),
+            Triple::new(bb, p, x),
+            Triple::new(x, q, c1),
+            Triple::new(y, q, c1),
+            Triple::new(z, q, c2),
+        ] {
+            b.add(t);
+        }
+        (IndexedGraph::build(b.build()), p, q)
+    }
+
+    fn query(p: TermId, q: TermId, distinct: bool) -> ExplorationQuery {
+        ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+            ],
+            Var(2),
+            Var(1),
+            distinct,
+        )
+        .unwrap()
+    }
+
+    fn all_engines() -> Vec<Box<dyn CountEngine>> {
+        vec![
+            Box::new(LftjEngine),
+            Box::new(CtjEngine),
+            Box::new(BaselineEngine::default()),
+            Box::new(YannakakisEngine),
+        ]
+    }
+
+    #[test]
+    fn engines_agree_on_distinct() {
+        let (ig, p, q) = graph();
+        let c1 = ig.dict().lookup_iri("u:c1").unwrap();
+        let c2 = ig.dict().lookup_iri("u:c2").unwrap();
+        for e in all_engines() {
+            let out = e.evaluate(&ig, &query(p, q, true)).unwrap();
+            assert_eq!(out.get(c1), 2, "engine {}", e.name());
+            assert_eq!(out.get(c2), 1, "engine {}", e.name());
+            assert_eq!(out.len(), 2, "engine {}", e.name());
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_non_distinct() {
+        let (ig, p, q) = graph();
+        let c1 = ig.dict().lookup_iri("u:c1").unwrap();
+        for e in all_engines() {
+            let out = e.evaluate(&ig, &query(p, q, false)).unwrap();
+            // Paths into c1: a->x, a->y, b->x = 3.
+            assert_eq!(out.get(c1), 3, "engine {}", e.name());
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_empty() {
+        let (ig, p, _) = graph();
+        for e in all_engines() {
+            let out = e.evaluate(&ig, &query(p, TermId(9999), true)).unwrap();
+            assert!(out.is_empty(), "engine {}", e.name());
+        }
+    }
+
+    #[test]
+    fn engines_agree_with_heads_in_different_patterns() {
+        let (ig, p, q) = graph();
+        // α = source subject (?0), β = final object (?2): not co-occurring.
+        let query = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+            ],
+            Var(0),
+            Var(2),
+            true,
+        )
+        .unwrap();
+        let a = ig.dict().lookup_iri("u:a").unwrap();
+        let bb = ig.dict().lookup_iri("u:b").unwrap();
+        for e in all_engines() {
+            let out = e.evaluate(&ig, &query).unwrap();
+            assert_eq!(out.get(a), 2, "engine {}: a reaches c1, c2", e.name());
+            assert_eq!(out.get(bb), 1, "engine {}: b reaches c1", e.name());
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Engine errors.
+
+use std::fmt;
+
+use kgoa_query::QueryError;
+
+/// Errors raised by the exact engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query failed validation or planning.
+    Query(QueryError),
+    /// The baseline engine exceeded its intermediate-result budget (the
+    /// very failure mode that motivates worst-case-optimal joins).
+    IntermediateResultLimit {
+        /// The configured tuple budget.
+        limit: usize,
+    },
+    /// The engine does not support the query shape (e.g. Yannakakis
+    /// distinct counting requires α and β to co-occur in a pattern).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Query(e) => write!(f, "query error: {e}"),
+            EngineError::IntermediateResultLimit { limit } => {
+                write!(f, "intermediate result exceeded the {limit}-tuple budget")
+            }
+            EngineError::Unsupported(what) => write!(f, "unsupported query shape: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = EngineError::from(QueryError::Empty);
+        assert!(e.to_string().contains("query error"));
+        assert!(e.source().is_some());
+        let l = EngineError::IntermediateResultLimit { limit: 10 };
+        assert!(l.to_string().contains("10-tuple"));
+        assert!(l.source().is_none());
+    }
+}

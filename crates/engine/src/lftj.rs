@@ -1,0 +1,329 @@
+//! LeapFrog Trie Join (Veldhuizen 2014): a worst-case-optimal backtracking
+//! join over trie iterators (§IV-B of the paper).
+//!
+//! Variables are processed in the plan's global order. For each variable,
+//! the cursors of all patterns containing it are positioned at that
+//! variable's trie level and *leapfrogged*: repeatedly seek every cursor to
+//! the current maximum key until all agree, yielding exactly the
+//! intersection of the per-pattern key sets. Constants and already-bound
+//! variables along the way are navigated by `seek`.
+//!
+//! This implementation enumerates every full assignment; it deliberately
+//! does **no** caching — that is what Cached Trie Join adds on top (and the
+//! CTJ-vs-LFTJ benchmark measures exactly this difference).
+
+use kgoa_index::{IndexedGraph, TrieCursor};
+use kgoa_query::{ExplorationQuery, JoinLevel, JoinPlan};
+
+use crate::error::EngineError;
+
+/// An LFTJ execution over one query. Construct with [`LftjExec::new`], then
+/// call [`LftjExec::run`] with a callback receiving each full assignment
+/// (indexed by variable id).
+pub struct LftjExec<'g> {
+    plan: JoinPlan,
+    cursors: Vec<TrieCursor<'g>>,
+    assignment: Vec<u32>,
+    /// True once a constant-only pattern has been verified absent — the
+    /// result is empty regardless of the rest.
+    empty: bool,
+}
+
+impl<'g> LftjExec<'g> {
+    /// Prepare an execution for the given plan.
+    pub fn new(
+        ig: &'g IndexedGraph,
+        query: &ExplorationQuery,
+        plan: JoinPlan,
+    ) -> Result<Self, EngineError> {
+        let mut cursors = Vec::with_capacity(query.patterns().len());
+        let mut empty = false;
+        for (pi, pattern) in query.patterns().iter().enumerate() {
+            let access = &plan.accesses()[pi];
+            let index = ig.require(access.order);
+            cursors.push(TrieCursor::over_index(index));
+            if pattern.var_count() == 0 {
+                // Fully-constant pattern: a simple containment check.
+                let row = access.levels.map(|l| match l {
+                    JoinLevel::Const(c) => c.raw(),
+                    JoinLevel::Var(_) => unreachable!("no vars in constant pattern"),
+                });
+                if !index.contains_row(row[0], row[1], row[2]) {
+                    empty = true;
+                }
+            }
+        }
+        let assignment = vec![0u32; query.var_count()];
+        Ok(LftjExec { plan, cursors, assignment, empty })
+    }
+
+    /// Run the join, invoking `on_result` once per full assignment.
+    pub fn run(&mut self, mut on_result: impl FnMut(&[u32])) {
+        if self.empty {
+            return;
+        }
+        self.solve(0, &mut on_result);
+    }
+
+    fn solve(&mut self, rank: usize, on_result: &mut impl FnMut(&[u32])) {
+        if rank == self.plan.var_order().len() {
+            on_result(&self.assignment);
+            return;
+        }
+        // Navigate every cursor containing this variable down to the
+        // variable's level, seeking constants and bound variables on the
+        // way; record descents for unwinding.
+        let occs: &[(usize, usize)] = self.plan.occurrences(rank);
+        debug_assert!(!occs.is_empty(), "every variable occurs somewhere");
+        let occs = occs.to_vec();
+        let mut descended: Vec<(usize, usize)> = Vec::with_capacity(occs.len());
+        let mut ok = true;
+        'nav: for &(pi, li) in &occs {
+            let mut opened = 0usize;
+            while self.cursors[pi].depth() < li + 1 {
+                let lvl = self.cursors[pi].depth();
+                self.cursors[pi].open();
+                opened += 1;
+                match self.plan.accesses()[pi].levels[lvl] {
+                    JoinLevel::Const(c) => {
+                        let c = c.raw();
+                        self.cursors[pi].seek(c);
+                        if self.cursors[pi].at_end() || self.cursors[pi].key() != c {
+                            ok = false;
+                        }
+                    }
+                    JoinLevel::Var(w) => {
+                        if self.plan.rank(w) < rank {
+                            let val = self.assignment[w.index()];
+                            self.cursors[pi].seek(val);
+                            if self.cursors[pi].at_end() || self.cursors[pi].key() != val {
+                                ok = false;
+                            }
+                        } else {
+                            debug_assert_eq!(self.plan.rank(w), rank);
+                            debug_assert_eq!(lvl, li);
+                            if self.cursors[pi].at_end() {
+                                ok = false;
+                            }
+                        }
+                    }
+                }
+                if !ok {
+                    descended.push((pi, opened));
+                    break 'nav;
+                }
+            }
+            if self.cursors[pi].depth() == li + 1 && opened == 0 {
+                // Already positioned from an earlier shared variable; the
+                // level must be open and valid.
+            }
+            descended.push((pi, opened));
+        }
+
+        if ok {
+            self.leapfrog(rank, &occs, on_result);
+        }
+
+        for &(pi, opened) in descended.iter().rev() {
+            for _ in 0..opened {
+                self.cursors[pi].up();
+            }
+        }
+    }
+
+    /// Classic leapfrog intersection at the variable's levels, recursing on
+    /// every common key.
+    fn leapfrog(&mut self, rank: usize, occs: &[(usize, usize)], on_result: &mut impl FnMut(&[u32])) {
+        // All cursors are open at the variable's level and not at end.
+        let var = self.plan.var_order()[rank];
+        'outer: loop {
+            // Align all cursors on a common key.
+            let mut maxk = 0u32;
+            for &(pi, _) in occs {
+                maxk = maxk.max(self.cursors[pi].key());
+            }
+            loop {
+                let mut all_eq = true;
+                for &(pi, _) in occs {
+                    if self.cursors[pi].key() < maxk {
+                        self.cursors[pi].seek(maxk);
+                        if self.cursors[pi].at_end() {
+                            break 'outer;
+                        }
+                        maxk = maxk.max(self.cursors[pi].key());
+                        all_eq = false;
+                    }
+                }
+                if all_eq {
+                    break;
+                }
+            }
+            self.assignment[var.index()] = maxk;
+            self.solve(rank + 1, on_result);
+            // Advance the first cursor past the matched key.
+            let (p0, _) = occs[0];
+            self.cursors[p0].next_key();
+            if self.cursors[p0].at_end() {
+                break;
+            }
+        }
+    }
+}
+
+/// Count all full assignments (`|Γ|`, the join size) with LFTJ.
+pub fn lftj_count(ig: &IndexedGraph, query: &ExplorationQuery) -> Result<u64, EngineError> {
+    let plan = JoinPlan::canonical(query, &kgoa_index::IndexOrder::PAPER_DEFAULT)?;
+    let mut exec = LftjExec::new(ig, query, plan)?;
+    let mut n = 0u64;
+    exec.run(|_| n += 1);
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgoa_query::{TriplePattern, Var};
+    use kgoa_rdf::{GraphBuilder, TermId, Triple};
+
+    /// Builds the running-example shape: a diamond graph
+    /// a -p-> {x, y}, {x, y} -q-> m, m -r-> z.
+    fn diamond() -> (IndexedGraph, TermId, TermId, TermId) {
+        let mut b = GraphBuilder::new();
+        let p = b.dict_mut().intern_iri("u:p");
+        let q = b.dict_mut().intern_iri("u:q");
+        let r = b.dict_mut().intern_iri("u:r");
+        let node = |b: &mut GraphBuilder, n: &str| b.dict_mut().intern_iri(format!("u:{n}"));
+        let a = node(&mut b, "a");
+        let x = node(&mut b, "x");
+        let y = node(&mut b, "y");
+        let m = node(&mut b, "m");
+        let z = node(&mut b, "z");
+        for t in [
+            Triple::new(a, p, x),
+            Triple::new(a, p, y),
+            Triple::new(x, q, m),
+            Triple::new(y, q, m),
+            Triple::new(m, r, z),
+        ] {
+            b.add(t);
+        }
+        (IndexedGraph::build(b.build()), p, q, r)
+    }
+
+    #[test]
+    fn counts_paths_through_diamond() {
+        let (ig, p, q, r) = diamond();
+        // ?0 -p-> ?1 -q-> ?2 -r-> ?3 : two paths (through x and y).
+        let query = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+                TriplePattern::new(Var(2), r, Var(3)),
+            ],
+            Var(3),
+            Var(2),
+            false,
+        )
+        .unwrap();
+        assert_eq!(lftj_count(&ig, &query).unwrap(), 2);
+    }
+
+    #[test]
+    fn enumerates_full_assignments() {
+        let (ig, p, q, _) = diamond();
+        let query = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+            ],
+            Var(2),
+            Var(1),
+            false,
+        )
+        .unwrap();
+        let plan = JoinPlan::canonical(&query, &kgoa_index::IndexOrder::PAPER_DEFAULT).unwrap();
+        let mut exec = LftjExec::new(&ig, &query, plan).unwrap();
+        let mut rows: Vec<Vec<u32>> = Vec::new();
+        exec.run(|a| rows.push(a.to_vec()));
+        assert_eq!(rows.len(), 2);
+        let x = ig.dict().lookup_iri("u:x").unwrap().raw();
+        let y = ig.dict().lookup_iri("u:y").unwrap().raw();
+        let mids: Vec<u32> = rows.iter().map(|r| r[1]).collect();
+        assert!(mids.contains(&x) && mids.contains(&y));
+    }
+
+    #[test]
+    fn empty_when_predicate_missing() {
+        let (ig, p, _, _) = diamond();
+        let missing = TermId(9999);
+        let query = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), missing, Var(2)),
+            ],
+            Var(2),
+            Var(1),
+            false,
+        )
+        .unwrap();
+        assert_eq!(lftj_count(&ig, &query).unwrap(), 0);
+    }
+
+    #[test]
+    fn constant_object_restricts() {
+        let (ig, p, q, _) = diamond();
+        let m = ig.dict().lookup_iri("u:m").unwrap();
+        // ?0 -p-> ?1 -q-> m : two results.
+        let query = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, m),
+            ],
+            Var(0),
+            Var(1),
+            false,
+        )
+        .unwrap();
+        assert_eq!(lftj_count(&ig, &query).unwrap(), 2);
+        // With a non-object constant: zero.
+        let a = ig.dict().lookup_iri("u:a").unwrap();
+        let query0 = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, a),
+            ],
+            Var(0),
+            Var(1),
+            false,
+        )
+        .unwrap();
+        assert_eq!(lftj_count(&ig, &query0).unwrap(), 0);
+    }
+
+    #[test]
+    fn variable_predicate_join() {
+        let (ig, _, _, _) = diamond();
+        // ?0 ?1 ?2 — all 5 triples.
+        let query = ExplorationQuery::new(
+            vec![TriplePattern::new(Var(0), Var(1), Var(2))],
+            Var(1),
+            Var(0),
+            false,
+        )
+        .unwrap();
+        assert_eq!(lftj_count(&ig, &query).unwrap(), 5);
+    }
+
+    #[test]
+    fn single_pattern_with_constant() {
+        let (ig, p, _, _) = diamond();
+        let query = ExplorationQuery::new(
+            vec![TriplePattern::new(Var(0), p, Var(1))],
+            Var(0),
+            Var(1),
+            false,
+        )
+        .unwrap();
+        assert_eq!(lftj_count(&ig, &query).unwrap(), 2);
+    }
+}

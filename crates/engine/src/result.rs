@@ -1,0 +1,193 @@
+//! Query results: grouped counts keyed by the group variable's term id.
+
+use kgoa_index::FxHashMap;
+use kgoa_rdf::TermId;
+
+/// The result of an exploration query: for every group (a binding of the
+/// group variable α) the count of (distinct) β values.
+///
+/// Exact engines produce integer counts; online-aggregation estimates use
+/// [`crate::result::GroupedEstimates`] with `f64` values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupedCounts {
+    map: FxHashMap<u32, u64>,
+}
+
+impl GroupedCounts {
+    /// An empty result.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The count for a group (0 if absent).
+    pub fn get(&self, group: TermId) -> u64 {
+        self.map.get(&group.raw()).copied().unwrap_or(0)
+    }
+
+    /// Add `n` to a group's count.
+    pub fn add(&mut self, group: u32, n: u64) {
+        *self.map.entry(group).or_insert(0) += n;
+    }
+
+    /// Iterate `(group, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, u64)> + '_ {
+        self.map.iter().map(|(g, c)| (TermId(*g), *c))
+    }
+
+    /// The pairs sorted by descending count, then ascending group id —
+    /// the order bars appear in an exploration chart.
+    pub fn sorted_desc(&self) -> Vec<(TermId, u64)> {
+        let mut v: Vec<(TermId, u64)> = self.iter().collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Sum of all group counts.
+    pub fn total(&self) -> u64 {
+        self.map.values().sum()
+    }
+}
+
+impl FromIterator<(u32, u64)> for GroupedCounts {
+    fn from_iter<T: IntoIterator<Item = (u32, u64)>>(iter: T) -> Self {
+        let mut gc = GroupedCounts::new();
+        for (g, c) in iter {
+            gc.add(g, c);
+        }
+        gc
+    }
+}
+
+/// Floating-point per-group estimates produced by online aggregation,
+/// optionally with confidence-interval half-widths.
+#[derive(Debug, Clone, Default)]
+pub struct GroupedEstimates {
+    /// Per-group estimate of the (distinct) count.
+    pub estimates: FxHashMap<u32, f64>,
+    /// Per-group 0.95 confidence-interval half-width (same keys).
+    pub half_widths: FxHashMap<u32, f64>,
+}
+
+impl GroupedEstimates {
+    /// The estimate for a group (0.0 if the group has not been seen).
+    pub fn get(&self, group: TermId) -> f64 {
+        self.estimates.get(&group.raw()).copied().unwrap_or(0.0)
+    }
+
+    /// The CI half-width for a group (0.0 if unseen).
+    pub fn half_width(&self, group: TermId) -> f64 {
+        self.half_widths.get(&group.raw()).copied().unwrap_or(0.0)
+    }
+
+    /// Number of groups with an estimate.
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// True if no group has an estimate.
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+}
+
+/// Mean absolute error of an estimate against the exact result, computed
+/// per the paper (§V-B): "the absolute difference between the exact count
+/// and estimated count divided by the exact result; the reported mean
+/// absolute error is the average error over all groups in the result."
+///
+/// Groups present only in the estimate do not enter the average (the exact
+/// result defines the group set); exact zero groups cannot occur.
+pub fn mean_absolute_error(exact: &GroupedCounts, estimate: &GroupedEstimates) -> f64 {
+    if exact.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (g, c) in exact.iter() {
+        let e = estimate.get(g);
+        sum += (e - c as f64).abs() / c as f64;
+    }
+    sum / exact.len() as f64
+}
+
+/// Mean relative CI half-width over the exact result's groups — the curve
+/// the paper plots alongside MAE (the "WJ CI"/"AJ CI" series of Fig. 8).
+pub fn mean_ci_width(exact: &GroupedCounts, estimate: &GroupedEstimates) -> f64 {
+    if exact.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (g, c) in exact.iter() {
+        sum += estimate.half_width(g) / c as f64;
+    }
+    sum / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut gc = GroupedCounts::new();
+        gc.add(1, 5);
+        gc.add(1, 2);
+        gc.add(2, 1);
+        assert_eq!(gc.get(TermId(1)), 7);
+        assert_eq!(gc.get(TermId(2)), 1);
+        assert_eq!(gc.get(TermId(9)), 0);
+        assert_eq!(gc.len(), 2);
+        assert_eq!(gc.total(), 8);
+    }
+
+    #[test]
+    fn sorted_desc_breaks_ties_by_id() {
+        let gc: GroupedCounts = [(3u32, 5u64), (1, 9), (2, 5)].into_iter().collect();
+        let sorted = gc.sorted_desc();
+        assert_eq!(
+            sorted,
+            vec![(TermId(1), 9), (TermId(2), 5), (TermId(3), 5)]
+        );
+    }
+
+    #[test]
+    fn mae_matches_paper_definition() {
+        let exact: GroupedCounts = [(1u32, 100u64), (2, 10)].into_iter().collect();
+        let mut est = GroupedEstimates::default();
+        est.estimates.insert(1, 150.0); // 50% error
+        est.estimates.insert(2, 10.0); // 0% error
+        let mae = mean_absolute_error(&exact, &est);
+        assert!((mae - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_counts_missing_groups_as_full_error() {
+        let exact: GroupedCounts = [(1u32, 100u64)].into_iter().collect();
+        let est = GroupedEstimates::default();
+        assert!((mean_absolute_error(&exact, &est) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_of_empty_exact_is_zero() {
+        let exact = GroupedCounts::new();
+        let est = GroupedEstimates::default();
+        assert_eq!(mean_absolute_error(&exact, &est), 0.0);
+    }
+
+    #[test]
+    fn ci_width_averages_relative_half_widths() {
+        let exact: GroupedCounts = [(1u32, 10u64), (2, 10)].into_iter().collect();
+        let mut est = GroupedEstimates::default();
+        est.half_widths.insert(1, 5.0);
+        assert!((mean_ci_width(&exact, &est) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,157 @@
+//! Bar charts: the unit of interaction in the exploration model (§III).
+
+use kgoa_rdf::{Dictionary, TermId};
+
+/// The three kinds of charts in the transition system of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChartKind {
+    /// Bars are classes; bar members are instances.
+    Class,
+    /// Bars are outgoing properties; members are subjects.
+    OutProperty,
+    /// Bars are incoming properties; members are objects.
+    InProperty,
+}
+
+/// One bar: a category and the (possibly approximate) distinct count of
+/// its members.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// The category (a class or property id).
+    pub category: TermId,
+    /// Height: the number of distinct members.
+    pub count: f64,
+    /// 0.95 confidence-interval half-width when the chart came from online
+    /// aggregation; `0.0` for exact charts.
+    pub half_width: f64,
+}
+
+/// A bar chart: categories mapped to bars, sorted by descending count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chart {
+    /// The kind of bars in this chart.
+    pub kind: ChartKind,
+    /// Bars in descending count order.
+    pub bars: Vec<Bar>,
+}
+
+impl Chart {
+    /// Build a chart from exact grouped counts.
+    pub fn from_counts(kind: ChartKind, counts: &kgoa_engine::GroupedCounts) -> Self {
+        let bars = counts
+            .sorted_desc()
+            .into_iter()
+            .map(|(category, c)| Bar { category, count: c as f64, half_width: 0.0 })
+            .collect();
+        Chart { kind, bars }
+    }
+
+    /// Build a chart from online-aggregation estimates.
+    pub fn from_estimates(kind: ChartKind, est: &kgoa_engine::GroupedEstimates) -> Self {
+        let mut bars: Vec<Bar> = est
+            .estimates
+            .iter()
+            .map(|(&g, &x)| Bar {
+                category: TermId(g),
+                count: x,
+                half_width: est.half_widths.get(&g).copied().unwrap_or(0.0),
+            })
+            .collect();
+        bars.sort_by(|a, b| {
+            b.count
+                .partial_cmp(&a.count)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.category.cmp(&b.category))
+        });
+        Chart { kind, bars }
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// True if the chart has no bars (an empty expansion).
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+
+    /// The bar for a category, if present.
+    pub fn bar(&self, category: TermId) -> Option<&Bar> {
+        self.bars.iter().find(|b| b.category == category)
+    }
+
+    /// Render the top `limit` bars as an ASCII chart (for the examples and
+    /// the `repro` harness).
+    pub fn render(&self, dict: &Dictionary, limit: usize) -> String {
+        let mut out = String::new();
+        let max = self.bars.first().map_or(1.0, |b| b.count.max(1.0));
+        for bar in self.bars.iter().take(limit) {
+            let label = short_label(dict.lexical(bar.category));
+            let width = ((bar.count / max) * 40.0).round().clamp(1.0, 40.0) as usize;
+            let ci = if bar.half_width > 0.0 {
+                format!(" ±{:.0}", bar.half_width)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{label:<28} {:<40} {:.0}{ci}\n",
+                "█".repeat(width),
+                bar.count
+            ));
+        }
+        if self.bars.len() > limit {
+            out.push_str(&format!("… and {} more bars\n", self.bars.len() - limit));
+        }
+        out
+    }
+}
+
+/// Shorten an IRI to its local name for display.
+pub fn short_label(iri: &str) -> &str {
+    iri.rsplit(['/', '#']).next().unwrap_or(iri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgoa_engine::GroupedCounts;
+
+    #[test]
+    fn from_counts_sorts_desc() {
+        let counts: GroupedCounts = [(1u32, 5u64), (2, 9), (3, 1)].into_iter().collect();
+        let chart = Chart::from_counts(ChartKind::Class, &counts);
+        let cats: Vec<u32> = chart.bars.iter().map(|b| b.category.raw()).collect();
+        assert_eq!(cats, vec![2, 1, 3]);
+        assert_eq!(chart.len(), 3);
+        assert!(!chart.is_empty());
+    }
+
+    #[test]
+    fn from_estimates_carries_ci() {
+        let mut est = kgoa_engine::GroupedEstimates::default();
+        est.estimates.insert(7, 100.0);
+        est.half_widths.insert(7, 12.5);
+        let chart = Chart::from_estimates(ChartKind::OutProperty, &est);
+        assert_eq!(chart.bars[0].half_width, 12.5);
+        assert!(chart.bar(TermId(7)).is_some());
+        assert!(chart.bar(TermId(8)).is_none());
+    }
+
+    #[test]
+    fn render_is_bounded() {
+        let counts: GroupedCounts = (0..50u32).map(|i| (i, 50 - i as u64)).collect();
+        let chart = Chart::from_counts(ChartKind::Class, &counts);
+        let dict = kgoa_rdf::Dictionary::new();
+        let text = chart.render(&dict, 10);
+        assert!(text.contains("… and 40 more bars"));
+        assert_eq!(text.lines().count(), 11);
+    }
+
+    #[test]
+    fn short_label_strips_namespaces() {
+        assert_eq!(short_label("http://x.org/onto#Person"), "Person");
+        assert_eq!(short_label("http://x.org/Person"), "Person");
+        assert_eq!(short_label("Person"), "Person");
+    }
+}

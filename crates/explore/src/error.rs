@@ -1,0 +1,60 @@
+//! Exploration errors.
+
+use std::fmt;
+
+use kgoa_engine::EngineError;
+use kgoa_query::QueryError;
+
+use crate::session::Expansion;
+
+/// Errors raised by exploration sessions.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// The expansion is not valid for the current bar kind (Fig. 3).
+    InvalidExpansion(Expansion),
+    /// `select` was called with no expansion pending.
+    NothingPending,
+    /// Query translation produced an invalid query (internal error).
+    Query(QueryError),
+    /// The evaluating engine failed.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::InvalidExpansion(e) => {
+                write!(f, "expansion {e:?} is not valid for the current bar")
+            }
+            ExploreError::NothingPending => {
+                write!(f, "no chart is pending selection; expand first")
+            }
+            ExploreError::Query(e) => write!(f, "query translation failed: {e}"),
+            ExploreError::Engine(e) => write!(f, "engine failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExploreError::Query(e) => Some(e),
+            ExploreError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ExploreError::NothingPending.to_string().contains("expand first"));
+        assert!(ExploreError::InvalidExpansion(Expansion::Object)
+            .to_string()
+            .contains("Object"));
+        assert!(ExploreError::Query(QueryError::Empty).to_string().contains("translation"));
+    }
+}

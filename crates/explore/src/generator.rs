@@ -1,0 +1,148 @@
+//! The random exploration-query generator of the experimental study
+//! (§V-B).
+//!
+//! "Our generator starts with the root class of a graph. At each step, the
+//! generator uniformly selects one of the expansion operations, which is
+//! translated to a SPARQL query of the form shown in Figure 4. Next, one
+//! of the groups (aka. bar) from the answer is randomly sampled; we apply
+//! a weighted sampling according to the size of the group […]. The
+//! generator continues for four steps or until it gets an empty result.
+//! Queries with empty results are ignored and not considered part of the
+//! path."
+
+use kgoa_engine::CountEngine;
+use kgoa_index::IndexedGraph;
+use kgoa_query::ExplorationQuery;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::ExploreError;
+use crate::session::{Expansion, Session};
+
+/// One generated exploration query, tagged with its position in the path.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// The query (with distinct enabled).
+    pub query: ExplorationQuery,
+    /// 1-based exploration depth (the paper buckets results by this).
+    pub step: usize,
+    /// The expansion that produced it.
+    pub expansion: Expansion,
+    /// Which of the generator's runs produced it.
+    pub run: usize,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Number of exploration runs (paper: 25 per graph).
+    pub runs: usize,
+    /// Maximum steps per run (paper: 4).
+    pub max_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { runs: 25, max_steps: 4, seed: 0x5EED }
+    }
+}
+
+/// Run the generator. The `engine` evaluates the exact counts used for
+/// weighted group sampling (and doubles as the ground truth the caller
+/// usually wants). Duplicate queries across runs are kept only once.
+pub fn generate_explorations(
+    ig: &IndexedGraph,
+    engine: &dyn CountEngine,
+    config: GeneratorConfig,
+) -> Result<Vec<GeneratedQuery>, ExploreError> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut out: Vec<GeneratedQuery> = Vec::new();
+    for run in 0..config.runs {
+        let mut session = Session::root(ig);
+        for step in 1..=config.max_steps {
+            let valid = session.valid_expansions();
+            let exp = valid[rng.gen_range(0..valid.len())];
+            let query = session.expansion_query(exp)?;
+            let counts = engine.evaluate(ig, &query).map_err(ExploreError::Engine)?;
+            if counts.is_empty() {
+                break; // empty result: ignore the query, end the path
+            }
+            if !out.iter().any(|g| g.query == query) {
+                out.push(GeneratedQuery { query, step, expansion: exp, run });
+            }
+            // Weighted sample a bar by its size.
+            let bars = counts.sorted_desc();
+            let total: u64 = bars.iter().map(|(_, c)| c).sum();
+            let mut pick = rng.gen_range(0..total);
+            let mut chosen = bars[0].0;
+            for (cat, c) in &bars {
+                if pick < *c {
+                    chosen = *cat;
+                    break;
+                }
+                pick -= c;
+            }
+            session.select(chosen)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgoa_datagen::{generate, KgConfig, Scale};
+    use kgoa_engine::YannakakisEngine;
+
+    fn ig() -> IndexedGraph {
+        IndexedGraph::build(generate(&KgConfig::dbpedia_like(Scale::Tiny)))
+    }
+
+    #[test]
+    fn generator_produces_nonempty_queries() {
+        let ig = ig();
+        let cfg = GeneratorConfig { runs: 5, max_steps: 3, seed: 7 };
+        let qs = generate_explorations(&ig, &YannakakisEngine, cfg).unwrap();
+        assert!(!qs.is_empty());
+        for g in &qs {
+            assert!(g.step >= 1 && g.step <= 3);
+            let counts = YannakakisEngine.evaluate(&ig, &g.query).unwrap();
+            assert!(!counts.is_empty(), "generated query must be non-empty");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let ig = ig();
+        let cfg = GeneratorConfig { runs: 3, max_steps: 3, seed: 11 };
+        let a = generate_explorations(&ig, &YannakakisEngine, cfg).unwrap();
+        let b = generate_explorations(&ig, &YannakakisEngine, cfg).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.query, y.query);
+        }
+    }
+
+    #[test]
+    fn queries_are_distinct() {
+        let ig = ig();
+        let cfg = GeneratorConfig { runs: 8, max_steps: 4, seed: 3 };
+        let qs = generate_explorations(&ig, &YannakakisEngine, cfg).unwrap();
+        for i in 0..qs.len() {
+            for j in 0..i {
+                assert_ne!(qs[i].query, qs[j].query, "duplicate at {i}, {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_depths_increase_along_runs() {
+        let ig = ig();
+        let cfg = GeneratorConfig { runs: 10, max_steps: 4, seed: 5 };
+        let qs = generate_explorations(&ig, &YannakakisEngine, cfg).unwrap();
+        // At least one multi-step path should exist at this scale.
+        assert!(qs.iter().any(|g| g.step >= 2), "no multi-step paths generated");
+    }
+}

@@ -1,0 +1,127 @@
+//! Exploration history: the breadcrumb trail of a session, as shown at
+//! the top of the paper's UI (Fig. 2: "Person > influencedBy > Person >
+//! outgoing properties").
+
+use kgoa_rdf::{Dictionary, TermId};
+
+use crate::chart::short_label;
+use crate::session::Expansion;
+
+/// One recorded interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryStep {
+    /// An expansion was applied (a chart was shown).
+    Expanded(Expansion),
+    /// A bar was clicked.
+    Selected {
+        /// The chosen category.
+        category: TermId,
+    },
+}
+
+/// A breadcrumb trail of expansions and selections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    steps: Vec<HistoryStep>,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an expansion.
+    pub fn expanded(&mut self, exp: Expansion) {
+        self.steps.push(HistoryStep::Expanded(exp));
+    }
+
+    /// Record a selection.
+    pub fn selected(&mut self, category: TermId) {
+        self.steps.push(HistoryStep::Selected { category });
+    }
+
+    /// The recorded steps.
+    pub fn steps(&self) -> &[HistoryStep] {
+        &self.steps
+    }
+
+    /// Number of *exploration steps* (expansions), the depth measure used
+    /// by the paper's evaluation buckets.
+    pub fn depth(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, HistoryStep::Expanded(_))).count()
+    }
+
+    /// Render as a breadcrumb string, e.g.
+    /// `Thing ▸ subclasses ▸ Person ▸ out-properties ▸ birthPlace`.
+    pub fn breadcrumbs(&self, dict: &Dictionary) -> String {
+        let mut parts: Vec<String> = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            match step {
+                HistoryStep::Expanded(exp) => parts.push(
+                    match exp {
+                        Expansion::Subclass => "subclasses",
+                        Expansion::OutProperty => "out-properties",
+                        Expansion::InProperty => "in-properties",
+                        Expansion::Object => "object classes",
+                        Expansion::Subject => "subject classes",
+                    }
+                    .to_owned(),
+                ),
+                HistoryStep::Selected { category } => {
+                    parts.push(short_label(dict.lexical(*category)).to_owned());
+                }
+            }
+        }
+        parts.join(" ▸ ")
+    }
+
+    /// Drop the trail back to a given number of steps (the UI's "back"
+    /// button). A no-op if the history is already shorter.
+    pub fn truncate(&mut self, steps: usize) {
+        self.steps.truncate(steps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgoa_rdf::GraphBuilder;
+
+    #[test]
+    fn records_and_renders() {
+        let mut b = GraphBuilder::new();
+        let person = b.dict_mut().intern_iri("http://x/Person");
+        let bp = b.dict_mut().intern_iri("http://x/birthPlace");
+        let mut h = History::new();
+        h.expanded(Expansion::Subclass);
+        h.selected(person);
+        h.expanded(Expansion::OutProperty);
+        h.selected(bp);
+        assert_eq!(h.depth(), 2);
+        assert_eq!(
+            h.breadcrumbs(b.dict()),
+            "subclasses ▸ Person ▸ out-properties ▸ birthPlace"
+        );
+    }
+
+    #[test]
+    fn truncate_acts_as_back_button() {
+        let mut h = History::new();
+        h.expanded(Expansion::Subclass);
+        h.selected(TermId(1));
+        h.expanded(Expansion::InProperty);
+        h.truncate(2);
+        assert_eq!(h.depth(), 1);
+        assert_eq!(h.steps().len(), 2);
+        h.truncate(10); // no-op
+        assert_eq!(h.steps().len(), 2);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = History::new();
+        assert_eq!(h.depth(), 0);
+        assert_eq!(h.breadcrumbs(&kgoa_rdf::Dictionary::new()), "");
+    }
+}

@@ -1,0 +1,397 @@
+//! Interactive exploration sessions: the state machine of Fig. 3 and the
+//! query translation of §IV-A.
+//!
+//! A session tracks the user's current *focus* — the node set of the bar
+//! they last clicked — as an accumulated conjunction of triple patterns
+//! plus a focus variable. Each [`Expansion`] translates into an
+//! [`ExplorationQuery`] of the Fig. 4 form (with the subclass closure
+//! materialized as a raw relation joined at run time, per the §IV-A
+//! remark); selecting a bar of the resulting chart folds the chosen
+//! category back into the pattern set.
+
+use kgoa_engine::{CountEngine, EngineError};
+use kgoa_index::IndexedGraph;
+use kgoa_query::{ExplorationQuery, TriplePattern, Var};
+use kgoa_rdf::TermId;
+
+use crate::chart::{Chart, ChartKind};
+use crate::error::ExploreError;
+use crate::history::History;
+
+/// The five bar expansions of the exploration model (§III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expansion {
+    /// Class bar → chart of its direct subclasses.
+    Subclass,
+    /// Class bar → chart of outgoing properties of its members.
+    OutProperty,
+    /// Class bar → chart of incoming properties of its members.
+    InProperty,
+    /// Out-property bar → chart of the classes of the objects.
+    Object,
+    /// In-property bar → chart of the classes of the subjects.
+    Subject,
+}
+
+impl Expansion {
+    /// All five expansions.
+    pub const ALL: [Expansion; 5] = [
+        Expansion::Subclass,
+        Expansion::OutProperty,
+        Expansion::InProperty,
+        Expansion::Object,
+        Expansion::Subject,
+    ];
+
+    /// The chart kind this expansion produces.
+    pub fn produces(self) -> ChartKind {
+        match self {
+            Expansion::Subclass | Expansion::Object | Expansion::Subject => ChartKind::Class,
+            Expansion::OutProperty => ChartKind::OutProperty,
+            Expansion::InProperty => ChartKind::InProperty,
+        }
+    }
+}
+
+/// What kind of bar the session is currently focused on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BarState {
+    /// A class bar: the focus variable is constrained by the closure
+    /// pattern at `closure_idx`, currently set to `class`.
+    Class { closure_idx: usize, class: TermId },
+    /// An out-property bar: the focus variable is the subject of the
+    /// property pattern at `pattern_idx`.
+    OutProp { pattern_idx: usize },
+    /// An in-property bar: the focus variable is the object of the
+    /// property pattern at `pattern_idx`.
+    InProp { pattern_idx: usize },
+}
+
+/// A pending expansion: the chart has been produced, selection not yet made.
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Subclass { closure_idx: usize },
+    OutProperty,
+    InProperty,
+    Object { obj_var: Var },
+    Subject { subj_var: Var },
+}
+
+/// An interactive exploration session over an indexed graph.
+pub struct Session<'g> {
+    ig: &'g IndexedGraph,
+    patterns: Vec<TriplePattern>,
+    focus: Var,
+    next_var: u16,
+    state: BarState,
+    pending: Option<Pending>,
+    history: History,
+    /// Whether expansion queries count distinct members (the system always
+    /// does; disable only for experiments).
+    pub distinct: bool,
+}
+
+impl<'g> Session<'g> {
+    /// Start a session focused on the instances of `owl:Thing` — the
+    /// top-level class bar the paper's exploration begins from.
+    pub fn root(ig: &'g IndexedGraph) -> Self {
+        Self::at_class(ig, ig.vocab().owl_thing)
+    }
+
+    /// Start a session focused on the (closure) instances of a class.
+    pub fn at_class(ig: &'g IndexedGraph, class: TermId) -> Self {
+        let vocab = ig.vocab();
+        let focus = Var(0);
+        let tvar = Var(1);
+        let patterns = vec![
+            TriplePattern::new(focus, vocab.rdf_type, tvar),
+            TriplePattern::new(tvar, vocab.subclass_of_trans, class),
+        ];
+        Session {
+            ig,
+            patterns,
+            focus,
+            next_var: 2,
+            state: BarState::Class { closure_idx: 1, class },
+            pending: None,
+            history: History::new(),
+            distinct: true,
+        }
+    }
+
+    /// The patterns constraining the current focus set.
+    pub fn patterns(&self) -> &[TriplePattern] {
+        &self.patterns
+    }
+
+    /// The focus variable.
+    pub fn focus(&self) -> Var {
+        self.focus
+    }
+
+    /// The breadcrumb trail of this session.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The expansions valid for the current bar (the out-edges of the
+    /// current state in Fig. 3).
+    pub fn valid_expansions(&self) -> &'static [Expansion] {
+        match self.state {
+            BarState::Class { .. } => {
+                &[Expansion::Subclass, Expansion::OutProperty, Expansion::InProperty]
+            }
+            BarState::OutProp { .. } => &[Expansion::Object],
+            BarState::InProp { .. } => &[Expansion::Subject],
+        }
+    }
+
+    fn fresh(&mut self) -> Var {
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// Translate an expansion into its exploration query (§IV-A) without
+    /// changing session state. The query's α is the next chart's category
+    /// variable; β is the focus set counted per bar.
+    pub fn expansion_query(&mut self, exp: Expansion) -> Result<ExplorationQuery, ExploreError> {
+        let saved_next = self.next_var;
+        let result = self.build_query(exp);
+        if result.is_err() {
+            self.next_var = saved_next;
+        }
+        result
+    }
+
+    fn build_query(
+        &mut self,
+        exp: Expansion,
+    ) -> Result<ExplorationQuery, ExploreError> {
+        if !self.valid_expansions().contains(&exp) {
+            return Err(ExploreError::InvalidExpansion(exp));
+        }
+        let vocab = self.ig.vocab();
+        let (patterns, alpha, beta, pending) = match (exp, self.state) {
+            (Expansion::Subclass, BarState::Class { closure_idx, class }) => {
+                let cvar = self.fresh();
+                let tvar = self.patterns[closure_idx]
+                    .s
+                    .as_var()
+                    .expect("closure pattern subject is the type variable");
+                let mut ps = self.patterns.clone();
+                ps[closure_idx] = TriplePattern::new(tvar, vocab.subclass_of_trans, cvar);
+                ps.push(TriplePattern::new(cvar, vocab.subclass_of, class));
+                (ps, cvar, self.focus, Pending::Subclass { closure_idx })
+            }
+            (Expansion::OutProperty, BarState::Class { .. }) => {
+                let pvar = self.fresh();
+                let xvar = self.fresh();
+                let mut ps = self.patterns.clone();
+                ps.push(TriplePattern::new(self.focus, pvar, xvar));
+                (ps, pvar, self.focus, Pending::OutProperty)
+            }
+            (Expansion::InProperty, BarState::Class { .. }) => {
+                let pvar = self.fresh();
+                let xvar = self.fresh();
+                let mut ps = self.patterns.clone();
+                ps.push(TriplePattern::new(xvar, pvar, self.focus));
+                (ps, pvar, self.focus, Pending::InProperty)
+            }
+            (Expansion::Object, BarState::OutProp { pattern_idx }) => {
+                let obj = self.patterns[pattern_idx]
+                    .o
+                    .as_var()
+                    .expect("out-property pattern object is a variable");
+                let cvar = self.fresh();
+                let mut ps = self.patterns.clone();
+                ps.push(TriplePattern::new(obj, vocab.rdf_type, cvar));
+                (ps, cvar, obj, Pending::Object { obj_var: obj })
+            }
+            (Expansion::Subject, BarState::InProp { pattern_idx }) => {
+                let subj = self.patterns[pattern_idx]
+                    .s
+                    .as_var()
+                    .expect("in-property pattern subject is a variable");
+                let cvar = self.fresh();
+                let mut ps = self.patterns.clone();
+                ps.push(TriplePattern::new(subj, vocab.rdf_type, cvar));
+                (ps, cvar, subj, Pending::Subject { subj_var: subj })
+            }
+            _ => return Err(ExploreError::InvalidExpansion(exp)),
+        };
+        let query = ExplorationQuery::new(patterns, alpha, beta, self.distinct)
+            .map_err(ExploreError::Query)?;
+        self.pending = Some(pending);
+        Ok(query)
+    }
+
+    /// Expand and evaluate with an exact engine, producing the next chart.
+    pub fn expand(
+        &mut self,
+        exp: Expansion,
+        engine: &dyn CountEngine,
+    ) -> Result<Chart, ExploreError> {
+        let query = self.expansion_query(exp)?;
+        let counts = engine.evaluate(self.ig, &query).map_err(ExploreError::Engine)?;
+        self.history.expanded(exp);
+        Ok(Chart::from_counts(exp.produces(), &counts))
+    }
+
+    /// Select (click) a bar of the chart produced by the last expansion,
+    /// folding the chosen category into the focus constraints.
+    pub fn select(&mut self, category: TermId) -> Result<(), ExploreError> {
+        let vocab = self.ig.vocab();
+        let pending = self.pending.take().ok_or(ExploreError::NothingPending)?;
+        self.history.selected(category);
+        match pending {
+            Pending::Subclass { closure_idx } => {
+                let tvar = self.patterns[closure_idx]
+                    .s
+                    .as_var()
+                    .expect("closure pattern subject is the type variable");
+                self.patterns[closure_idx] =
+                    TriplePattern::new(tvar, vocab.subclass_of_trans, category);
+                self.state = BarState::Class { closure_idx, class: category };
+            }
+            Pending::OutProperty => {
+                let xvar = self.fresh();
+                self.patterns.push(TriplePattern::new(self.focus, category, xvar));
+                self.state = BarState::OutProp { pattern_idx: self.patterns.len() - 1 };
+            }
+            Pending::InProperty => {
+                let xvar = self.fresh();
+                self.patterns.push(TriplePattern::new(xvar, category, self.focus));
+                self.state = BarState::InProp { pattern_idx: self.patterns.len() - 1 };
+            }
+            Pending::Object { obj_var } => {
+                let tvar = self.fresh();
+                self.patterns.push(TriplePattern::new(obj_var, vocab.rdf_type, tvar));
+                self.patterns.push(TriplePattern::new(tvar, vocab.subclass_of_trans, category));
+                self.focus = obj_var;
+                self.state =
+                    BarState::Class { closure_idx: self.patterns.len() - 1, class: category };
+            }
+            Pending::Subject { subj_var } => {
+                let tvar = self.fresh();
+                self.patterns.push(TriplePattern::new(subj_var, vocab.rdf_type, tvar));
+                self.patterns.push(TriplePattern::new(tvar, vocab.subclass_of_trans, category));
+                self.focus = subj_var;
+                self.state =
+                    BarState::Class { closure_idx: self.patterns.len() - 1, class: category };
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact size of the current focus set (distinct members), computed by
+    /// semi-join reduction. Useful for showing the focus size in a UI.
+    pub fn focus_size(&self) -> Result<u64, EngineError> {
+        let var_count = self
+            .patterns
+            .iter()
+            .flat_map(|p| p.vars())
+            .map(|(v, _)| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        kgoa_engine::count_distinct_values(self.ig, &self.patterns, var_count, self.focus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgoa_datagen::{generate, KgConfig, Scale};
+    use kgoa_engine::YannakakisEngine;
+
+    fn ig() -> IndexedGraph {
+        IndexedGraph::build(generate(&KgConfig::dbpedia_like(Scale::Tiny)))
+    }
+
+    #[test]
+    fn root_subclass_expansion_shows_top_classes() {
+        let ig = ig();
+        let mut s = Session::root(&ig);
+        let chart = s.expand(Expansion::Subclass, &YannakakisEngine).unwrap();
+        assert!(!chart.is_empty(), "root must have subclasses");
+        assert_eq!(chart.kind, ChartKind::Class);
+    }
+
+    #[test]
+    fn full_exploration_path() {
+        let ig = ig();
+        let mut s = Session::root(&ig);
+        // Subclass → select top class.
+        let chart = s.expand(Expansion::Subclass, &YannakakisEngine).unwrap();
+        let top = chart.bars[0].category;
+        s.select(top).unwrap();
+        // Out-property → select top property.
+        let chart = s.expand(Expansion::OutProperty, &YannakakisEngine).unwrap();
+        assert_eq!(chart.kind, ChartKind::OutProperty);
+        assert!(!chart.is_empty());
+        let prop = chart.bars[0].category;
+        s.select(prop).unwrap();
+        // Only object expansion is valid now.
+        assert_eq!(s.valid_expansions(), &[Expansion::Object]);
+        let chart = s.expand(Expansion::Object, &YannakakisEngine).unwrap();
+        assert_eq!(chart.kind, ChartKind::Class);
+        if let Some(bar) = chart.bars.first() {
+            s.select(bar.category).unwrap();
+            assert_eq!(
+                s.valid_expansions(),
+                &[Expansion::Subclass, Expansion::OutProperty, Expansion::InProperty]
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_expansion_rejected() {
+        let ig = ig();
+        let mut s = Session::root(&ig);
+        let err = s.expansion_query(Expansion::Object).unwrap_err();
+        assert!(matches!(err, ExploreError::InvalidExpansion(Expansion::Object)));
+    }
+
+    #[test]
+    fn select_without_pending_rejected() {
+        let ig = ig();
+        let mut s = Session::root(&ig);
+        assert!(matches!(
+            s.select(TermId(1)),
+            Err(ExploreError::NothingPending)
+        ));
+    }
+
+    #[test]
+    fn queries_grow_with_path() {
+        let ig = ig();
+        let mut s = Session::root(&ig);
+        let q1 = s.expansion_query(Expansion::OutProperty).unwrap();
+        assert_eq!(q1.patterns().len(), 3); // type + closure + property
+        let chart = s.expand(Expansion::OutProperty, &YannakakisEngine).unwrap();
+        s.select(chart.bars[0].category).unwrap();
+        let q2 = s.expansion_query(Expansion::Object).unwrap();
+        assert_eq!(q2.patterns().len(), 4); // + selected property + type of object
+    }
+
+    #[test]
+    fn focus_size_counts_instances() {
+        let ig = ig();
+        let s = Session::root(&ig);
+        let size = s.focus_size().unwrap();
+        assert!(size > 0, "every generated entity is a Thing instance");
+    }
+
+    #[test]
+    fn subclass_selection_narrows_focus() {
+        let ig = ig();
+        let mut s = Session::root(&ig);
+        let before = s.focus_size().unwrap();
+        let chart = s.expand(Expansion::Subclass, &YannakakisEngine).unwrap();
+        let top = chart.bars[0].category;
+        s.select(top).unwrap();
+        let after = s.focus_size().unwrap();
+        assert!(after <= before);
+        assert_eq!(after as f64, chart.bars[0].count);
+    }
+}

@@ -1,0 +1,201 @@
+//! The fully-indexed graph: the paper's engines all operate over this.
+
+use kgoa_rdf::{Dictionary, Graph, Triple, VocabIds};
+
+use crate::order::IndexOrder;
+use crate::stats::GraphStats;
+use crate::store::TrieIndex;
+
+/// A graph together with its trie indexes and cardinality statistics.
+///
+/// By default the four paper orders (SPO, OPS, PSO, POS) are built; §V-A
+/// notes these "are sufficient to support our exploration queries". All
+/// six orders can be requested for general workloads.
+#[derive(Debug)]
+pub struct IndexedGraph {
+    graph: Graph,
+    indexes: [Option<TrieIndex>; 6],
+    stats: GraphStats,
+}
+
+#[inline]
+const fn slot(order: IndexOrder) -> usize {
+    match order {
+        IndexOrder::Spo => 0,
+        IndexOrder::Ops => 1,
+        IndexOrder::Pso => 2,
+        IndexOrder::Pos => 3,
+        IndexOrder::Sop => 4,
+        IndexOrder::Osp => 5,
+    }
+}
+
+impl IndexedGraph {
+    /// Index a graph with the paper-default four orders.
+    pub fn build(graph: Graph) -> Self {
+        Self::build_with_orders(graph, &IndexOrder::PAPER_DEFAULT)
+    }
+
+    /// Index a graph with an explicit set of orders. The four paper-default
+    /// orders are always included (statistics derivation requires them).
+    pub fn build_with_orders(graph: Graph, orders: &[IndexOrder]) -> Self {
+        let mut indexes: [Option<TrieIndex>; 6] = Default::default();
+        for order in IndexOrder::PAPER_DEFAULT.iter().chain(orders) {
+            let s = slot(*order);
+            if indexes[s].is_none() {
+                indexes[s] = Some(TrieIndex::build(*order, graph.triples()));
+            }
+        }
+        let stats = GraphStats::from_indexes(
+            indexes[slot(IndexOrder::Spo)].as_ref().expect("spo built"),
+            indexes[slot(IndexOrder::Ops)].as_ref().expect("ops built"),
+            indexes[slot(IndexOrder::Pso)].as_ref().expect("pso built"),
+            indexes[slot(IndexOrder::Pos)].as_ref().expect("pos built"),
+        );
+        IndexedGraph { graph, indexes, stats }
+    }
+
+    /// Reassemble from a graph plus prebuilt indexes (incremental update
+    /// path). The four paper-default orders must be present; statistics are
+    /// recomputed from the indexes.
+    pub fn from_parts(graph: Graph, prebuilt: Vec<TrieIndex>) -> Self {
+        let mut indexes: [Option<TrieIndex>; 6] = Default::default();
+        for idx in prebuilt {
+            let s = slot(idx.order());
+            indexes[s] = Some(idx);
+        }
+        for order in IndexOrder::PAPER_DEFAULT {
+            assert!(indexes[slot(order)].is_some(), "missing required index order {order}");
+        }
+        let stats = GraphStats::from_indexes(
+            indexes[slot(IndexOrder::Spo)].as_ref().expect("spo"),
+            indexes[slot(IndexOrder::Ops)].as_ref().expect("ops"),
+            indexes[slot(IndexOrder::Pso)].as_ref().expect("pso"),
+            indexes[slot(IndexOrder::Pos)].as_ref().expect("pos"),
+        );
+        IndexedGraph { graph, indexes, stats }
+    }
+
+    /// The orders with a built index.
+    pub fn built_orders(&self) -> Vec<IndexOrder> {
+        IndexOrder::ALL.into_iter().filter(|o| self.indexes[slot(*o)].is_some()).collect()
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The term dictionary.
+    #[inline]
+    pub fn dict(&self) -> &Dictionary {
+        self.graph.dict()
+    }
+
+    /// Cached vocabulary ids.
+    #[inline]
+    pub fn vocab(&self) -> VocabIds {
+        self.graph.vocab()
+    }
+
+    /// Cardinality statistics.
+    #[inline]
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    /// The index for an order, if built.
+    #[inline]
+    pub fn index(&self, order: IndexOrder) -> Option<&TrieIndex> {
+        self.indexes[slot(order)].as_ref()
+    }
+
+    /// The index for an order; panics with a clear message if not built.
+    #[inline]
+    pub fn require(&self, order: IndexOrder) -> &TrieIndex {
+        self.indexes[slot(order)]
+            .as_ref()
+            .unwrap_or_else(|| panic!("index order {order} was not built for this graph"))
+    }
+
+    /// Number of triples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True if the graph is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// True if the graph contains the triple (O(1) via the SPO hash maps +
+    /// O(log n) third level).
+    pub fn contains(&self, t: Triple) -> bool {
+        self.require(IndexOrder::Spo).contains_row(t.s.raw(), t.p.raw(), t.o.raw())
+    }
+
+    /// Approximate heap memory used by all built indexes, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.indexes.iter().flatten().map(TrieIndex::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgoa_rdf::GraphBuilder;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_iris("u:a", "u:p", "u:b");
+        b.add_iris("u:a", "u:p", "u:c");
+        b.add_iris("u:b", "u:q", "u:c");
+        b.build()
+    }
+
+    #[test]
+    fn default_build_has_paper_orders() {
+        let ig = IndexedGraph::build(graph());
+        for order in IndexOrder::PAPER_DEFAULT {
+            assert!(ig.index(order).is_some(), "missing {order}");
+        }
+        assert!(ig.index(IndexOrder::Sop).is_none());
+        assert!(ig.index(IndexOrder::Osp).is_none());
+    }
+
+    #[test]
+    fn explicit_orders_are_added() {
+        let ig = IndexedGraph::build_with_orders(graph(), &[IndexOrder::Sop]);
+        assert!(ig.index(IndexOrder::Sop).is_some());
+        // Paper defaults still present.
+        assert!(ig.index(IndexOrder::Pos).is_some());
+    }
+
+    #[test]
+    fn contains_and_len() {
+        let g = graph();
+        let t = *g.triples().first().unwrap();
+        let ig = IndexedGraph::build(g);
+        assert_eq!(ig.len(), 3);
+        assert!(ig.contains(t));
+        assert!(!ig.contains(Triple::from([77, 77, 77])));
+    }
+
+    #[test]
+    #[should_panic(expected = "was not built")]
+    fn require_missing_order_panics() {
+        let ig = IndexedGraph::build(graph());
+        ig.require(IndexOrder::Osp);
+    }
+
+    #[test]
+    fn stats_are_consistent_with_graph() {
+        let ig = IndexedGraph::build(graph());
+        assert_eq!(ig.stats().triples, 3);
+        assert_eq!(ig.stats().distinct_predicates, 2);
+        assert!(ig.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # kgoa-index
+//!
+//! Hybrid hashtable/trie indexes for the `kgoa` workspace.
+//!
+//! The paper's engines (§V-A) share one physical design: each of four
+//! attribute orders (SPO, OPS, PSO, POS) stores the graph's triples in a
+//! sorted array, with hash tables mapping 1- and 2-attribute prefixes to
+//! contiguous ranges. The hash side gives **O(1) uniform sampling** for
+//! Wander Join / Audit Join random walks; the sorted side gives **O(log n)
+//! seeks** for the worst-case-optimal trie joins (LFTJ / CTJ).
+//!
+//! Provided here:
+//! - [`TrieIndex`] — one order's sorted rows + prefix hash maps,
+//! - [`TrieCursor`] — the LFTJ `TrieIterator` interface over any prefix range,
+//! - [`IndexedGraph`] — a graph with all its indexes and statistics,
+//! - [`GraphStats`] — PostgreSQL-style cardinalities for the tipping point,
+//! - [`FxHashMap`]/[`FxHasher`] — the fast integer hasher used throughout.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod indexed;
+pub mod order;
+pub mod stats;
+pub mod store;
+pub mod trie_iter;
+pub mod update;
+
+pub use hash::{pack2, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use indexed::IndexedGraph;
+pub use order::IndexOrder;
+pub use stats::{GraphStats, PredicateStats};
+pub use store::{RowRange, TrieIndex};
+pub use trie_iter::TrieCursor;
+pub use update::{apply_batch, UpdateBatch};

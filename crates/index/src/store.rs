@@ -1,0 +1,325 @@
+//! A single-order trie index: sorted permuted rows plus hash prefix maps.
+//!
+//! This is the paper's *hybrid hashtable/trie* structure (§V-A): "the
+//! hashtable indexes point to a sorted array, allowing O(1)-time sampling
+//! for WJ and O(log n)-time search for CTJ". Rows are `[u32; 3]` in the
+//! order's permuted layout, sorted lexicographically; hash maps give O(1)
+//! access to the contiguous range of any 1- or 2-value prefix, and binary
+//! search handles the third level.
+
+use kgoa_rdf::Triple;
+
+use crate::hash::{pack2, FxHashMap};
+use crate::order::IndexOrder;
+
+/// A half-open range of row positions within a [`TrieIndex`].
+///
+/// Row positions are `u32` (the dictionary already caps graphs at 2^32
+/// terms; 2^32 triples per index is ample for in-memory graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowRange {
+    /// First row position.
+    pub start: u32,
+    /// One past the last row position.
+    pub end: u32,
+}
+
+impl RowRange {
+    /// The empty range.
+    pub const EMPTY: RowRange = RowRange { start: 0, end: 0 };
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True if no rows.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Convert to a `usize` range for slicing.
+    #[inline]
+    pub fn as_usize(self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+
+    /// Uniformly sample a row position from this range in O(1) — the
+    /// operation at the heart of every Wander Join / Audit Join step.
+    /// Returns `None` on an empty range.
+    #[inline]
+    pub fn pick<R: rand::Rng + ?Sized>(self, rng: &mut R) -> Option<u32> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(rng.gen_range(self.start..self.end))
+        }
+    }
+}
+
+/// A sorted-array trie over all triples of a graph in one attribute order.
+#[derive(Debug, Clone)]
+pub struct TrieIndex {
+    order: IndexOrder,
+    rows: Vec<[u32; 3]>,
+    l1: FxHashMap<u32, RowRange>,
+    l2: FxHashMap<u64, RowRange>,
+    /// Number of distinct level-1 values under each level-0 value
+    /// (e.g. for PSO: distinct subjects per predicate). Used by the
+    /// PostgreSQL-style join-size estimates that drive the tipping point.
+    l1_children: FxHashMap<u32, u32>,
+}
+
+impl TrieIndex {
+    /// Build the index for `order` over a set of triples.
+    pub fn build(order: IndexOrder, triples: &[Triple]) -> Self {
+        let mut rows: Vec<[u32; 3]> = triples.iter().map(|t| order.permute(*t)).collect();
+        rows.sort_unstable();
+        // Input triples are deduplicated, and permutation is injective, so
+        // rows are distinct; no dedup needed.
+        Self::from_sorted_rows(order, rows)
+    }
+
+    /// Build from rows already sorted in this order's layout (used by the
+    /// incremental merge path). Debug-asserts sortedness.
+    pub fn from_sorted_rows(order: IndexOrder, rows: Vec<[u32; 3]>) -> Self {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted+distinct");
+        let mut l1 = FxHashMap::default();
+        let mut l2 = FxHashMap::default();
+        let mut l1_children = FxHashMap::default();
+        let n = rows.len();
+        let mut i = 0usize;
+        while i < n {
+            let a = rows[i][0];
+            let mut j = i;
+            let mut children = 0u32;
+            while j < n && rows[j][0] == a {
+                let b = rows[j][1];
+                let mut k = j;
+                while k < n && rows[k][0] == a && rows[k][1] == b {
+                    k += 1;
+                }
+                l2.insert(pack2(a, b), RowRange { start: j as u32, end: k as u32 });
+                children += 1;
+                j = k;
+            }
+            l1.insert(a, RowRange { start: i as u32, end: j as u32 });
+            l1_children.insert(a, children);
+            i = j;
+        }
+        TrieIndex { order, rows, l1, l2, l1_children }
+    }
+
+    /// The attribute order of this index.
+    #[inline]
+    pub fn order(&self) -> IndexOrder {
+        self.order
+    }
+
+    /// All rows (sorted, permuted layout).
+    #[inline]
+    pub fn rows(&self) -> &[[u32; 3]] {
+        &self.rows
+    }
+
+    /// Total number of triples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The range of all rows.
+    #[inline]
+    pub fn full_range(&self) -> RowRange {
+        RowRange { start: 0, end: self.rows.len() as u32 }
+    }
+
+    /// O(1): the range of rows whose first attribute equals `a`.
+    #[inline]
+    pub fn range1(&self, a: u32) -> RowRange {
+        self.l1.get(&a).copied().unwrap_or(RowRange::EMPTY)
+    }
+
+    /// O(1): the range of rows whose first two attributes equal `(a, b)`.
+    #[inline]
+    pub fn range2(&self, a: u32, b: u32) -> RowRange {
+        self.l2.get(&pack2(a, b)).copied().unwrap_or(RowRange::EMPTY)
+    }
+
+    /// Range lookup for a prefix of 0, 1 or 2 values.
+    pub fn range_prefix(&self, prefix: &[u32]) -> RowRange {
+        match prefix.len() {
+            0 => self.full_range(),
+            1 => self.range1(prefix[0]),
+            2 => self.range2(prefix[0], prefix[1]),
+            n => panic!("prefix length {n} out of range (0..=2)"),
+        }
+    }
+
+    /// O(log n): true if the row `(a, b, c)` (in this order's layout) exists.
+    pub fn contains_row(&self, a: u32, b: u32, c: u32) -> bool {
+        let r = self.range2(a, b);
+        self.rows[r.as_usize()].binary_search_by_key(&c, |row| row[2]).is_ok()
+    }
+
+    /// The row at a given position.
+    #[inline]
+    pub fn row(&self, pos: u32) -> [u32; 3] {
+        self.rows[pos as usize]
+    }
+
+    /// The row at a given position, decoded back into a [`Triple`].
+    #[inline]
+    pub fn triple(&self, pos: u32) -> Triple {
+        self.order.unpermute(self.rows[pos as usize])
+    }
+
+    /// Number of distinct level-0 values.
+    #[inline]
+    pub fn distinct_l0(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Number of distinct level-1 values under level-0 value `a`.
+    #[inline]
+    pub fn children_of(&self, a: u32) -> u32 {
+        self.l1_children.get(&a).copied().unwrap_or(0)
+    }
+
+    /// Iterate over all distinct level-0 values with their ranges, in
+    /// sorted order of the value.
+    pub fn iter_l0(&self) -> impl Iterator<Item = (u32, RowRange)> + '_ {
+        L0Iter { index: self, pos: 0 }
+    }
+
+    /// Approximate heap memory used by this index, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<[u32; 3]>()
+            + self.l1.capacity() * (4 + std::mem::size_of::<RowRange>() + 8)
+            + self.l2.capacity() * (8 + std::mem::size_of::<RowRange>() + 8)
+            + self.l1_children.capacity() * (4 + 4 + 8)
+    }
+}
+
+struct L0Iter<'a> {
+    index: &'a TrieIndex,
+    pos: usize,
+}
+
+impl Iterator for L0Iter<'_> {
+    type Item = (u32, RowRange);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let rows = &self.index.rows;
+        if self.pos >= rows.len() {
+            return None;
+        }
+        let a = rows[self.pos][0];
+        let range = self.index.range1(a);
+        self.pos = range.end as usize;
+        Some((a, range))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::from([s, p, o])
+    }
+
+    fn sample_triples() -> Vec<Triple> {
+        vec![t(1, 10, 100), t(1, 10, 101), t(1, 11, 100), t(2, 10, 100), t(3, 12, 103)]
+    }
+
+    #[test]
+    fn build_sorts_rows() {
+        let idx = TrieIndex::build(IndexOrder::Pos, &sample_triples());
+        assert!(idx.rows().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn range1_and_range2() {
+        let idx = TrieIndex::build(IndexOrder::Spo, &sample_triples());
+        assert_eq!(idx.range1(1).len(), 3);
+        assert_eq!(idx.range1(2).len(), 1);
+        assert_eq!(idx.range1(99).len(), 0);
+        assert_eq!(idx.range2(1, 10).len(), 2);
+        assert_eq!(idx.range2(1, 11).len(), 1);
+        assert_eq!(idx.range2(1, 99).len(), 0);
+    }
+
+    #[test]
+    fn range_prefix_dispatch() {
+        let idx = TrieIndex::build(IndexOrder::Pso, &sample_triples());
+        assert_eq!(idx.range_prefix(&[]).len(), 5);
+        assert_eq!(idx.range_prefix(&[10]).len(), 3); // predicate 10
+        assert_eq!(idx.range_prefix(&[10, 1]).len(), 2); // p=10, s=1
+    }
+
+    #[test]
+    fn contains_row_checks_third_level() {
+        let idx = TrieIndex::build(IndexOrder::Spo, &sample_triples());
+        assert!(idx.contains_row(1, 10, 101));
+        assert!(!idx.contains_row(1, 10, 102));
+        assert!(!idx.contains_row(9, 9, 9));
+    }
+
+    #[test]
+    fn triple_decoding_roundtrips() {
+        for order in IndexOrder::ALL {
+            let idx = TrieIndex::build(order, &sample_triples());
+            let mut decoded: Vec<Triple> = (0..idx.len() as u32).map(|i| idx.triple(i)).collect();
+            decoded.sort_unstable();
+            let mut expected = sample_triples();
+            expected.sort_unstable();
+            assert_eq!(decoded, expected, "order {order}");
+        }
+    }
+
+    #[test]
+    fn children_counts() {
+        let idx = TrieIndex::build(IndexOrder::Pso, &sample_triples());
+        assert_eq!(idx.children_of(10), 2); // p=10 has subjects {1, 2}
+        assert_eq!(idx.children_of(11), 1);
+        assert_eq!(idx.children_of(99), 0);
+        assert_eq!(idx.distinct_l0(), 3); // predicates {10, 11, 12}
+    }
+
+    #[test]
+    fn l0_iteration_in_sorted_order() {
+        let idx = TrieIndex::build(IndexOrder::Pso, &sample_triples());
+        let keys: Vec<u32> = idx.iter_l0().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![10, 11, 12]);
+        let total: usize = idx.iter_l0().map(|(_, r)| r.len()).sum();
+        assert_eq!(total, idx.len());
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = TrieIndex::build(IndexOrder::Spo, &[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.full_range().len(), 0);
+        assert_eq!(idx.distinct_l0(), 0);
+        assert!(idx.iter_l0().next().is_none());
+    }
+
+    #[test]
+    fn row_range_helpers() {
+        let r = RowRange { start: 3, end: 7 };
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.as_usize(), 3..7);
+        assert!(RowRange::EMPTY.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! Trie iterators over [`TrieIndex`] ranges — the access interface required
+//! by LeapFrog Trie Join (Veldhuizen 2014), backed by binary search over the
+//! sorted row arrays (the paper implements "B-tree like" sorted indexes with
+//! O(log n) search, §IV-B/§V-A).
+
+use crate::store::{RowRange, TrieIndex};
+
+/// One opened trie level: the run of rows sharing the current key.
+#[derive(Debug, Clone, Copy)]
+struct Level {
+    /// Upper bound of the parent's range: the level is exhausted once
+    /// `run_lo` reaches it.
+    parent_hi: u32,
+    /// Start of the current key's run (== `parent_hi` when exhausted).
+    run_lo: u32,
+    /// One past the end of the current key's run.
+    run_hi: u32,
+}
+
+/// A cursor implementing the LFTJ `TrieIterator` interface (`open`, `up`,
+/// `key`, `next`, `seek`, `at_end`) over a contiguous row range of a
+/// [`TrieIndex`].
+///
+/// The cursor may start below the trie root: a pattern with leading
+/// constants resolves the constants to a [`RowRange`] via the index's hash
+/// prefix maps and then exposes only the remaining levels. `prefix_len` is
+/// the number of attributes already fixed by that prefix.
+#[derive(Debug, Clone)]
+pub struct TrieCursor<'a> {
+    rows: &'a [[u32; 3]],
+    base: RowRange,
+    prefix_len: usize,
+    levels: Vec<Level>,
+}
+
+impl<'a> TrieCursor<'a> {
+    /// Create a cursor over `base` within `index`, with `prefix_len`
+    /// attributes already fixed (0 ⇒ the full trie, 2 ⇒ only the last
+    /// attribute remains).
+    pub fn new(index: &'a TrieIndex, base: RowRange, prefix_len: usize) -> Self {
+        assert!(prefix_len <= 2, "prefix_len {prefix_len} out of range");
+        TrieCursor { rows: index.rows(), base, prefix_len, levels: Vec::with_capacity(3) }
+    }
+
+    /// Cursor over the full index.
+    pub fn over_index(index: &'a TrieIndex) -> Self {
+        Self::new(index, index.full_range(), 0)
+    }
+
+    /// Number of levels this cursor can expose.
+    #[inline]
+    pub fn max_depth(&self) -> usize {
+        3 - self.prefix_len
+    }
+
+    /// Current depth (number of opened levels).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The row-attribute index addressed by the top level.
+    #[inline]
+    fn attr(&self) -> usize {
+        self.prefix_len + self.levels.len() - 1
+    }
+
+    /// Descend one level, positioning at the first key of the child range.
+    ///
+    /// Panics if already at maximum depth or if the current level is at its
+    /// end (there is no child range to descend into).
+    pub fn open(&mut self) {
+        assert!(self.levels.len() < self.max_depth(), "open() past leaf level");
+        let (parent_lo, parent_hi) = match self.levels.last() {
+            None => (self.base.start, self.base.end),
+            Some(top) => {
+                assert!(top.run_lo < top.parent_hi, "open() on exhausted level");
+                (top.run_lo, top.run_hi)
+            }
+        };
+        self.levels.push(Level { parent_hi, run_lo: parent_lo, run_hi: parent_lo });
+        self.recompute_run_hi();
+    }
+
+    /// Ascend one level.
+    pub fn up(&mut self) {
+        self.levels.pop().expect("up() at root");
+    }
+
+    /// True if the current level has no further keys.
+    #[inline]
+    pub fn at_end(&self) -> bool {
+        let top = self.levels.last().expect("at_end() requires an open level");
+        top.run_lo >= top.parent_hi
+    }
+
+    /// The current key. Only valid when `!at_end()`.
+    #[inline]
+    pub fn key(&self) -> u32 {
+        let top = self.levels.last().expect("key() requires an open level");
+        debug_assert!(top.run_lo < top.parent_hi, "key() at end");
+        self.rows[top.run_lo as usize][self.attr()]
+    }
+
+    /// The run of rows carrying the current key (used for fan-out counts).
+    #[inline]
+    pub fn run(&self) -> RowRange {
+        let top = self.levels.last().expect("run() requires an open level");
+        RowRange { start: top.run_lo, end: top.run_hi }
+    }
+
+    /// Advance to the next distinct key at this level.
+    pub fn next_key(&mut self) {
+        let top = self.levels.last_mut().expect("next_key() requires an open level");
+        debug_assert!(top.run_lo < top.parent_hi, "next_key() at end");
+        top.run_lo = top.run_hi;
+        self.recompute_run_hi();
+    }
+
+    /// Position at the first key `>= v` (a no-op if already there).
+    pub fn seek(&mut self, v: u32) {
+        let attr = self.attr();
+        let top = self.levels.last_mut().expect("seek() requires an open level");
+        if top.run_lo >= top.parent_hi {
+            return;
+        }
+        if self.rows[top.run_lo as usize][attr] >= v {
+            return;
+        }
+        let lo = top.run_lo as usize;
+        let hi = top.parent_hi as usize;
+        let off = self.rows[lo..hi].partition_point(|r| r[attr] < v);
+        top.run_lo = (lo + off) as u32;
+        self.recompute_run_hi();
+    }
+
+    /// Recompute `run_hi` as the end of the run of the key at `run_lo`.
+    fn recompute_run_hi(&mut self) {
+        let attr = self.attr();
+        let top = self.levels.last_mut().expect("level present");
+        if top.run_lo >= top.parent_hi {
+            top.run_hi = top.parent_hi;
+            return;
+        }
+        let key = self.rows[top.run_lo as usize][attr];
+        let lo = top.run_lo as usize;
+        let hi = top.parent_hi as usize;
+        // Galloping search: runs are typically short, so probe exponentially
+        // before falling back to binary search.
+        let mut step = 1usize;
+        let mut probe = lo;
+        while probe + step < hi && self.rows[probe + step][attr] == key {
+            probe += step;
+            step <<= 1;
+        }
+        let window_hi = (probe + step).min(hi);
+        let off = self.rows[probe..window_hi].partition_point(|r| r[attr] <= key);
+        top.run_hi = (probe + off) as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::IndexOrder;
+    use kgoa_rdf::Triple;
+
+    fn index() -> TrieIndex {
+        let triples: Vec<Triple> = vec![
+            [1, 10, 100],
+            [1, 10, 101],
+            [1, 11, 100],
+            [2, 10, 100],
+            [2, 12, 105],
+            [3, 12, 103],
+        ]
+        .into_iter()
+        .map(Triple::from)
+        .collect();
+        TrieIndex::build(IndexOrder::Spo, &triples)
+    }
+
+    /// Collect all keys at the current level.
+    fn keys_at_level(c: &mut TrieCursor<'_>) -> Vec<u32> {
+        let mut out = Vec::new();
+        while !c.at_end() {
+            out.push(c.key());
+            c.next_key();
+        }
+        out
+    }
+
+    #[test]
+    fn level0_keys() {
+        let idx = index();
+        let mut c = TrieCursor::over_index(&idx);
+        c.open();
+        assert_eq!(keys_at_level(&mut c), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn descend_and_ascend() {
+        let idx = index();
+        let mut c = TrieCursor::over_index(&idx);
+        c.open(); // subjects
+        assert_eq!(c.key(), 1);
+        c.open(); // predicates of subject 1
+        assert_eq!(keys_at_level(&mut c), vec![10, 11]);
+        c.up();
+        c.next_key(); // subject 2
+        assert_eq!(c.key(), 2);
+        c.open();
+        assert_eq!(keys_at_level(&mut c), vec![10, 12]);
+    }
+
+    #[test]
+    fn seek_moves_forward_only() {
+        let idx = index();
+        let mut c = TrieCursor::over_index(&idx);
+        c.open();
+        c.seek(2);
+        assert_eq!(c.key(), 2);
+        c.seek(1); // no-op: already past
+        assert_eq!(c.key(), 2);
+        c.seek(4);
+        assert!(c.at_end());
+        c.seek(9); // seek at end is a no-op
+        assert!(c.at_end());
+    }
+
+    #[test]
+    fn seek_to_missing_key_lands_on_next() {
+        let idx = index();
+        let mut c = TrieCursor::over_index(&idx);
+        c.open();
+        c.open(); // predicates of subject 1: {10, 11}
+        c.seek(11);
+        assert_eq!(c.key(), 11);
+        c.up();
+        c.next_key();
+        c.open(); // predicates of subject 2: {10, 12}
+        c.seek(11);
+        assert_eq!(c.key(), 12);
+    }
+
+    #[test]
+    fn run_counts_fanout() {
+        let idx = index();
+        let mut c = TrieCursor::over_index(&idx);
+        c.open();
+        assert_eq!(c.run().len(), 3); // subject 1 has 3 triples
+        c.open();
+        assert_eq!(c.run().len(), 2); // (1, 10) has 2 objects
+    }
+
+    #[test]
+    fn prefixed_cursor_exposes_remaining_levels() {
+        let idx = index();
+        let base = idx.range2(1, 10); // objects of (1, 10)
+        let mut c = TrieCursor::new(&idx, base, 2);
+        assert_eq!(c.max_depth(), 1);
+        c.open();
+        assert_eq!(keys_at_level(&mut c), vec![100, 101]);
+    }
+
+    #[test]
+    fn leaf_level_iteration() {
+        let idx = index();
+        let mut c = TrieCursor::over_index(&idx);
+        c.open();
+        c.open();
+        c.open(); // objects of (1, 10)
+        assert_eq!(keys_at_level(&mut c), vec![100, 101]);
+    }
+
+    #[test]
+    fn empty_base_is_immediately_at_end() {
+        let idx = index();
+        let mut c = TrieCursor::new(&idx, RowRange::EMPTY, 2);
+        c.open();
+        assert!(c.at_end());
+    }
+
+    #[test]
+    #[should_panic(expected = "open() past leaf level")]
+    fn open_past_leaf_panics() {
+        let idx = index();
+        let mut c = TrieCursor::over_index(&idx);
+        c.open();
+        c.open();
+        c.open();
+        c.open();
+    }
+}

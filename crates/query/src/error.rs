@@ -1,0 +1,71 @@
+//! Error types for query validation and planning.
+
+use std::fmt;
+
+use crate::pattern::Var;
+
+/// Errors raised while validating or planning an exploration query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query has no triple patterns.
+    Empty,
+    /// A variable occurs twice within a single pattern (e.g. `?x p ?x`),
+    /// which the exploration model never produces and planning does not
+    /// support.
+    RepeatedVarInPattern(Var),
+    /// The join graph of the query is not connected.
+    Disconnected,
+    /// The join graph of the query contains a cycle; only acyclic
+    /// (tree-shaped) queries are supported (§IV-D, *Limitations*).
+    Cyclic,
+    /// The group variable α or count variable β does not occur in the query.
+    MissingHeadVar(Var),
+    /// α and β must be different variables.
+    AlphaEqualsBeta,
+    /// No built index order can serve an access pattern required by the
+    /// plan. Carries the pattern index.
+    NoUsableIndexOrder(usize),
+    /// A walk order visited a pattern with no variable bound yet
+    /// (internal planning error or invalid caller-provided order).
+    InvalidWalkOrder,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Empty => write!(f, "query has no triple patterns"),
+            QueryError::RepeatedVarInPattern(v) => {
+                write!(f, "variable {v} is repeated within one pattern")
+            }
+            QueryError::Disconnected => write!(f, "query join graph is disconnected"),
+            QueryError::Cyclic => write!(f, "query join graph is cyclic"),
+            QueryError::MissingHeadVar(v) => {
+                write!(f, "head variable {v} does not occur in any pattern")
+            }
+            QueryError::AlphaEqualsBeta => {
+                write!(f, "group variable and count variable must differ")
+            }
+            QueryError::NoUsableIndexOrder(i) => {
+                write!(f, "no built index order can serve pattern {i}")
+            }
+            QueryError::InvalidWalkOrder => {
+                write!(f, "walk order visits a pattern before any of its variables is bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(QueryError::Empty.to_string().contains("no triple patterns"));
+        assert!(QueryError::Cyclic.to_string().contains("cyclic"));
+        assert!(QueryError::RepeatedVarInPattern(Var(3)).to_string().contains("?v3"));
+        assert!(QueryError::NoUsableIndexOrder(2).to_string().contains("pattern 2"));
+    }
+}

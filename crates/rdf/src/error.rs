@@ -1,0 +1,63 @@
+//! Error types for RDF parsing and graph construction.
+
+use std::fmt;
+
+/// Errors produced while parsing or building RDF graphs.
+#[derive(Debug)]
+pub enum RdfError {
+    /// A line of N-Triples input could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An I/O error while reading input.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Parse { line, reason } => {
+                write!(f, "N-Triples parse error at line {line}: {reason}")
+            }
+            RdfError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RdfError::Io(e) => Some(e),
+            RdfError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RdfError {
+    fn from(e: std::io::Error) -> Self {
+        RdfError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error() {
+        let e = RdfError::Parse { line: 3, reason: "bad subject".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("bad subject"));
+    }
+
+    #[test]
+    fn io_error_conversion_and_source() {
+        use std::error::Error;
+        let e: RdfError = std::io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,109 @@
+//! An interactive terminal faceted browser over a knowledge graph — the
+//! paper's exploration UI (§III, Fig. 2) reduced to ASCII.
+//!
+//! Commands:
+//!   `s`ubclass / `o`ut-properties / `i`n-properties / o`b`ject / su`j`ect
+//!   expansions, then a bar number to click it; `q` quits.
+//!
+//! ```sh
+//! cargo run --release --example faceted_browser
+//! ```
+//!
+//! Charts are estimated live with Audit Join under a per-interaction time
+//! budget, then refined; this is exactly the interactivity argument of the
+//! paper — exact engines take too long on heavy expansions, online
+//! aggregation answers instantly and converges.
+
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use kgoa::explore::{short_label, Chart};
+use kgoa::online::run_timed;
+use kgoa::prelude::*;
+
+fn estimate_chart(
+    ig: &IndexedGraph,
+    query: &ExplorationQuery,
+    kind: kgoa::explore::ChartKind,
+    budget: Duration,
+) -> Chart {
+    let mut aj = AuditJoin::new(ig, query, AuditJoinConfig::default()).expect("aj");
+    let snaps = run_timed(&mut aj, 1, budget);
+    Chart::from_estimates(kind, &snaps.last().expect("one snapshot").estimates)
+}
+
+fn main() {
+    println!("building LGD-shaped graph…");
+    let graph = kgoa::datagen::generate(&KgConfig::lgd_like(Scale::Small));
+    let ig = IndexedGraph::build(graph);
+    println!("{} triples indexed. Type 'h' for help.\n", ig.len());
+
+    let mut session = Session::root(&ig);
+    let mut chart: Option<Chart> = None;
+    let stdin = std::io::stdin();
+    let budget = Duration::from_millis(150);
+
+    loop {
+        print!("kgoa> ");
+        std::io::stdout().flush().expect("flush");
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let cmd = line.trim();
+        let expansion = match cmd {
+            "q" | "quit" | "exit" => break,
+            "h" | "help" | "" => {
+                println!(
+                    "  s = subclasses   o = out-properties   i = in-properties\n  b = object classes (after picking an out-property)\n  j = subject classes (after picking an in-property)\n  <number> = click that bar   q = quit"
+                );
+                println!("  valid now: {:?}", session.valid_expansions());
+                continue;
+            }
+            "s" => Expansion::Subclass,
+            "o" => Expansion::OutProperty,
+            "i" => Expansion::InProperty,
+            "b" => Expansion::Object,
+            "j" => Expansion::Subject,
+            n => {
+                // A bar click.
+                let Ok(idx) = n.parse::<usize>() else {
+                    println!("unknown command {n:?}; 'h' for help");
+                    continue;
+                };
+                let Some(c) = &chart else {
+                    println!("no chart yet — expand first");
+                    continue;
+                };
+                let Some(bar) = c.bars.get(idx) else {
+                    println!("no bar #{idx}");
+                    continue;
+                };
+                match session.select(bar.category) {
+                    Ok(()) => println!(
+                        "focused on {} ({} ± {:.0} members)",
+                        short_label(ig.dict().lexical(bar.category)),
+                        bar.count.round(),
+                        bar.half_width
+                    ),
+                    Err(e) => println!("cannot select: {e}"),
+                }
+                continue;
+            }
+        };
+        match session.expansion_query(expansion) {
+            Ok(query) => {
+                let c = estimate_chart(&ig, &query, expansion.produces(), budget);
+                if c.is_empty() {
+                    println!("(empty chart)");
+                } else {
+                    print!("{}", c.render(ig.dict(), 12));
+                    println!("(~{budget:?} Audit Join estimate; click a bar by number)");
+                }
+                chart = Some(c);
+            }
+            Err(e) => println!("cannot expand: {e}"),
+        }
+    }
+    println!("bye");
+}

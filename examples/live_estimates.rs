@@ -1,0 +1,75 @@
+//! Watch Wander Join and Audit Join converge side by side on one heavy
+//! exploration query — a terminal rendition of the paper's Fig. 8.
+//!
+//! ```sh
+//! cargo run --release --example live_estimates
+//! ```
+
+use std::time::Duration;
+
+use kgoa::engine::mean_absolute_error;
+use kgoa::online::{run_timed, OnlineAggregator, WanderJoin};
+use kgoa::prelude::*;
+
+fn main() {
+    println!("building DBpedia-shaped graph…");
+    let graph = kgoa::datagen::generate(&KgConfig::dbpedia_like(Scale::Small));
+    let ig = IndexedGraph::build(graph);
+
+    // The paper's hardest selected query (Fig. 8a): the out-property
+    // expansion of the root class — every instance's outgoing properties,
+    // counted distinct, grouped per property.
+    let mut session = Session::root(&ig);
+    let query = session
+        .expansion_query(Expansion::OutProperty)
+        .expect("root out-property expansion");
+    println!("query:\n{query}\n");
+
+    println!("computing ground truth (Yannakakis semi-joins)…");
+    let exact = YannakakisEngine.evaluate(&ig, &query).expect("ground truth");
+    println!("  {} groups, total {}", exact.len(), exact.total());
+
+    let ticks = 8;
+    let tick = Duration::from_millis(250);
+    println!("\nrunning both online algorithms for {ticks} × {tick:?}:\n");
+    println!(
+        "{:>8} | {:>10} {:>10} {:>12} | {:>10} {:>10} {:>12}",
+        "t", "WJ MAE", "WJ rej", "WJ walks", "AJ MAE", "AJ rej", "AJ walks"
+    );
+
+    let mut wj = WanderJoin::new(&ig, &query, 42).expect("wj");
+    let wj_snaps = run_timed(&mut wj, ticks, tick);
+    let mut aj = AuditJoin::new(&ig, &query, AuditJoinConfig::default()).expect("aj");
+    let aj_snaps = run_timed(&mut aj, ticks, tick);
+
+    for (w, a) in wj_snaps.iter().zip(aj_snaps.iter()) {
+        println!(
+            "{:>7.2}s | {:>9.1}% {:>9.1}% {:>12} | {:>9.1}% {:>9.1}% {:>12}",
+            w.elapsed.as_secs_f64(),
+            mean_absolute_error(&exact, &w.estimates) * 100.0,
+            w.stats.rejection_rate() * 100.0,
+            w.stats.walks,
+            mean_absolute_error(&exact, &a.estimates) * 100.0,
+            a.stats.rejection_rate() * 100.0,
+            a.stats.walks,
+        );
+    }
+
+    println!("\nfinal top-5 bars (exact vs AJ estimate ± CI):");
+    let est = aj.estimates();
+    for (cat, count) in exact.sorted_desc().into_iter().take(5) {
+        println!(
+            "  {:<26} {:>8}  vs  {:>8.0} ±{:.0}",
+            kgoa::explore::short_label(ig.dict().lexical(cat)),
+            count,
+            est.get(cat),
+            est.half_width(cat),
+        );
+    }
+    println!(
+        "\nAudit Join stats: {} walks, {} tipped to exact computation, {} CTJ cache hits",
+        aj.stats().walks,
+        aj.stats().tipped,
+        aj.cache_stats().hits,
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: build a knowledge graph, explore it, and compare exact
+//! counting with Audit Join's online estimates.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Instant;
+
+use kgoa::prelude::*;
+
+fn main() {
+    // 1. A synthetic DBpedia-shaped knowledge graph (fully deterministic).
+    //    To use a real dump instead, see `kgoa::rdf::ntriples::read_ntriples`.
+    println!("generating a DBpedia-shaped graph…");
+    let graph = kgoa::datagen::generate(&KgConfig::dbpedia_like(Scale::Small));
+    println!("  {} triples", graph.len());
+
+    // 2. Index it: four trie orders (SPO, OPS, PSO, POS) + statistics.
+    let t0 = Instant::now();
+    let ig = IndexedGraph::build(graph);
+    println!(
+        "  indexed in {:.2?} ({} MB)",
+        t0.elapsed(),
+        ig.memory_bytes() / 1_000_000
+    );
+
+    // 3. Explore: the root chart — instance counts of the top-level classes.
+    let mut session = Session::root(&ig);
+    let chart = session
+        .expand(Expansion::Subclass, &CtjEngine)
+        .expect("root expansion");
+    println!("\ntop-level classes (exact, Cached Trie Join):");
+    print!("{}", chart.render(ig.dict(), 8));
+
+    // 4. Drill in: click the biggest class, ask for outgoing properties.
+    let top = chart.bars[0].category;
+    session.select(top).expect("select top class");
+    let query = session
+        .expansion_query(Expansion::OutProperty)
+        .expect("out-property expansion");
+    println!(
+        "\nout-properties of {} — as a count-distinct query:\n{}\n",
+        kgoa::explore::short_label(ig.dict().lexical(top)),
+        kgoa::query::to_sparql(&query, ig.dict()),
+    );
+
+    // 5. Exact answer vs online estimate.
+    let t0 = Instant::now();
+    let exact = CtjEngine.evaluate(&ig, &query).expect("exact");
+    let exact_time = t0.elapsed();
+
+    let mut aj = AuditJoin::new(&ig, &query, AuditJoinConfig::default()).expect("aj");
+    let t0 = Instant::now();
+    run_walks(&mut aj, 50_000);
+    let online_time = t0.elapsed();
+    let est = aj.estimates();
+
+    println!("exact answer took {exact_time:.2?}; 50k Audit Join walks took {online_time:.2?}");
+    println!("\n{:<28} {:>10} {:>14}", "property", "exact", "estimate");
+    for (cat, count) in exact.sorted_desc().into_iter().take(8) {
+        println!(
+            "{:<28} {:>10} {:>10.0} ±{:.0}",
+            kgoa::explore::short_label(ig.dict().lexical(cat)),
+            count,
+            est.get(cat),
+            est.half_width(cat),
+        );
+    }
+    let mae = kgoa::engine::mean_absolute_error(&exact, &est);
+    println!("\nmean absolute error: {:.2}%", mae * 100.0);
+}

@@ -1,0 +1,70 @@
+//! Integration test for the SUM/AVG extension over a generated graph:
+//! estimate per-class totals of a numeric property and check against the
+//! exact enumeration.
+
+use kgoa::online::{exact_group_sums, SumAuditJoin};
+use kgoa::prelude::*;
+use kgoa::query::TriplePattern;
+use kgoa::rdf::TermId;
+
+#[test]
+fn sum_estimates_converge_on_generated_graph() {
+    let graph = kgoa::datagen::generate(&KgConfig::dbpedia_like(Scale::Tiny));
+    let vocab = graph.vocab();
+    let ig = IndexedGraph::build(graph);
+
+    // Find a property with plenty of numeric literal objects.
+    let values = kgoa::online::NumericValues::build(ig.dict());
+    assert!(!values.is_empty(), "datagen must emit numeric literals");
+    let pos = ig.require(kgoa::index::IndexOrder::Pos);
+    let best_p = pos
+        .iter_l0()
+        .max_by_key(|(p, range)| {
+            let range = *range;
+            (0..range.len() as u32)
+                .filter(|off| {
+                    let row = pos.row(range.start + off);
+                    values.get(row[1]) != 0.0
+                })
+                .count()
+                .saturating_sub(if *p == ig.vocab().rdf_type.raw() { 1 << 30 } else { 0 })
+        })
+        .map(|(p, _)| TermId(p))
+        .expect("some predicate");
+
+    // SUM(?v) grouped by explicit class: ?e a ?c . ?e <p> ?v.
+    let query = ExplorationQuery::new(
+        vec![
+            TriplePattern::new(Var(0), vocab.rdf_type, Var(1)),
+            TriplePattern::new(Var(0), best_p, Var(2)),
+        ],
+        Var(1),
+        Var(2),
+        false,
+    )
+    .unwrap();
+
+    let exact = exact_group_sums(&ig, &query).unwrap();
+    let total: f64 = exact.values().sum();
+    assert!(total > 0.0, "workload must have numeric mass");
+
+    let mut saj = SumAuditJoin::new(
+        &ig,
+        &query,
+        kgoa::online::AuditJoinConfig { tipping_threshold: 1024.0, seed: 5 },
+    )
+    .unwrap();
+    saj.run(120_000);
+    let est = saj.estimates();
+    // Check the biggest groups (small groups need more walks).
+    let mut groups: Vec<(&u32, &f64)> = exact.iter().collect();
+    groups.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
+    for (g, s) in groups.into_iter().take(3) {
+        let e = est.sum.get(TermId(*g));
+        let rel = (e - s).abs() / s;
+        assert!(rel < 0.25, "group {g}: est {e} vs exact {s}");
+        // AVG is consistent with SUM/COUNT.
+        let avg = est.avg(TermId(*g)).expect("group seen");
+        assert!(avg > 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Statistical convergence tests over the paper's random-exploration
+//! workload: seeded online-aggregation runs must reach small errors, Audit
+//! Join must dominate Wander Join on the distinct workload, and confidence
+//! intervals must have roughly their nominal coverage.
+
+use kgoa::engine::mean_absolute_error;
+use kgoa::online::{run_walks, OnlineAggregator, WanderJoin};
+use kgoa::prelude::*;
+use kgoa_bench::{load_datasets, prepare_workload, run_fixed_walks, Algo, BenchConfig};
+
+fn bench_cfg() -> BenchConfig {
+    BenchConfig {
+        scale: Scale::Tiny,
+        runs: 6,
+        max_steps: 3,
+        wj_order_trials: 256,
+        ..BenchConfig::default()
+    }
+}
+
+#[test]
+fn audit_join_beats_wander_join_on_distinct_workload() {
+    let cfg = bench_cfg();
+    let datasets = load_datasets(cfg.scale);
+    let workload = prepare_workload(&datasets, &cfg);
+    assert!(workload.len() >= 6, "workload too small: {}", workload.len());
+    let mut wj_total = 0.0;
+    let mut aj_total = 0.0;
+    for q in &workload {
+        let ig = &datasets[q.dataset].ig;
+        let (wj_mae, _) =
+            run_fixed_walks(ig, &q.generated.query, &q.exact_distinct, Algo::Wj, 12_000, &cfg);
+        let (aj_mae, _) =
+            run_fixed_walks(ig, &q.generated.query, &q.exact_distinct, Algo::Aj, 12_000, &cfg);
+        wj_total += wj_mae;
+        aj_total += aj_mae;
+    }
+    let (wj_avg, aj_avg) = (wj_total / workload.len() as f64, aj_total / workload.len() as f64);
+    assert!(
+        aj_avg < wj_avg,
+        "AJ mean MAE {aj_avg:.3} must beat WJ {wj_avg:.3} on the distinct workload"
+    );
+    assert!(aj_avg < 0.25, "AJ mean MAE should be small, got {aj_avg:.3}");
+}
+
+#[test]
+fn audit_join_converges_on_every_workload_query_without_distinct() {
+    let cfg = bench_cfg();
+    let datasets = load_datasets(cfg.scale);
+    let workload = prepare_workload(&datasets, &cfg);
+    for q in workload.iter().step_by(2) {
+        let ig = &datasets[q.dataset].ig;
+        let query = q.generated.query.with_distinct(false);
+        let (mae, stats) = run_fixed_walks(ig, &query, &q.exact_plain, Algo::Aj, 25_000, &cfg);
+        assert!(
+            mae < 0.2,
+            "AJ failed to converge on {} (mae {mae:.3}, rejections {:.1}%)",
+            q.id,
+            stats.rejection_rate() * 100.0
+        );
+    }
+}
+
+#[test]
+fn confidence_intervals_have_reasonable_coverage() {
+    // Run many independently-seeded WJ estimates of one query and check
+    // that the 0.95 CI covers the truth in roughly that fraction of runs
+    // (a loose bound: ≥ 80% — the CLT interval is approximate).
+    let ig = IndexedGraph::build(kgoa::datagen::generate(&KgConfig::dbpedia_like(Scale::Tiny)));
+    let mut s = Session::root(&ig);
+    let query = s.expansion_query(Expansion::OutProperty).expect("query");
+    let query = query.with_distinct(false);
+    let exact = YannakakisEngine.evaluate(&ig, &query).expect("exact");
+    let (top_group, truth) = exact.sorted_desc()[0];
+
+    let runs = 40;
+    let mut covered = 0;
+    for seed in 0..runs {
+        let mut wj = WanderJoin::new(&ig, &query, 1000 + seed).expect("wj");
+        run_walks(&mut wj, 2500);
+        let est = wj.estimates();
+        let mid = est.get(top_group);
+        let hw = est.half_width(top_group);
+        if (mid - truth as f64).abs() <= hw {
+            covered += 1;
+        }
+    }
+    let coverage = covered as f64 / runs as f64;
+    assert!(
+        coverage >= 0.80,
+        "0.95 CI covered the truth in only {:.0}% of runs",
+        coverage * 100.0
+    );
+}
+
+#[test]
+fn estimates_tighten_with_more_walks() {
+    let ig = IndexedGraph::build(kgoa::datagen::generate(&KgConfig::lgd_like(Scale::Tiny)));
+    let mut s = Session::root(&ig);
+    let query = s.expansion_query(Expansion::Subclass).expect("query");
+    let exact = YannakakisEngine.evaluate(&ig, &query).expect("exact");
+
+    let mut aj = AuditJoin::new(&ig, &query, AuditJoinConfig::default()).expect("aj");
+    run_walks(&mut aj, 500);
+    let early_ci = kgoa::engine::mean_ci_width(&exact, &aj.estimates());
+    run_walks(&mut aj, 20_000);
+    let late_ci = kgoa::engine::mean_ci_width(&exact, &aj.estimates());
+    let late_mae = mean_absolute_error(&exact, &aj.estimates());
+    assert!(late_ci < early_ci, "CI must shrink: {early_ci} → {late_ci}");
+    assert!(late_mae < 0.1, "late MAE {late_mae}");
+}

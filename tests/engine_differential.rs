@@ -1,0 +1,266 @@
+//! Property-based differential testing: on randomized graphs and queries,
+//! every exact engine must produce identical grouped counts, in both the
+//! distinct and non-distinct cases, and the two worst-case-optimal
+//! counting paths (LFTJ enumeration vs CTJ cached recursion) must agree on
+//! the join size.
+
+use kgoa_engine::{
+    ctj_count, lftj_count, BaselineEngine, CountEngine, CtjEngine, LftjEngine,
+    YannakakisEngine,
+};
+use kgoa_index::IndexedGraph;
+use kgoa_query::{ExplorationQuery, PatternTerm, TriplePattern, Var};
+use kgoa_rdf::{GraphBuilder, TermId, Triple};
+use proptest::prelude::*;
+
+/// A compact description of a random graph: edges as (subject, predicate,
+/// object) index triples over small id spaces.
+#[derive(Debug, Clone)]
+struct RawGraph {
+    edges: Vec<(u8, u8, u8)>,
+    types: Vec<(u8, u8)>,
+}
+
+fn raw_graph() -> impl Strategy<Value = RawGraph> {
+    let edge = (0u8..12, 0u8..3, 0u8..12);
+    let ty = (0u8..12, 0u8..3);
+    (proptest::collection::vec(edge, 1..40), proptest::collection::vec(ty, 0..12))
+        .prop_map(|(edges, types)| RawGraph { edges, types })
+}
+
+struct Built {
+    ig: IndexedGraph,
+    preds: Vec<TermId>,
+}
+
+fn build(raw: &RawGraph) -> Built {
+    let mut b = GraphBuilder::new();
+    let preds: Vec<TermId> = (0..3).map(|i| b.dict_mut().intern_iri(format!("u:p{i}"))).collect();
+    let nodes: Vec<TermId> =
+        (0..12).map(|i| b.dict_mut().intern_iri(format!("u:n{i}"))).collect();
+    let classes: Vec<TermId> =
+        (0..3).map(|i| b.dict_mut().intern_iri(format!("u:c{i}"))).collect();
+    let vocab = b.vocab();
+    for (s, p, o) in &raw.edges {
+        b.add(Triple::new(nodes[*s as usize], preds[*p as usize], nodes[*o as usize]));
+    }
+    for (s, c) in &raw.types {
+        b.add(Triple::new(nodes[*s as usize], vocab.rdf_type, classes[*c as usize]));
+    }
+    Built { ig: IndexedGraph::build(b.build()), preds }
+}
+
+/// The query shapes the differential test sweeps.
+fn query_shapes(built: &Built, distinct: bool) -> Vec<ExplorationQuery> {
+    let p = &built.preds;
+    let rdf_type = built.ig.vocab().rdf_type;
+    let mk = |patterns: Vec<TriplePattern>, a: u16, b: u16| {
+        ExplorationQuery::new(patterns, Var(a), Var(b), distinct).expect("valid test query")
+    };
+    vec![
+        // Single pattern with variable predicate.
+        mk(vec![TriplePattern::new(Var(0), Var(1), Var(2))], 1, 0),
+        // Two-hop path.
+        mk(
+            vec![
+                TriplePattern::new(Var(0), p[0], Var(1)),
+                TriplePattern::new(Var(1), p[1], Var(2)),
+            ],
+            2,
+            1,
+        ),
+        // Three-hop path with heads split.
+        mk(
+            vec![
+                TriplePattern::new(Var(0), p[0], Var(1)),
+                TriplePattern::new(Var(1), p[2], Var(2)),
+                TriplePattern::new(Var(2), p[1], Var(3)),
+            ],
+            0,
+            3,
+        ),
+        // Star around the focus with a type chart.
+        mk(
+            vec![
+                TriplePattern::new(Var(0), rdf_type, Var(1)),
+                TriplePattern::new(Var(0), p[0], Var(2)),
+                TriplePattern::new(Var(2), rdf_type, Var(3)),
+            ],
+            3,
+            2,
+        ),
+        // Property chart: variable predicate off a typed focus.
+        mk(
+            vec![
+                TriplePattern::new(Var(0), rdf_type, Var(1)),
+                TriplePattern::new(Var(0), Var(2), Var(3)),
+            ],
+            2,
+            0,
+        ),
+    ]
+}
+
+/// A deliberately naive evaluator: recursive nested scans over the full
+/// triple list, no indexes, no planning. Slow but independent of every
+/// data structure under test — the court of last appeal.
+fn naive_grouped(
+    triples: &[Triple],
+    query: &ExplorationQuery,
+) -> kgoa_engine::GroupedCounts {
+    fn rec(
+        triples: &[Triple],
+        patterns: &[kgoa_query::TriplePattern],
+        bound: &mut Vec<Option<u32>>,
+        results: &mut Vec<(u32, u32)>,
+        alpha: Var,
+        beta: Var,
+    ) {
+        let Some((pattern, rest)) = patterns.split_first() else {
+            results.push((
+                bound[alpha.index()].expect("alpha bound"),
+                bound[beta.index()].expect("beta bound"),
+            ));
+            return;
+        };
+        for t in triples {
+            let mut newly = Vec::new();
+            let mut matched = true;
+            for (slot, val) in [
+                (pattern.s, t.s.raw()),
+                (pattern.p, t.p.raw()),
+                (pattern.o, t.o.raw()),
+            ] {
+                match slot {
+                    PatternTerm::Const(c) => {
+                        if c.raw() != val {
+                            matched = false;
+                            break;
+                        }
+                    }
+                    PatternTerm::Var(v) => match bound[v.index()] {
+                        Some(b) if b != val => {
+                            matched = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            bound[v.index()] = Some(val);
+                            newly.push(v);
+                        }
+                    },
+                }
+            }
+            if matched {
+                rec(triples, rest, bound, results, alpha, beta);
+            }
+            // Unbind even on a failed match: earlier slots of this triple
+            // may already have bound variables.
+            for v in newly {
+                bound[v.index()] = None;
+            }
+        }
+    }
+    let mut bound = vec![None; query.var_count()];
+    let mut results = Vec::new();
+    rec(triples, query.patterns(), &mut bound, &mut results, query.alpha(), query.beta());
+    let mut out = kgoa_engine::GroupedCounts::new();
+    if query.distinct() {
+        results.sort_unstable();
+        results.dedup();
+    }
+    for (a, _) in results {
+        out.add(a, 1);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_with_naive_reference(raw in raw_graph(), distinct in any::<bool>()) {
+        let built = build(&raw);
+        let triples = built.ig.graph().triples().to_vec();
+        for query in query_shapes(&built, distinct) {
+            let naive = naive_grouped(&triples, &query);
+            let ctj = CtjEngine.evaluate(&built.ig, &query).expect("ctj");
+            prop_assert_eq!(&naive, &ctj, "CTJ deviates from naive scans on {}", query);
+        }
+    }
+
+    #[test]
+    fn all_engines_agree(raw in raw_graph(), distinct in any::<bool>()) {
+        let built = build(&raw);
+        let engines: Vec<Box<dyn CountEngine>> = vec![
+            Box::new(LftjEngine),
+            Box::new(CtjEngine),
+            Box::new(YannakakisEngine),
+            Box::new(BaselineEngine::default()),
+        ];
+        for query in query_shapes(&built, distinct) {
+            let reference = engines[0].evaluate(&built.ig, &query).expect("lftj");
+            for e in &engines[1..] {
+                let r = e.evaluate(&built.ig, &query).unwrap_or_else(|_| panic!("{}", e.name()));
+                prop_assert_eq!(
+                    &reference, &r,
+                    "{} disagrees with lftj on {} (distinct={})", e.name(), query, distinct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_paths_agree(raw in raw_graph()) {
+        let built = build(&raw);
+        for query in query_shapes(&built, false) {
+            let a = lftj_count(&built.ig, &query).expect("lftj count");
+            let b = ctj_count(&built.ig, &query).expect("ctj count");
+            prop_assert_eq!(a, b, "join size mismatch on {}", query);
+            // Grouped counts must sum to the join size.
+            let grouped = CtjEngine.evaluate(&built.ig, &query).expect("grouped");
+            prop_assert_eq!(grouped.total(), a);
+        }
+    }
+
+    #[test]
+    fn distinct_never_exceeds_plain(raw in raw_graph()) {
+        let built = build(&raw);
+        for query in query_shapes(&built, true) {
+            let distinct = CtjEngine.evaluate(&built.ig, &query).expect("distinct");
+            let plain = CtjEngine
+                .evaluate(&built.ig, &query.with_distinct(false))
+                .expect("plain");
+            prop_assert_eq!(distinct.len(), plain.len(), "same group sets");
+            for (g, c) in distinct.iter() {
+                prop_assert!(c <= plain.get(g), "distinct {} > plain {} in group {}", c, plain.get(g), g);
+                prop_assert!(c >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn constants_restrict_results(raw in raw_graph(), pin in 0u8..12) {
+        let built = build(&raw);
+        // Pin the final object of a two-hop path to a constant; the pinned
+        // result must be the matching slice of the unpinned one.
+        let p = &built.preds;
+        let unpinned = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p[0], Var(1)),
+                TriplePattern::new(Var(1), p[1], Var(2)),
+            ],
+            Var(0),
+            Var(1),
+            true,
+        ).expect("query");
+        let node = built.ig.dict().lookup_iri(&format!("u:n{pin}")).expect("node interned");
+        let pinned = unpinned.bind_var(Var(2), node);
+        prop_assert_eq!(pinned.patterns()[1].o, PatternTerm::Const(node));
+        let full = CtjEngine.evaluate(&built.ig, &unpinned).expect("full");
+        let restricted = CtjEngine.evaluate(&built.ig, &pinned).expect("restricted");
+        for (g, c) in restricted.iter() {
+            prop_assert!(c <= full.get(g), "pinning must not grow counts");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Failure injection and degenerate-input tests: empty graphs, single
+//! triples, dead-end-only walks, groups with zero support, and hostile
+//! N-Triples input. The system must degrade gracefully — empty results and
+//! zero estimates, never panics.
+
+use kgoa::online::{run_walks, OnlineAggregator, WanderJoin};
+use kgoa::prelude::*;
+use kgoa::rdf::ntriples::read_ntriples_str;
+
+fn empty_ig() -> IndexedGraph {
+    IndexedGraph::build(GraphBuilder::new().build())
+}
+
+fn query_over(p: TermId, q: TermId, distinct: bool) -> ExplorationQuery {
+    ExplorationQuery::new(
+        vec![
+            TriplePattern::new(Var(0), p, Var(1)),
+            TriplePattern::new(Var(1), q, Var(2)),
+        ],
+        Var(2),
+        Var(1),
+        distinct,
+    )
+    .unwrap()
+}
+
+#[test]
+fn empty_graph_everything_is_empty() {
+    let ig = empty_ig();
+    let q = query_over(TermId(100), TermId(101), true);
+    for engine in [
+        &CtjEngine as &dyn CountEngine,
+        &LftjEngine,
+        &YannakakisEngine,
+    ] {
+        let r = engine.evaluate(&ig, &q).unwrap();
+        assert!(r.is_empty(), "{} on empty graph", engine.name());
+    }
+    let mut wj = WanderJoin::new(&ig, &q, 1).unwrap();
+    run_walks(&mut wj, 100);
+    assert!(wj.estimates().is_empty());
+    assert_eq!(wj.stats().rejected, 100);
+
+    let mut aj = AuditJoin::new(&ig, &q, AuditJoinConfig::default()).unwrap();
+    run_walks(&mut aj, 100);
+    assert!(aj.estimates().is_empty());
+}
+
+#[test]
+fn single_triple_graph() {
+    let mut b = GraphBuilder::new();
+    let t = b.add_iris("u:a", "u:p", "u:b");
+    let g = b.build();
+    let p = g.dict().lookup_iri("u:p").unwrap();
+    let ig = IndexedGraph::build(g);
+    let q = ExplorationQuery::new(
+        vec![TriplePattern::new(Var(0), p, Var(1))],
+        Var(0),
+        Var(1),
+        true,
+    )
+    .unwrap();
+    let exact = CtjEngine.evaluate(&ig, &q).unwrap();
+    assert_eq!(exact.get(t.s), 1);
+
+    let mut aj = AuditJoin::new(&ig, &q, AuditJoinConfig::default()).unwrap();
+    run_walks(&mut aj, 50);
+    let est = aj.estimates().get(t.s);
+    assert!((est - 1.0).abs() < 1e-9, "est {est}");
+}
+
+#[test]
+fn all_walks_dead_end() {
+    // p-edges exist but no q-edges at all: every walk must die, every
+    // engine must return empty, no estimator division blows up.
+    let mut b = GraphBuilder::new();
+    let p = b.dict_mut().intern_iri("u:p");
+    let q = b.dict_mut().intern_iri("u:q");
+    for i in 0..10 {
+        let s = b.dict_mut().intern_iri(format!("u:s{i}"));
+        let o = b.dict_mut().intern_iri(format!("u:o{i}"));
+        b.add(Triple::new(s, p, o));
+    }
+    let ig = IndexedGraph::build(b.build());
+    for distinct in [true, false] {
+        let query = query_over(p, q, distinct);
+        assert!(CtjEngine.evaluate(&ig, &query).unwrap().is_empty());
+        let mut aj = AuditJoin::new(&ig, &query, AuditJoinConfig::default()).unwrap();
+        run_walks(&mut aj, 500);
+        assert!(aj.estimates().is_empty());
+        assert_eq!(aj.stats().walks, 500);
+        assert_eq!(aj.stats().rejected, 500);
+    }
+}
+
+#[test]
+fn session_on_graph_without_classes() {
+    // No rdf:type triples at all: the root focus is empty; expansions
+    // return empty charts rather than failing.
+    let mut b = GraphBuilder::new();
+    b.add_iris("u:a", "u:p", "u:b");
+    b.materialize_subclass_closure();
+    let ig = IndexedGraph::build(b.build());
+    let mut s = Session::root(&ig);
+    let chart = s.expand(Expansion::Subclass, &CtjEngine).unwrap();
+    assert!(chart.is_empty());
+    assert_eq!(s.focus_size().unwrap(), 0);
+}
+
+#[test]
+fn hostile_ntriples_inputs_error_cleanly() {
+    let cases = [
+        "<u:a> <u:p>",                       // truncated
+        "<u:a> <u:p> <u:b>",                 // missing dot
+        "<u:a <u:p> <u:b> .",                // unterminated IRI
+        "\"lit\" <u:p> \"x\" .",             // literal subject
+        "<u:a> \"p\" <u:b> .",               // literal predicate
+        "<u:a> <u:p> \"unterminated .",      // unterminated literal
+        "<u:a> <u:p> \"bad\\q\" .",          // unknown escape
+        "_: <u:p> <u:b> .",                  // empty blank label
+    ];
+    for case in cases {
+        let mut b = GraphBuilder::new();
+        let r = read_ntriples_str(case, &mut b);
+        assert!(r.is_err(), "input {case:?} should fail to parse");
+    }
+}
+
+#[test]
+fn zipf_degenerate_scales() {
+    // Generator configs at minimum sizes still produce valid graphs.
+    let cfg = KgConfig {
+        name: "minimal".into(),
+        seed: 1,
+        num_classes: 1,
+        hierarchy_depth: 1,
+        num_properties: 1,
+        num_entities: 2,
+        avg_edges_per_entity: 1.0,
+        types_per_entity: (1, 1),
+        zipf_exponent: 1.0,
+        literal_ratio: 0.0,
+        domain_conformance: 1.0,
+    };
+    let g = kgoa::datagen::generate(&cfg);
+    assert!(!g.is_empty());
+    let ig = IndexedGraph::build(g);
+    let mut s = Session::root(&ig);
+    // Must not panic even if charts are tiny or empty.
+    let _ = s.expand(Expansion::Subclass, &CtjEngine).unwrap();
+}
+
+#[test]
+fn estimator_handles_groups_with_zero_support_in_estimates() {
+    // MAE against an exact result with groups the estimator never saw.
+    let exact: GroupedCounts = [(1u32, 10u64), (2, 20)].into_iter().collect();
+    let est = GroupedEstimates::default();
+    let mae = kgoa::engine::mean_absolute_error(&exact, &est);
+    assert!((mae - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn baseline_engine_blowup_is_reported_not_fatal() {
+    // A two-hop query over a dense bipartite graph: the baseline's
+    // intermediate result exceeds a small budget and must report it.
+    let mut b = GraphBuilder::new();
+    let p = b.dict_mut().intern_iri("u:p");
+    let q = b.dict_mut().intern_iri("u:q");
+    let mid = b.dict_mut().intern_iri("u:m");
+    for i in 0..50 {
+        let s = b.dict_mut().intern_iri(format!("u:s{i}"));
+        let o = b.dict_mut().intern_iri(format!("u:o{i}"));
+        b.add(Triple::new(s, p, mid));
+        b.add(Triple::new(mid, q, o));
+    }
+    let ig = IndexedGraph::build(b.build());
+    let query = query_over(p, q, false);
+    let small = kgoa::engine::BaselineEngine { tuple_limit: 100 };
+    let err = small.evaluate(&ig, &query).unwrap_err();
+    assert!(matches!(err, kgoa::engine::EngineError::IntermediateResultLimit { .. }));
+    // CTJ handles the same query without materialization: 50×50 results.
+    let exact = CtjEngine.evaluate(&ig, &query).unwrap();
+    assert_eq!(exact.total(), 2500);
+}

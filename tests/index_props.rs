@@ -1,0 +1,238 @@
+//! Property-based tests of the index substrate: trie indexes, cursors and
+//! statistics must agree with naive scans on arbitrary triple sets.
+
+use kgoa_index::{IndexOrder, IndexedGraph, TrieCursor, TrieIndex};
+use kgoa_rdf::{subclass_closure, GraphBuilder, TermId, Triple};
+use proptest::prelude::*;
+
+fn triples_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((0u8..16, 0u8..6, 0u8..16), 0..60)
+}
+
+fn build(triples: &[(u8, u8, u8)]) -> Vec<Triple> {
+    // Map the small id spaces into disjoint raw id ranges so positions are
+    // distinguishable.
+    let mut ts: Vec<Triple> = triples
+        .iter()
+        .map(|(s, p, o)| Triple::from([*s as u32, 100 + *p as u32, 200 + *o as u32]))
+        .collect();
+    ts.sort_unstable();
+    ts.dedup();
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranges_agree_with_scan(raw in triples_strategy(), order_pick in 0usize..6) {
+        let triples = build(&raw);
+        let order = IndexOrder::ALL[order_pick];
+        let idx = TrieIndex::build(order, &triples);
+        prop_assert_eq!(idx.len(), triples.len());
+        let [a_pos, b_pos, _] = order.positions();
+        // Every 1-prefix range matches a scan count.
+        for t in &triples {
+            let a = t.get(a_pos).raw();
+            let expect = triples.iter().filter(|x| x.get(a_pos).raw() == a).count();
+            prop_assert_eq!(idx.range1(a).len(), expect);
+            let b = t.get(b_pos).raw();
+            let expect2 = triples
+                .iter()
+                .filter(|x| x.get(a_pos).raw() == a && x.get(b_pos).raw() == b)
+                .count();
+            prop_assert_eq!(idx.range2(a, b).len(), expect2);
+        }
+        // Missing keys yield empty ranges.
+        prop_assert!(idx.range1(99_999).is_empty());
+        prop_assert!(idx.range2(99_999, 1).is_empty());
+    }
+
+    #[test]
+    fn rows_decode_back_to_input(raw in triples_strategy(), order_pick in 0usize..6) {
+        let triples = build(&raw);
+        let order = IndexOrder::ALL[order_pick];
+        let idx = TrieIndex::build(order, &triples);
+        let mut decoded: Vec<Triple> = (0..idx.len() as u32).map(|i| idx.triple(i)).collect();
+        decoded.sort_unstable();
+        prop_assert_eq!(decoded, triples);
+    }
+
+    #[test]
+    fn cursor_enumerates_distinct_sorted_keys(raw in triples_strategy(), order_pick in 0usize..6) {
+        let triples = build(&raw);
+        prop_assume!(!triples.is_empty());
+        let order = IndexOrder::ALL[order_pick];
+        let idx = TrieIndex::build(order, &triples);
+        let [a_pos, b_pos, c_pos] = order.positions();
+        let mut cur = TrieCursor::over_index(&idx);
+        cur.open();
+        let mut seen = 0usize;
+        let mut prev_a: Option<u32> = None;
+        while !cur.at_end() {
+            let a = cur.key();
+            if let Some(pa) = prev_a {
+                prop_assert!(a > pa, "level-0 keys must be strictly increasing");
+            }
+            prev_a = Some(a);
+            // Descend and verify full leaf enumeration matches a scan.
+            cur.open();
+            while !cur.at_end() {
+                let b = cur.key();
+                cur.open();
+                while !cur.at_end() {
+                    let c = cur.key();
+                    let exists = triples.iter().any(|t| {
+                        t.get(a_pos).raw() == a && t.get(b_pos).raw() == b && t.get(c_pos).raw() == c
+                    });
+                    prop_assert!(exists, "cursor produced a phantom triple");
+                    seen += 1;
+                    cur.next_key();
+                }
+                cur.up();
+                cur.next_key();
+            }
+            cur.up();
+            cur.next_key();
+        }
+        prop_assert_eq!(seen, triples.len(), "cursor must visit every triple once");
+    }
+
+    #[test]
+    fn seek_is_lower_bound(raw in triples_strategy(), target in 0u32..20) {
+        let triples = build(&raw);
+        prop_assume!(!triples.is_empty());
+        let idx = TrieIndex::build(IndexOrder::Spo, &triples);
+        let mut cur = TrieCursor::over_index(&idx);
+        cur.open();
+        cur.seek(target);
+        let expected: Option<u32> = triples
+            .iter()
+            .map(|t| t.s.raw())
+            .filter(|s| *s >= target)
+            .min();
+        match expected {
+            Some(k) => {
+                prop_assert!(!cur.at_end());
+                prop_assert_eq!(cur.key(), k);
+            }
+            None => prop_assert!(cur.at_end()),
+        }
+    }
+
+    #[test]
+    fn stats_match_scans(raw in triples_strategy()) {
+        let triples = build(&raw);
+        let mut b = GraphBuilder::new();
+        for t in &triples {
+            // Re-intern through a dictionary to get a realistic graph.
+            let s = b.dict_mut().intern_iri(format!("u:s{}", t.s.raw()));
+            let p = b.dict_mut().intern_iri(format!("u:p{}", t.p.raw()));
+            let o = b.dict_mut().intern_iri(format!("u:o{}", t.o.raw()));
+            b.add(Triple::new(s, p, o));
+        }
+        let g = b.build();
+        let dedup: Vec<Triple> = g.triples().to_vec();
+        let ig = IndexedGraph::build(g);
+        let distinct = |f: fn(&Triple) -> u32| {
+            let mut v: Vec<u32> = dedup.iter().map(f).collect();
+            v.sort_unstable();
+            v.dedup();
+            v.len() as u64
+        };
+        prop_assert_eq!(ig.stats().triples, dedup.len() as u64);
+        prop_assert_eq!(ig.stats().distinct_subjects, distinct(|t| t.s.raw()));
+        prop_assert_eq!(ig.stats().distinct_predicates, distinct(|t| t.p.raw()));
+        prop_assert_eq!(ig.stats().distinct_objects, distinct(|t| t.o.raw()));
+        // Per-predicate stats.
+        for t in &dedup {
+            let ps = ig.stats().predicate(t.p.raw());
+            let matching: Vec<&Triple> = dedup.iter().filter(|x| x.p == t.p).collect();
+            prop_assert_eq!(ps.triples, matching.len() as u64);
+            let mut subj: Vec<u32> = matching.iter().map(|x| x.s.raw()).collect();
+            subj.sort_unstable();
+            subj.dedup();
+            prop_assert_eq!(ps.distinct_subjects, subj.len() as u64);
+        }
+    }
+
+    #[test]
+    fn sampling_is_uniform_over_range(raw in triples_strategy()) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let triples = build(&raw);
+        prop_assume!(triples.len() >= 4);
+        let idx = TrieIndex::build(IndexOrder::Spo, &triples);
+        let range = idx.full_range();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = vec![0u32; triples.len()];
+        let draws = 200 * triples.len();
+        for _ in 0..draws {
+            let pos = range.pick(&mut rng).expect("non-empty");
+            counts[pos as usize] += 1;
+        }
+        // Every row is sampled; chi-square style sanity: no row gets more
+        // than 4x its fair share.
+        let fair = draws as f64 / triples.len() as f64;
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert!(*c > 0, "row {i} never sampled");
+            prop_assert!((*c as f64) < 4.0 * fair, "row {i} oversampled: {c}");
+        }
+    }
+
+    #[test]
+    fn subclass_closure_is_reflexive_transitive(edges in proptest::collection::vec((0u32..10, 0u32..10), 0..25)) {
+        const TYPE: TermId = TermId(90);
+        const SUB: TermId = TermId(91);
+        let triples: Vec<Triple> = edges
+            .iter()
+            .map(|(a, b)| Triple::new(TermId(*a), SUB, TermId(*b)))
+            .collect();
+        let closure = subclass_closure(&triples, TYPE, SUB);
+        let set: std::collections::HashSet<(TermId, TermId)> = closure.iter().copied().collect();
+        // Reflexive over every class mentioned.
+        for (a, b) in &edges {
+            prop_assert!(set.contains(&(TermId(*a), TermId(*a))));
+            prop_assert!(set.contains(&(TermId(*b), TermId(*b))));
+        }
+        // Contains every direct edge.
+        for (a, b) in &edges {
+            prop_assert!(set.contains(&(TermId(*a), TermId(*b))));
+        }
+        // Transitive: (x,y) ∧ (y,z) ⇒ (x,z).
+        for &(x, y) in &set {
+            for &(y2, z) in &set {
+                if y == y2 {
+                    prop_assert!(set.contains(&(x, z)), "missing ({x}, {z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_merge_equals_rebuild_prop(
+        base in triples_strategy(),
+        adds in triples_strategy(),
+        dels in triples_strategy(),
+    ) {
+        use kgoa_index::UpdateBatch;
+        let base = build(&base);
+        let batch = UpdateBatch {
+            insert: build(&adds),
+            delete: build(&dels),
+        };
+        for order in [IndexOrder::Spo, IndexOrder::Pos] {
+            let idx = TrieIndex::build(order, &base);
+            let merged = idx.merged(&batch);
+            let mut expected: Vec<Triple> = base
+                .iter()
+                .filter(|t| !batch.delete.contains(t))
+                .copied()
+                .collect();
+            expected.extend(batch.insert.iter().filter(|t| !batch.delete.contains(t)));
+            expected.sort_unstable();
+            expected.dedup();
+            let rebuilt = TrieIndex::build(order, &expected);
+            prop_assert_eq!(merged.rows(), rebuilt.rows(), "order {}", order);
+        }
+    }
+}

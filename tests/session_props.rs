@@ -1,0 +1,99 @@
+//! Property-based tests of the exploration session: arbitrary interaction
+//! sequences must keep the session's invariants — every expansion query
+//! validates, chart counts agree with the post-selection focus, and the
+//! Fig. 3 transition system is respected.
+
+use kgoa::prelude::*;
+use kgoa_explore::ChartKind;
+use proptest::prelude::*;
+
+fn ig() -> IndexedGraph {
+    IndexedGraph::build(kgoa::datagen::generate(&KgConfig::dbpedia_like(Scale::Tiny)))
+}
+
+/// An interaction: which valid expansion to take (modulo the number of
+/// valid ones) and which bar to click (modulo chart size).
+type Script = Vec<(u8, u8)>;
+
+fn script() -> impl Strategy<Value = Script> {
+    proptest::collection::vec((0u8..8, 0u8..8), 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn arbitrary_interactions_keep_invariants(script in script()) {
+        let ig = ig();
+        let mut session = Session::root(&ig);
+        for (exp_pick, bar_pick) in script {
+            let valid = session.valid_expansions().to_vec();
+            prop_assert!(!valid.is_empty());
+            let exp = valid[exp_pick as usize % valid.len()];
+            // The query must validate and be evaluable.
+            let chart = session.expand(exp, &CtjEngine).expect("expansion evaluates");
+            prop_assert_eq!(chart.kind, exp.produces());
+            if chart.is_empty() {
+                break; // dead end, like the generator
+            }
+            // Bars are sorted descending.
+            for w in chart.bars.windows(2) {
+                prop_assert!(w[0].count >= w[1].count);
+            }
+            let bar = &chart.bars[bar_pick as usize % chart.len()];
+            let clicked_count = bar.count;
+            let clicked_kind = chart.kind;
+            session.select(bar.category).expect("selection folds");
+            let focus = session.focus_size().expect("focus size") as f64;
+            match (clicked_kind, exp) {
+                // Class bars from subclass expansions and property bars
+                // count exactly the focus members.
+                (ChartKind::Class, Expansion::Subclass)
+                | (ChartKind::OutProperty, _)
+                | (ChartKind::InProperty, _) => {
+                    prop_assert!(
+                        (focus - clicked_count).abs() < 0.5,
+                        "focus {focus} vs bar {clicked_count}"
+                    );
+                }
+                // Object/subject charts group by *explicit* type but
+                // selection applies the subclass closure (§IV-A remark), so
+                // the focus can only be at least the bar.
+                (ChartKind::Class, _) => {
+                    prop_assert!(
+                        focus + 0.5 >= clicked_count,
+                        "closure focus {focus} smaller than bar {clicked_count}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_queries_round_trip_through_sparql(script in script()) {
+        let ig = ig();
+        let mut session = Session::root(&ig);
+        for (exp_pick, bar_pick) in script {
+            let valid = session.valid_expansions().to_vec();
+            let exp = valid[exp_pick as usize % valid.len()];
+            let query = session.expansion_query(exp).expect("query");
+            // Render to SPARQL and parse back: same structure.
+            let text = kgoa::query::to_sparql(&query, ig.dict());
+            let reparsed = kgoa::query::parse_query(&text, ig.dict()).expect("reparse");
+            prop_assert_eq!(reparsed.patterns().len(), query.patterns().len());
+            prop_assert_eq!(reparsed.distinct(), query.distinct());
+            // And both give the same exact answer.
+            let a = CtjEngine.evaluate(&ig, &query).expect("a");
+            let b = CtjEngine.evaluate(&ig, &reparsed).expect("b");
+            prop_assert_eq!(a.len(), b.len());
+            prop_assert_eq!(a.total(), b.total());
+
+            let chart = session.expand(exp, &CtjEngine).expect("chart");
+            if chart.is_empty() {
+                break;
+            }
+            let bar = &chart.bars[bar_pick as usize % chart.len()];
+            session.select(bar.category).expect("select");
+        }
+    }
+}
