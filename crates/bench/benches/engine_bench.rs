@@ -1,21 +1,18 @@
-//! Criterion benchmarks for the exact engines on the Fig. 8 query set:
-//! the CTJ-vs-LFTJ cache effect and the baseline's materialization cost.
+//! Micro-benchmarks for the exact engines on the Fig. 8 query set: the
+//! CTJ-vs-LFTJ cache effect and the baseline's materialization cost.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgoa_bench::microbench::{black_box, Runner};
 use kgoa_bench::{fig8_queries, load_datasets, prepare_workload, BenchConfig};
 use kgoa_datagen::Scale;
-use kgoa_engine::{
-    BaselineEngine, CountEngine, CtjEngine, LftjEngine, YannakakisEngine,
-};
+use kgoa_engine::{BaselineEngine, CountEngine, CtjEngine, LftjEngine, YannakakisEngine};
 
-fn bench_engines(c: &mut Criterion) {
+fn main() {
     let cfg = BenchConfig { scale: Scale::Small, runs: 6, max_steps: 3, ..BenchConfig::default() };
     let datasets = load_datasets(cfg.scale);
     let workload = prepare_workload(&datasets, &cfg);
     let queries = fig8_queries(&datasets, &workload);
 
-    let mut group = c.benchmark_group("exact_engines");
-    group.sample_size(10);
+    let runner = Runner::from_args().with_samples(10);
     for (label, di, query) in &queries {
         let ig = &datasets[*di].ig;
         let engines: Vec<Box<dyn CountEngine>> = vec![
@@ -25,21 +22,9 @@ fn bench_engines(c: &mut Criterion) {
             Box::new(BaselineEngine::default()),
         ];
         for engine in engines {
-            group.bench_with_input(
-                BenchmarkId::new(engine.name(), label),
-                query,
-                |b, query| {
-                    b.iter(|| black_box(engine.evaluate(ig, query)));
-                },
-            );
+            runner.bench(&format!("exact_engines/{}/{label}", engine.name()), || {
+                black_box(engine.evaluate(ig, query)).ok();
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = bench_engines
-}
-criterion_main!(benches);

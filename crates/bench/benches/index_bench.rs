@@ -1,18 +1,18 @@
-//! Criterion micro-benchmarks for the hybrid hashtable/trie indexes: build
-//! time, O(1) prefix range lookups, O(1) sampling, and trie-cursor seeks.
+//! Micro-benchmarks for the hybrid hashtable/trie indexes: build time,
+//! O(1) prefix range lookups, O(1) sampling, and trie-cursor seeks.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kgoa_bench::microbench::{black_box, Runner};
 use kgoa_datagen::{generate, KgConfig, Scale};
 use kgoa_index::{IndexOrder, IndexedGraph, TrieCursor, TrieIndex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn bench_index(c: &mut Criterion) {
+fn bench_index(runner: &Runner) {
     let graph = generate(&KgConfig::dbpedia_like(Scale::Small));
     let triples = graph.triples().to_vec();
 
-    c.bench_function("index/build_pso", |b| {
-        b.iter(|| TrieIndex::build(IndexOrder::Pso, black_box(&triples)))
+    runner.bench("index/build_pso", || {
+        black_box(TrieIndex::build(IndexOrder::Pso, black_box(&triples)));
     });
 
     let ig = IndexedGraph::build(graph);
@@ -27,51 +27,43 @@ fn bench_index(c: &mut Criterion) {
         .take(1024)
         .collect();
 
-    c.bench_function("index/range1", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % keys.len();
-            black_box(pso.range1(keys[i].0))
-        })
+    let mut i = 0;
+    runner.bench("index/range1", || {
+        i = (i + 1) % keys.len();
+        black_box(pso.range1(keys[i].0));
     });
 
-    c.bench_function("index/range2", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % keys.len();
-            black_box(pso.range2(keys[i].0, keys[i].1))
-        })
+    let mut i = 0;
+    runner.bench("index/range2", || {
+        i = (i + 1) % keys.len();
+        black_box(pso.range2(keys[i].0, keys[i].1));
     });
 
-    c.bench_function("index/sample_from_range", |b| {
-        let mut rng = SmallRng::seed_from_u64(7);
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % keys.len();
-            let r = pso.range1(keys[i].0);
-            black_box(r.pick(&mut rng))
-        })
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut i = 0;
+    runner.bench("index/sample_from_range", || {
+        i = (i + 1) % keys.len();
+        let r = pso.range1(keys[i].0);
+        black_box(r.pick(&mut rng));
     });
 
-    c.bench_function("index/cursor_seek_scan", |b| {
-        let mut rng = SmallRng::seed_from_u64(8);
-        b.iter(|| {
-            let mut cur = TrieCursor::over_index(pso);
-            cur.open();
-            let mut n = 0u32;
-            while !cur.at_end() && n < 64 {
-                black_box(cur.key());
-                // Seek a random amount forward to exercise the gallop path.
-                let jump: u32 = rng.gen_range(1..1000);
-                cur.seek(cur.key().saturating_add(jump));
-                n += 1;
-            }
-            n
-        })
+    let mut rng = SmallRng::seed_from_u64(8);
+    runner.bench("index/cursor_seek_scan", || {
+        let mut cur = TrieCursor::over_index(pso);
+        cur.open();
+        let mut n = 0u32;
+        while !cur.at_end() && n < 64 {
+            black_box(cur.key());
+            // Seek a random amount forward to exercise the gallop path.
+            let jump: u32 = rng.gen_range(1..1000);
+            cur.seek(cur.key().saturating_add(jump));
+            n += 1;
+        }
+        black_box(n);
     });
 }
 
-fn bench_updates(c: &mut Criterion) {
+fn bench_updates(runner: &Runner) {
     use kgoa_index::UpdateBatch;
     use kgoa_rdf::Triple;
     let graph = generate(&KgConfig::dbpedia_like(Scale::Small));
@@ -85,28 +77,25 @@ fn bench_updates(c: &mut Criterion) {
         .map(|t| Triple::new(t.o, t.p, t.s))
         .collect();
 
-    c.bench_function("update/merge_batch", |b| {
-        let batch = UpdateBatch::inserting(batch.clone());
-        b.iter(|| black_box(kgoa_index::apply_batch(&ig, dict.clone(), &batch)))
+    let insert = UpdateBatch::inserting(batch.clone());
+    runner.bench("update/merge_batch", || {
+        black_box(kgoa_index::apply_batch(&ig, dict.clone(), &insert));
     });
 
-    c.bench_function("update/full_rebuild", |b| {
-        b.iter(|| {
-            let mut all = triples.clone();
-            all.extend_from_slice(&batch);
-            all.sort_unstable();
-            all.dedup();
-            black_box(kgoa_index::TrieIndex::build(IndexOrder::Spo, &all));
-            black_box(kgoa_index::TrieIndex::build(IndexOrder::Ops, &all));
-            black_box(kgoa_index::TrieIndex::build(IndexOrder::Pso, &all));
-            black_box(kgoa_index::TrieIndex::build(IndexOrder::Pos, &all));
-        })
+    runner.bench("update/full_rebuild", || {
+        let mut all = triples.clone();
+        all.extend_from_slice(&batch);
+        all.sort_unstable();
+        all.dedup();
+        black_box(kgoa_index::TrieIndex::build(IndexOrder::Spo, &all));
+        black_box(kgoa_index::TrieIndex::build(IndexOrder::Ops, &all));
+        black_box(kgoa_index::TrieIndex::build(IndexOrder::Pso, &all));
+        black_box(kgoa_index::TrieIndex::build(IndexOrder::Pos, &all));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_index, bench_updates
+fn main() {
+    let runner = Runner::from_args().with_samples(20);
+    bench_index(&runner);
+    bench_updates(&runner);
 }
-criterion_main!(benches);

@@ -1,13 +1,13 @@
-//! Criterion micro-benchmarks for the online-aggregation hot path: Wander
-//! Join and Audit Join walk throughput (the paper reports ≈2.5 µs per
-//! sample for both, §V-C).
+//! Micro-benchmarks for the online-aggregation hot path: Wander Join and
+//! Audit Join walk throughput (the paper reports ≈2.5 µs per sample for
+//! both, §V-C).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kgoa_bench::microbench::Runner;
 use kgoa_bench::{load_datasets, prepare_workload, BenchConfig};
 use kgoa_core::{run_walks, AuditJoin, AuditJoinConfig, WanderJoin};
 use kgoa_datagen::Scale;
 
-fn bench_walks(c: &mut Criterion) {
+fn main() {
     let cfg = BenchConfig { scale: Scale::Small, runs: 6, max_steps: 3, ..BenchConfig::default() };
     let datasets = load_datasets(cfg.scale);
     let workload = prepare_workload(&datasets, &cfg);
@@ -18,38 +18,27 @@ fn bench_walks(c: &mut Criterion) {
         .expect("workload is non-empty");
     let ig = &datasets[q.dataset].ig;
 
-    c.bench_function("walk/wander_join", |b| {
-        let mut wj = WanderJoin::new(ig, &q.generated.query, 1).expect("wj");
-        run_walks(&mut wj, 1000); // warm up
-        b.iter(|| wj.walk());
-    });
+    let runner = Runner::from_args().with_samples(30);
 
-    c.bench_function("walk/audit_join", |b| {
-        let mut aj = AuditJoin::new(
-            ig,
-            &q.generated.query,
-            AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: 1 },
-        )
-        .expect("aj");
-        run_walks(&mut aj, 1000); // warm caches
-        b.iter(|| aj.walk());
-    });
+    let mut wj = WanderJoin::new(ig, &q.generated.query, 1).expect("wj");
+    run_walks(&mut wj, 1000); // warm up
+    runner.bench("walk/wander_join", || wj.walk());
 
-    c.bench_function("walk/audit_join_no_tipping", |b| {
-        let mut aj = AuditJoin::new(
-            ig,
-            &q.generated.query,
-            AuditJoinConfig { tipping_threshold: 0.0, seed: 1 },
-        )
-        .expect("aj");
-        run_walks(&mut aj, 1000);
-        b.iter(|| aj.walk());
-    });
+    let mut aj = AuditJoin::new(
+        ig,
+        &q.generated.query,
+        AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: 1 },
+    )
+    .expect("aj");
+    run_walks(&mut aj, 1000); // warm caches
+    runner.bench("walk/audit_join", || aj.walk());
+
+    let mut aj = AuditJoin::new(
+        ig,
+        &q.generated.query,
+        AuditJoinConfig { tipping_threshold: 0.0, seed: 1 },
+    )
+    .expect("aj");
+    run_walks(&mut aj, 1000);
+    runner.bench("walk/audit_join_no_tipping", || aj.walk());
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_walks
-}
-criterion_main!(benches);

@@ -14,6 +14,8 @@
 //!   ablate-cache    CTJ vs LFTJ (A2)
 //!   ablate-order    WJ walk-order selection (A3)
 //!   verify          all exact engines agree on the whole workload
+//!   parallel        parallel Audit Join scaling (merged estimators)
+//!   deadlines       supervised execution under a deadline sweep
 //!   all             everything above
 //!
 //! options:
@@ -32,13 +34,14 @@ use std::time::{Duration, Instant};
 
 use kgoa_bench::{
     ablate_cache, ablate_order, ablate_tipping, fig11, fig8, fig9_10, load_datasets,
-    parallel_scaling, prepare_workload, sample_time, table1, verify_engines, BenchConfig,
+    deadline_sweep, parallel_scaling, prepare_workload, sample_time, table1, verify_engines,
+    BenchConfig,
 };
 use kgoa_datagen::Scale;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <table1|fig8|fig9|fig10|fig11|sampletime|ablate-tipping|ablate-cache|ablate-order|verify|all> \
+        "usage: repro <table1|fig8|fig9|fig10|fig11|sampletime|ablate-tipping|ablate-cache|ablate-order|verify|parallel|deadlines|all> \
          [--scale S] [--ticks N] [--tick-ms N] [--runs N] [--steps N] [--seed N] [--tipping X] [--paper]"
     );
     ExitCode::FAILURE
@@ -129,6 +132,7 @@ fn main() -> ExitCode {
             "ablate-order" => Some(ablate_order(&datasets, &workload, &cfg)),
             "verify" => Some(verify_engines(&datasets, &workload)),
             "parallel" => Some(parallel_scaling(&datasets, &workload, &cfg)),
+            "deadlines" => Some(deadline_sweep(&datasets, &workload, &cfg)),
             _ => None,
         }
     };
@@ -145,6 +149,7 @@ fn main() -> ExitCode {
         "ablate-cache",
         "ablate-order",
         "parallel",
+        "deadlines",
     ];
     // One experiment, a comma-separated list, or "all".
     let selected: Vec<&str> = if experiment == "all" {

@@ -3,7 +3,7 @@
 //! `repro` binary is a thin CLI over these.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use kgoa_core::{run_walks, AuditJoin, AuditJoinConfig, OnlineAggregator, WanderJoin};
 use kgoa_engine::{
@@ -568,6 +568,73 @@ pub fn parallel_scaling(
     out
 }
 
+/// Robustness experiment: the supervisor's exact → approximate
+/// degradation ladder across a sweep of deadlines. Short deadlines must
+/// degrade to Audit Join estimates (with confidence intervals and a
+/// provenance record); generous deadlines must come back exact. Either
+/// way the user gets an answer — the column to watch is how the error
+/// budget shrinks as the latency budget grows.
+pub fn deadline_sweep(
+    datasets: &[Dataset],
+    workload: &[PreparedQuery],
+    cfg: &BenchConfig,
+) -> String {
+    use kgoa_core::{supervise, SupervisedResult, SupervisorConfig};
+    let mut out = String::new();
+    writeln!(out, "## Robustness — supervised execution under a deadline sweep\n").unwrap();
+    let Some(q) = workload.iter().max_by_key(|q| q.generated.step) else {
+        return out;
+    };
+    let ig = &datasets[q.dataset].ig;
+    writeln!(out, "query: {}", q.id).unwrap();
+    writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "deadline", "outcome", "elapsed", "walks", "MAE", "CI"
+    )
+    .unwrap();
+    for ms in [1u64, 5, 20, 50, 200, 1000] {
+        let config = SupervisorConfig {
+            deadline: Duration::from_millis(ms),
+            audit: AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: cfg.seed },
+            ..SupervisorConfig::default()
+        };
+        match supervise(ig, &q.generated.query, &config) {
+            Ok(SupervisedResult::Exact { counts, elapsed }) => {
+                assert_eq!(counts, q.exact_distinct, "supervised exact must match ground truth");
+                writeln!(
+                    out,
+                    "{:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+                    format!("{ms}ms"),
+                    "exact",
+                    fmt_duration(elapsed),
+                    "-",
+                    "0%",
+                    "-"
+                )
+                .unwrap();
+            }
+            Ok(SupervisedResult::Degraded { estimates, provenance }) => {
+                writeln!(
+                    out,
+                    "{:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+                    format!("{ms}ms"),
+                    provenance.estimator,
+                    fmt_duration(provenance.elapsed),
+                    provenance.walks,
+                    fmt_pct(kgoa_engine::mean_absolute_error(&q.exact_distinct, &estimates)),
+                    fmt_pct(kgoa_engine::mean_ci_width(&q.exact_distinct, &estimates)),
+                )
+                .unwrap();
+            }
+            Err(e) => {
+                writeln!(out, "{:>10} {:>10}   {e}", format!("{ms}ms"), "error").unwrap();
+            }
+        }
+    }
+    out
+}
+
 /// Sanity experiment: all exact engines agree on the whole workload. The
 /// fast engines (CTJ, Yannakakis) are checked on every query; the
 /// enumeration-bound engines (LFTJ, baseline) only where the plain join
@@ -670,5 +737,15 @@ mod tests {
         let (datasets, workload, _) = tiny();
         let r = verify_engines(&datasets, &workload);
         assert!(r.contains("agree"));
+    }
+
+    #[test]
+    fn deadline_sweep_reports_every_deadline() {
+        let (datasets, workload, cfg) = tiny();
+        let r = deadline_sweep(&datasets, &workload, &cfg);
+        assert!(r.contains("deadline"));
+        for ms in ["1ms", "5ms", "20ms", "50ms", "200ms", "1000ms"] {
+            assert!(r.contains(ms), "missing row for {ms}:\n{r}");
+        }
     }
 }

@@ -3,18 +3,19 @@
 //! Benchmark harness regenerating every table and figure of the paper's
 //! evaluation (§V): Table I, Figs. 8–11, the §V-C sample-time numbers, and
 //! three ablations of the design choices DESIGN.md calls out. The `repro`
-//! binary is a CLI over [`experiments`]; Criterion micro-benchmarks live
-//! under `benches/`.
+//! binary is a CLI over [`experiments`]; micro-benchmarks live under
+//! `benches/` on the self-contained [`microbench`] harness.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod metrics;
+pub mod microbench;
 pub mod workload;
 
 pub use experiments::{
-    ablate_cache, ablate_order, ablate_tipping, fig11, fig8, fig8_queries, fig9_10,
-    parallel_scaling, sample_time, table1, verify_engines,
+    ablate_cache, ablate_order, ablate_tipping, deadline_sweep, fig11, fig8, fig8_queries,
+    fig9_10, parallel_scaling, sample_time, table1, verify_engines,
 };
 pub use metrics::{fmt_duration, fmt_pct, selectivity, tukey, Tukey};
 pub use workload::{

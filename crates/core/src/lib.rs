@@ -13,7 +13,10 @@
 //!   count-distinct estimator (`Σ_b Pr(a,b,δ) / (Pr(a,b)·Pr(δ))`);
 //! - [`OnlineAggregator`] with [`run_walks`] / [`run_timed`] runners and
 //!   CLT confidence intervals;
-//! - walk-order selection ([`select_plan`]) per §V-B.
+//! - walk-order selection ([`select_plan`]) per §V-B;
+//! - resource-governed execution ([`supervise`]): deadlines, cooperative
+//!   cancellation, panic isolation, and exact → approximate graceful
+//!   degradation with [`Degraded`] provenance.
 //!
 //! The unbiasedness claims (Props. IV.1 and IV.2) are verified by exact
 //! expectation tests in `tests/unbiasedness.rs` at the workspace root:
@@ -30,13 +33,20 @@ pub mod online;
 pub mod parallel;
 pub mod order;
 pub mod pinned;
+pub mod supervisor;
 pub mod wander;
 
 pub use accum::{GroupAccumulator, WalkStats, Z_95};
 pub use aggregate::{exact_group_sums, AggregateEstimates, NumericValues, SumAuditJoin};
-pub use audit::{suffix_group_counts, suffix_masses, AuditJoin, AuditJoinConfig};
-pub use online::{run_timed, run_walks, OnlineAggregator, Snapshot};
-pub use parallel::{run_parallel, Budget, ParallelAlgo, ParallelOutcome};
+pub use audit::{
+    suffix_group_counts, suffix_masses, try_suffix_group_counts, try_suffix_masses, AuditJoin,
+    AuditJoinConfig,
+};
+pub use online::{run_governed, run_timed, run_walks, OnlineAggregator, Snapshot};
+pub use parallel::{run_parallel, Budget, ParallelAlgo, ParallelError, ParallelOutcome};
+pub use supervisor::{
+    supervise, DegradeReason, Degraded, SupervisedResult, SupervisorConfig, SupervisorError,
+};
 pub use order::{score_orders, select_plan, select_plan_audit, OrderScore, OrderSelection};
 pub use pinned::PrAb;
 pub use wander::WanderJoin;

@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use kgoa_engine::GroupedEstimates;
+use kgoa_engine::{BudgetExceeded, ExecBudget, GroupedEstimates};
 
 use crate::accum::WalkStats;
 
@@ -20,6 +20,17 @@ pub trait OnlineAggregator {
 
     /// Perform one random walk (one estimator sample).
     fn step(&mut self);
+
+    /// Perform one walk under a cooperative budget. The default checks the
+    /// budget between walks only; [`crate::WanderJoin`] and
+    /// [`crate::AuditJoin`] override it with mid-walk cancellation.
+    fn step_governed(&mut self, budget: &ExecBudget) -> Result<(), BudgetExceeded> {
+        budget.fault_walk();
+        budget.charge_walk()?;
+        budget.check()?;
+        self.step();
+        Ok(())
+    }
 
     /// Snapshot the current per-group estimates and confidence intervals.
     fn estimates(&self) -> GroupedEstimates;
@@ -43,6 +54,29 @@ pub struct Snapshot {
 pub fn run_walks<A: OnlineAggregator + ?Sized>(agg: &mut A, walks: u64) {
     for _ in 0..walks {
         agg.step();
+    }
+}
+
+/// Step the aggregator until its budget trips, and report why it stopped.
+///
+/// The budget **must** be bounded (a deadline, walk limit, or eventual
+/// cancellation) — with a truly unlimited budget this would spin forever,
+/// so that case returns immediately with a zero-walk
+/// [`kgoa_engine::BudgetReason::WalkLimit`] violation instead.
+pub fn run_governed<A: OnlineAggregator + ?Sized>(
+    agg: &mut A,
+    budget: &ExecBudget,
+) -> BudgetExceeded {
+    if budget.is_unlimited() {
+        return BudgetExceeded {
+            reason: kgoa_engine::BudgetReason::WalkLimit { limit: 0 },
+            elapsed: Duration::ZERO,
+        };
+    }
+    loop {
+        if let Err(stop) = agg.step_governed(budget) {
+            return stop;
+        }
     }
 }
 

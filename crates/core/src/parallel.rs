@@ -13,16 +13,26 @@
 //! would serialize the hot path); the cost is some duplicated exact
 //! computation, which the per-walk measurements in the benchmark harness
 //! show to be minor.
+//!
+//! **Fault isolation.** Every worker runs inside `catch_unwind`: a worker
+//! that panics is logged and its partial accumulator discarded, while the
+//! merged estimator remains the unbiased estimator over the union of the
+//! *surviving* workers' independent samples (dropping a whole worker
+//! discards complete, independently-seeded sample sets, so no bias is
+//! introduced — only variance). Only when every worker fails does the run
+//! return [`ParallelError::AllWorkersFailed`].
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
-use kgoa_engine::GroupedEstimates;
+use kgoa_engine::{ExecBudget, GroupedEstimates};
 use kgoa_index::IndexedGraph;
 use kgoa_query::{ExplorationQuery, QueryError, WalkPlan};
 
 use crate::accum::{GroupAccumulator, WalkStats};
 use crate::audit::{AuditJoin, AuditJoinConfig};
-use crate::online::{run_timed, run_walks, OnlineAggregator};
+use crate::online::{run_governed, run_timed, run_walks, OnlineAggregator};
 use crate::wander::WanderJoin;
 
 /// Which algorithm a parallel run executes.
@@ -39,25 +49,74 @@ pub enum ParallelAlgo {
 #[derive(Debug, Clone)]
 pub struct ParallelOutcome {
     /// Merged per-group estimates with confidence intervals over the union
-    /// of all workers' walks.
+    /// of all surviving workers' walks.
     pub estimates: GroupedEstimates,
-    /// Merged walk counters.
+    /// Merged walk counters (surviving workers only).
     pub stats: WalkStats,
     /// Number of worker threads that ran.
     pub threads: usize,
+    /// Workers whose panic was isolated and whose partial accumulator was
+    /// discarded. `0` on a healthy run.
+    pub workers_panicked: usize,
 }
 
 /// How long the workers run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub enum Budget {
     /// A fixed number of walks per worker (deterministic).
     WalksPerWorker(u64),
     /// A wall-clock budget (each worker runs until the deadline).
     Time(Duration),
+    /// A shared [`ExecBudget`]: all workers step under the same deadline /
+    /// cancellation flag / walk counters and stop when it trips.
+    Exec(ExecBudget),
+}
+
+/// Errors from [`run_parallel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelError {
+    /// `threads == 0` was requested.
+    NoThreads,
+    /// The query failed validation or planning (all workers see the same
+    /// query, so this is reported once).
+    Query(QueryError),
+    /// Every worker panicked; there is no surviving estimator to merge.
+    AllWorkersFailed {
+        /// How many workers were started (and lost).
+        workers: usize,
+    },
+}
+
+impl fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelError::NoThreads => write!(f, "at least one worker thread is required"),
+            ParallelError::Query(e) => write!(f, "query error: {e}"),
+            ParallelError::AllWorkersFailed { workers } => {
+                write!(f, "all {workers} worker threads panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParallelError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for ParallelError {
+    fn from(e: QueryError) -> Self {
+        ParallelError::Query(e)
+    }
 }
 
 /// Run `threads` independent aggregators over the same query and merge
-/// their estimators.
+/// their estimators. Worker panics are isolated (see the module docs);
+/// query errors and a zero thread count are reported as typed errors.
 pub fn run_parallel(
     ig: &IndexedGraph,
     query: &ExplorationQuery,
@@ -66,50 +125,86 @@ pub fn run_parallel(
     threads: usize,
     budget: Budget,
     seed: u64,
-) -> Result<ParallelOutcome, QueryError> {
-    assert!(threads >= 1, "at least one worker");
-    let results: Vec<Result<(GroupAccumulator, WalkStats), QueryError>> =
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let plan = plan.clone();
-                let query = query.clone();
-                let worker_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1));
-                handles.push(scope.spawn(move |_| -> Result<(GroupAccumulator, WalkStats), QueryError> {
-                    match algo {
-                        ParallelAlgo::WanderJoin => {
-                            let mut wj = WanderJoin::with_plan(ig, &query, plan, worker_seed)?;
-                            drive(&mut wj, budget);
-                            Ok((wj.accumulator().clone(), wj.stats()))
+) -> Result<ParallelOutcome, ParallelError> {
+    if threads == 0 {
+        return Err(ParallelError::NoThreads);
+    }
+    type WorkerResult = Result<Result<(GroupAccumulator, WalkStats), QueryError>, ()>;
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let plan = plan.clone();
+            let query = query.clone();
+            let budget = budget.clone();
+            let worker_seed =
+                seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1));
+            handles.push(scope.spawn(move || -> WorkerResult {
+                catch_unwind(AssertUnwindSafe(
+                    || -> Result<(GroupAccumulator, WalkStats), QueryError> {
+                        if let Budget::Exec(b) = &budget {
+                            b.fault_worker_delay(t);
                         }
-                        ParallelAlgo::AuditJoin(cfg) => {
-                            let cfg = AuditJoinConfig { seed: worker_seed, ..cfg };
-                            let mut aj = AuditJoin::with_plan(ig, &query, plan, cfg)?;
-                            drive(&mut aj, budget);
-                            Ok((aj.accumulator().clone(), aj.stats()))
+                        match algo {
+                            ParallelAlgo::WanderJoin => {
+                                let mut wj = WanderJoin::with_plan(ig, &query, plan, worker_seed)?;
+                                drive(&mut wj, &budget);
+                                Ok((wj.accumulator().clone(), wj.stats()))
+                            }
+                            ParallelAlgo::AuditJoin(cfg) => {
+                                let cfg = AuditJoinConfig { seed: worker_seed, ..cfg };
+                                let mut aj = AuditJoin::with_plan(ig, &query, plan, cfg)?;
+                                drive(&mut aj, &budget);
+                                Ok((aj.accumulator().clone(), aj.stats()))
+                            }
                         }
-                    }
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("scope");
+                    },
+                ))
+                .map_err(|_| ())
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Err(())))
+            .collect()
+    });
 
     let mut accum = GroupAccumulator::new();
     let mut stats = WalkStats::default();
+    let mut workers_panicked = 0usize;
     for r in results {
-        let (a, s) = r?;
-        accum.merge_from(&a);
-        stats.merge_from(&s);
+        match r {
+            Ok(worker) => {
+                let (a, s) = worker?;
+                accum.merge_from(&a);
+                stats.merge_from(&s);
+            }
+            Err(()) => {
+                // The worker panicked: its partial accumulator died with it.
+                // The merged estimator over the survivors is still unbiased.
+                eprintln!("kgoa: parallel worker panicked; discarding its partial estimator");
+                workers_panicked += 1;
+            }
+        }
     }
-    Ok(ParallelOutcome { estimates: accum.estimates(stats.walks), stats, threads })
+    if workers_panicked == threads {
+        return Err(ParallelError::AllWorkersFailed { workers: threads });
+    }
+    Ok(ParallelOutcome {
+        estimates: accum.estimates(stats.walks),
+        stats,
+        threads,
+        workers_panicked,
+    })
 }
 
-fn drive<A: OnlineAggregator>(agg: &mut A, budget: Budget) {
+fn drive<A: OnlineAggregator>(agg: &mut A, budget: &Budget) {
     match budget {
-        Budget::WalksPerWorker(n) => run_walks(agg, n),
+        Budget::WalksPerWorker(n) => run_walks(agg, *n),
         Budget::Time(d) => {
-            run_timed(agg, 1, d);
+            run_timed(agg, 1, *d);
+        }
+        Budget::Exec(b) => {
+            run_governed(agg, b);
         }
     }
 }

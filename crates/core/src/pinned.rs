@@ -15,12 +15,20 @@
 //! see at step `i` under γ — an O(1) index lookup per step. Results are
 //! cached per (a, b) pair.
 
+use kgoa_engine::{BudgetExceeded, BudgetMeter, ExecBudget};
 use kgoa_index::{pack2, FxHashMap, IndexOrder, IndexedGraph};
 use kgoa_query::{
     pattern_cardinality, ExplorationQuery, PatternTerm, QueryError, TriplePattern, Var,
     WalkAccess, WalkPlan,
 };
 use kgoa_rdf::{Position, TermId};
+
+/// Internal: a pinned computation fails either on an unplannable pinned
+/// query (impossible for queries accepted by [`PrAb::new`]) or a budget trip.
+enum PinError {
+    Query(QueryError),
+    Budget(BudgetExceeded),
+}
 
 /// One step of the pinned enumeration.
 struct PinStep {
@@ -51,16 +59,35 @@ impl<'g> PrAb<'g> {
     /// `Pr(a, b)`: summed probability of all full walks assigning `a` to α
     /// and `b` to β.
     pub fn pr(&mut self, a: u32, b: u32) -> f64 {
-        let key = pack2(a, b);
-        if let Some(&p) = self.cache.get(&key) {
-            return p;
-        }
-        let p = self.compute(a, b).expect("pinned plan for a valid query");
-        self.cache.insert(key, p);
-        p
+        let mut meter = ExecBudget::unlimited().meter();
+        self.try_pr(a, b, &mut meter)
+            .expect("unlimited budget cannot trip")
     }
 
-    fn compute(&self, a: u32, b: u32) -> Result<f64, QueryError> {
+    /// [`PrAb::pr`] under a cooperative budget: the pinned enumeration of
+    /// an uncached pair ticks the meter per row and aborts when it trips.
+    /// Partial sums are never cached, so the cache stays exact.
+    pub fn try_pr(
+        &mut self,
+        a: u32,
+        b: u32,
+        meter: &mut BudgetMeter,
+    ) -> Result<f64, BudgetExceeded> {
+        let key = pack2(a, b);
+        if let Some(&p) = self.cache.get(&key) {
+            return Ok(p);
+        }
+        let p = self
+            .compute(a, b, meter)
+            .map_err(|e| match e {
+                PinError::Budget(b) => b,
+                PinError::Query(e) => unreachable!("pinned plan for a valid query: {e:?}"),
+            })?;
+        self.cache.insert(key, p);
+        Ok(p)
+    }
+
+    fn compute(&self, a: u32, b: u32, meter: &mut BudgetMeter) -> Result<f64, PinError> {
         let alpha = self.query.alpha();
         let beta = self.query.beta();
         // Pin α and β.
@@ -81,14 +108,15 @@ impl<'g> PrAb<'g> {
             })
             .collect();
 
-        let steps = self.plan_pinned(&pinned)?;
+        let steps = self.plan_pinned(&pinned).map_err(PinError::Query)?;
 
         // Enumerate assignments and accumulate original walk probabilities.
         let mut assignment = vec![0u32; self.query.var_count()];
         assignment[alpha.index()] = a;
         assignment[beta.index()] = b;
         let mut total = 0.0f64;
-        self.enumerate(&steps, 0, &mut assignment, &mut total);
+        self.enumerate(&steps, 0, &mut assignment, &mut total, meter)
+            .map_err(PinError::Budget)?;
         Ok(total)
     }
 
@@ -141,10 +169,17 @@ impl<'g> PrAb<'g> {
         Ok(steps)
     }
 
-    fn enumerate(&self, steps: &[PinStep], i: usize, assignment: &mut [u32], total: &mut f64) {
+    fn enumerate(
+        &self,
+        steps: &[PinStep],
+        i: usize,
+        assignment: &mut [u32],
+        total: &mut f64,
+        meter: &mut BudgetMeter,
+    ) -> Result<(), BudgetExceeded> {
         if i == steps.len() {
             *total += self.walk_probability(assignment);
-            return;
+            return Ok(());
         }
         let s = &steps[i];
         let index = self.ig.require(s.access.order);
@@ -152,12 +187,14 @@ impl<'g> PrAb<'g> {
         let range = s.access.resolve(index, in_value);
         let k = s.access.prefix_len();
         for pos in range.start..range.end {
+            meter.tick()?;
             let row = index.row(pos);
             for (j, v) in s.out_vars.iter().enumerate() {
                 assignment[v.index()] = row[k + j];
             }
-            self.enumerate(steps, i + 1, assignment, total);
+            self.enumerate(steps, i + 1, assignment, total, meter)?;
         }
+        Ok(())
     }
 
     /// `Π 1/dᵢ` for a full assignment, with `dᵢ` the original plan's

@@ -14,6 +14,7 @@
 //! that land on an already-seen sample. This is *biased* — demonstrating
 //! that bias is one of the paper's experimental points.
 
+use kgoa_engine::{BudgetExceeded, ExecBudget};
 use kgoa_index::{pack2, FxHashSet, IndexOrder, IndexedGraph};
 use kgoa_query::{ExplorationQuery, QueryError, WalkPlan};
 use rand::rngs::SmallRng;
@@ -77,19 +78,32 @@ impl<'g> WanderJoin<'g> {
 
     /// Execute one random walk, updating the estimators.
     pub fn walk(&mut self) {
-        self.stats.walks += 1;
+        self.walk_governed(&ExecBudget::unlimited())
+            .expect("unlimited budget cannot trip");
+    }
+
+    /// Execute one walk under a cooperative budget, checking it before
+    /// every step. An aborted walk is **not** counted in `stats.walks` and
+    /// contributes nothing, so the estimator stays unbiased over the walks
+    /// that did complete (or die) normally.
+    pub fn walk_governed(&mut self, budget: &ExecBudget) -> Result<(), BudgetExceeded> {
+        budget.fault_walk();
+        budget.charge_walk()?;
         let mut weight = 1.0f64;
         for (si, step) in self.plan.steps().iter().enumerate() {
+            budget.check()?;
             let index = self.ig.require(step.access.order);
             let in_value = step.in_var.map(|(v, _)| self.assignment[v.index()]);
             let range = step.access.resolve(index, in_value);
             let Some(pos) = range.pick(&mut self.rng) else {
+                self.stats.walks += 1;
                 self.stats.rejected += 1;
-                return;
+                return Ok(());
             };
             weight *= range.len() as f64;
             self.plan.extract(si, index.row(pos), &mut self.assignment);
         }
+        self.stats.walks += 1;
         self.stats.full += 1;
         let a = self.assignment[self.alpha];
         if self.distinct {
@@ -102,6 +116,7 @@ impl<'g> WanderJoin<'g> {
         } else {
             self.accum.add(a, weight);
         }
+        Ok(())
     }
 }
 
@@ -112,6 +127,10 @@ impl OnlineAggregator for WanderJoin<'_> {
 
     fn step(&mut self) {
         self.walk();
+    }
+
+    fn step_governed(&mut self, budget: &ExecBudget) -> Result<(), BudgetExceeded> {
+        self.walk_governed(budget)
     }
 
     fn estimates(&self) -> kgoa_engine::GroupedEstimates {

@@ -12,6 +12,7 @@
 use kgoa_index::{FxHashSet, IndexOrder, IndexedGraph};
 use kgoa_query::{ExplorationQuery, WalkPlan};
 
+use crate::budget::ExecBudget;
 use crate::error::EngineError;
 use crate::result::GroupedCounts;
 
@@ -30,8 +31,22 @@ pub fn baseline_grouped(
     query: &ExplorationQuery,
     tuple_limit: usize,
 ) -> Result<GroupedCounts, EngineError> {
+    baseline_grouped_governed(ig, query, tuple_limit, &ExecBudget::unlimited())
+}
+
+/// [`baseline_grouped`] under a cooperative budget: each materialized tuple
+/// is charged against the budget's tuple counter and the inner loops are
+/// metered, so deadlines and cancellation interrupt even the pathological
+/// blow-up cases this engine exists to exhibit.
+pub fn baseline_grouped_governed(
+    ig: &IndexedGraph,
+    query: &ExplorationQuery,
+    tuple_limit: usize,
+    budget: &ExecBudget,
+) -> Result<GroupedCounts, EngineError> {
     let plan = WalkPlan::canonical(query, &IndexOrder::PAPER_DEFAULT)?;
     let width = query.var_count();
+    let mut meter = budget.meter();
 
     // Materialize pattern by pattern. Each tuple is a full-width
     // assignment; slots not yet bound hold arbitrary values.
@@ -43,8 +58,10 @@ pub fn baseline_grouped(
             if range.len() > tuple_limit {
                 return Err(EngineError::IntermediateResultLimit { limit: tuple_limit });
             }
+            budget.charge_tuples(range.len() as u64)?;
             tuples.reserve(range.len());
             for pos in range.start..range.end {
+                meter.tick()?;
                 let mut t = vec![0u32; width];
                 plan.extract(si, index.row(pos), &mut t);
                 tuples.push(t);
@@ -57,7 +74,9 @@ pub fn baseline_grouped(
                 if next.len() + range.len() > tuple_limit {
                     return Err(EngineError::IntermediateResultLimit { limit: tuple_limit });
                 }
+                budget.charge_tuples(range.len() as u64)?;
                 for pos in range.start..range.end {
+                    meter.tick()?;
                     let mut ext = t.clone();
                     plan.extract(si, index.row(pos), &mut ext);
                     next.push(ext);
@@ -77,12 +96,14 @@ pub fn baseline_grouped(
     if query.distinct() {
         let mut seen: FxHashSet<u64> = FxHashSet::default();
         for t in &tuples {
+            meter.tick()?;
             if seen.insert(kgoa_index::pack2(t[alpha], t[beta])) {
                 out.add(t[alpha], 1);
             }
         }
     } else {
         for t in &tuples {
+            meter.tick()?;
             out.add(t[alpha], 1);
         }
     }

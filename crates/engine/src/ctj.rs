@@ -24,6 +24,8 @@
 use kgoa_index::{pack2, FxHashMap, IndexedGraph};
 use kgoa_query::{ExplorationQuery, Var, WalkPlan};
 
+use crate::budget::{BudgetExceeded, BudgetMeter, ExecBudget};
+
 /// Per-step cache statistics, reported by the cache-effectiveness ablation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -123,14 +125,28 @@ impl<'g> CtjCounter<'g> {
     /// Number of completions of the suffix starting at `step`, given the
     /// bindings in `assignment` (`|Γ_δ|` where δ bound steps `0..step`).
     pub fn count_from(&mut self, step: usize, assignment: &mut [u32]) -> u64 {
+        let mut meter = ExecBudget::unlimited().meter();
+        self.try_count_from(step, assignment, &mut meter)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// [`CtjCounter::count_from`] under a cooperative budget: the recursion
+    /// ticks the meter per enumerated row and aborts when it trips. Partial
+    /// results are never memoized, so the caches stay exact.
+    pub fn try_count_from(
+        &mut self,
+        step: usize,
+        assignment: &mut [u32],
+        meter: &mut BudgetMeter,
+    ) -> Result<u64, BudgetExceeded> {
         if step == self.plan.len() {
-            return 1;
+            return Ok(1);
         }
         let key = self.deps[step].key(assignment);
         if let Some(k) = key {
             if let Some(&c) = self.memo_count[step].get(&k) {
                 self.stats.hits += 1;
-                return c;
+                return Ok(c);
             }
         }
         let s = &self.plan.steps()[step];
@@ -139,14 +155,17 @@ impl<'g> CtjCounter<'g> {
         let range = s.access.resolve(index, in_value);
         let total = if s.out_vars.is_empty() {
             // No new bindings: every candidate row leads to the same suffix.
-            (range.len() as u64).checked_mul(self.count_from(step + 1, assignment))
+            meter.tick()?;
+            (range.len() as u64)
+                .checked_mul(self.try_count_from(step + 1, assignment, meter)?)
                 .expect("join size overflow")
         } else {
             let mut total = 0u64;
             for pos in range.start..range.end {
+                meter.tick()?;
                 let row = index.row(pos);
                 self.plan.extract(step, row, assignment);
-                total += self.count_from(step + 1, assignment);
+                total += self.try_count_from(step + 1, assignment, meter)?;
             }
             total
         };
@@ -154,19 +173,31 @@ impl<'g> CtjCounter<'g> {
             self.memo_count[step].insert(k, total);
             self.stats.misses += 1;
         }
-        total
+        Ok(total)
     }
 
     /// True if the suffix starting at `step` has at least one completion.
     pub fn exists_from(&mut self, step: usize, assignment: &mut [u32]) -> bool {
+        let mut meter = ExecBudget::unlimited().meter();
+        self.try_exists_from(step, assignment, &mut meter)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// [`CtjCounter::exists_from`] under a cooperative budget.
+    pub fn try_exists_from(
+        &mut self,
+        step: usize,
+        assignment: &mut [u32],
+        meter: &mut BudgetMeter,
+    ) -> Result<bool, BudgetExceeded> {
         if step == self.plan.len() {
-            return true;
+            return Ok(true);
         }
         let key = self.deps[step].key(assignment);
         if let Some(k) = key {
             if let Some(&e) = self.memo_exists[step].get(&k) {
                 self.stats.hits += 1;
-                return e;
+                return Ok(e);
             }
         }
         let s = &self.plan.steps()[step];
@@ -175,14 +206,16 @@ impl<'g> CtjCounter<'g> {
         let range = s.access.resolve(index, in_value);
         let mut found = false;
         if s.out_vars.is_empty() {
+            meter.tick()?;
             if !range.is_empty() {
-                found = self.exists_from(step + 1, assignment);
+                found = self.try_exists_from(step + 1, assignment, meter)?;
             }
         } else {
             for pos in range.start..range.end {
+                meter.tick()?;
                 let row = index.row(pos);
                 self.plan.extract(step, row, assignment);
-                if self.exists_from(step + 1, assignment) {
+                if self.try_exists_from(step + 1, assignment, meter)? {
                     found = true;
                     break;
                 }
@@ -192,20 +225,32 @@ impl<'g> CtjCounter<'g> {
             self.memo_exists[step].insert(k, found);
             self.stats.misses += 1;
         }
-        found
+        Ok(found)
     }
 
     /// Probability that a random walk at `step` (with the given bindings)
     /// continues all the way to a full path: `Σ_extensions Π_{i≥step} 1/dᵢ`.
     pub fn mass_from(&mut self, step: usize, assignment: &mut [u32]) -> f64 {
+        let mut meter = ExecBudget::unlimited().meter();
+        self.try_mass_from(step, assignment, &mut meter)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// [`CtjCounter::mass_from`] under a cooperative budget.
+    pub fn try_mass_from(
+        &mut self,
+        step: usize,
+        assignment: &mut [u32],
+        meter: &mut BudgetMeter,
+    ) -> Result<f64, BudgetExceeded> {
         if step == self.plan.len() {
-            return 1.0;
+            return Ok(1.0);
         }
         let key = self.deps[step].key(assignment);
         if let Some(k) = key {
             if let Some(&m) = self.memo_mass[step].get(&k) {
                 self.stats.hits += 1;
-                return m;
+                return Ok(m);
             }
         }
         let s = &self.plan.steps()[step];
@@ -217,14 +262,16 @@ impl<'g> CtjCounter<'g> {
         } else if s.out_vars.is_empty() {
             // d candidates, each reached with probability 1/d and leading
             // to the same suffix.
-            self.mass_from(step + 1, assignment)
+            meter.tick()?;
+            self.try_mass_from(step + 1, assignment, meter)?
         } else {
             let d = range.len() as f64;
             let mut sum = 0.0;
             for pos in range.start..range.end {
+                meter.tick()?;
                 let row = index.row(pos);
                 self.plan.extract(step, row, assignment);
-                sum += self.mass_from(step + 1, assignment);
+                sum += self.try_mass_from(step + 1, assignment, meter)?;
             }
             sum / d
         };
@@ -232,7 +279,7 @@ impl<'g> CtjCounter<'g> {
             self.memo_mass[step].insert(k, mass);
             self.stats.misses += 1;
         }
-        mass
+        Ok(mass)
     }
 }
 

@@ -3,12 +3,13 @@
 use kgoa_index::{FxHashSet, IndexOrder, IndexedGraph};
 use kgoa_query::{ExplorationQuery, JoinPlan, WalkPlan};
 
-use crate::baseline::{baseline_grouped, DEFAULT_TUPLE_LIMIT};
+use crate::baseline::{baseline_grouped_governed, DEFAULT_TUPLE_LIMIT};
+use crate::budget::{BudgetExceeded, BudgetMeter, ExecBudget};
 use crate::ctj::CtjCounter;
 use crate::error::EngineError;
 use crate::lftj::LftjExec;
 use crate::result::GroupedCounts;
-use crate::yannakakis::yannakakis_grouped_distinct;
+use crate::yannakakis::yannakakis_grouped_distinct_governed;
 
 /// An engine that evaluates exploration queries exactly.
 pub trait CountEngine {
@@ -20,6 +21,19 @@ pub trait CountEngine {
         &self,
         ig: &IndexedGraph,
         query: &ExplorationQuery,
+    ) -> Result<GroupedCounts, EngineError> {
+        self.evaluate_governed(ig, query, &ExecBudget::unlimited())
+    }
+
+    /// Evaluate under a cooperative [`ExecBudget`]: the engine checkpoints
+    /// its hot loops and returns [`EngineError::BudgetExceeded`] when the
+    /// deadline passes, the budget is cancelled, or a resource cap trips.
+    /// Never returns a partial `GroupedCounts`.
+    fn evaluate_governed(
+        &self,
+        ig: &IndexedGraph,
+        query: &ExplorationQuery,
+        budget: &ExecBudget,
     ) -> Result<GroupedCounts, EngineError>;
 }
 
@@ -32,10 +46,11 @@ impl CountEngine for LftjEngine {
         "lftj"
     }
 
-    fn evaluate(
+    fn evaluate_governed(
         &self,
         ig: &IndexedGraph,
         query: &ExplorationQuery,
+        budget: &ExecBudget,
     ) -> Result<GroupedCounts, EngineError> {
         let plan = JoinPlan::canonical(query, &IndexOrder::PAPER_DEFAULT)?;
         let mut exec = LftjExec::new(ig, query, plan)?;
@@ -44,13 +59,13 @@ impl CountEngine for LftjEngine {
         let mut out = GroupedCounts::new();
         if query.distinct() {
             let mut seen: FxHashSet<u64> = FxHashSet::default();
-            exec.run(|asg| {
+            exec.run_governed(budget, |asg| {
                 if seen.insert(kgoa_index::pack2(asg[alpha], asg[beta])) {
                     out.add(asg[alpha], 1);
                 }
-            });
+            })?;
         } else {
-            exec.run(|asg| out.add(asg[alpha], 1));
+            exec.run_governed(budget, |asg| out.add(asg[alpha], 1))?;
         }
         Ok(out)
     }
@@ -65,20 +80,24 @@ impl CountEngine for CtjEngine {
         "ctj"
     }
 
-    fn evaluate(
+    fn evaluate_governed(
         &self,
         ig: &IndexedGraph,
         query: &ExplorationQuery,
+        budget: &ExecBudget,
     ) -> Result<GroupedCounts, EngineError> {
         let plan = WalkPlan::canonical(query, &IndexOrder::PAPER_DEFAULT)?;
         let mut counter = CtjCounter::new(ig, plan);
         let mut assignment = vec![0u32; query.var_count()];
         let mut out = GroupedCounts::new();
+        let mut meter = budget.meter();
         if query.distinct() {
             let mut seen: FxHashSet<u64> = FxHashSet::default();
-            ctj_distinct_rec(query, &mut counter, 0, &mut assignment, &mut seen, &mut out);
+            ctj_distinct_rec(
+                query, &mut counter, 0, &mut assignment, &mut seen, &mut out, &mut meter,
+            )?;
         } else {
-            ctj_count_rec(query, &mut counter, 0, &mut assignment, &mut out);
+            ctj_count_rec(query, &mut counter, 0, &mut assignment, &mut out, &mut meter)?;
         }
         Ok(out)
     }
@@ -92,27 +111,30 @@ fn ctj_count_rec(
     step: usize,
     assignment: &mut [u32],
     out: &mut GroupedCounts,
-) {
+    meter: &mut BudgetMeter,
+) -> Result<(), BudgetExceeded> {
     let plan_len = counter.plan().len();
     let alpha = query.alpha();
     let alpha_bound = counter.plan().binder_step(alpha) < step;
     if alpha_bound || step == plan_len {
         let a = assignment[alpha.index()];
-        let c = counter.count_from(step, assignment);
+        let c = counter.try_count_from(step, assignment, meter)?;
         if c > 0 {
             out.add(a, c);
         }
-        return;
+        return Ok(());
     }
     let s = &counter.plan().steps()[step];
     let index = counter.graph().require(s.access.order);
     let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
     let range = s.access.resolve(index, in_value);
     for pos in range.start..range.end {
+        meter.tick()?;
         let row = index.row(pos);
         counter.plan().extract(step, row, assignment);
-        ctj_count_rec(query, counter, step + 1, assignment, out);
+        ctj_count_rec(query, counter, step + 1, assignment, out, meter)?;
     }
+    Ok(())
 }
 
 /// Enumerate until both α and β are bound, then a cached existence check
@@ -124,7 +146,8 @@ fn ctj_distinct_rec(
     assignment: &mut [u32],
     seen: &mut FxHashSet<u64>,
     out: &mut GroupedCounts,
-) {
+    meter: &mut BudgetMeter,
+) -> Result<(), BudgetExceeded> {
     let alpha = query.alpha();
     let beta = query.beta();
     let both_bound = counter.plan().binder_step(alpha) < step
@@ -132,10 +155,11 @@ fn ctj_distinct_rec(
     if both_bound {
         let a = assignment[alpha.index()];
         let b = assignment[beta.index()];
-        if counter.exists_from(step, assignment) && seen.insert(kgoa_index::pack2(a, b)) {
+        if counter.try_exists_from(step, assignment, meter)? && seen.insert(kgoa_index::pack2(a, b))
+        {
             out.add(a, 1);
         }
-        return;
+        return Ok(());
     }
     debug_assert!(step < counter.plan().len(), "all vars bound at plan end");
     let s = &counter.plan().steps()[step];
@@ -143,10 +167,12 @@ fn ctj_distinct_rec(
     let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
     let range = s.access.resolve(index, in_value);
     for pos in range.start..range.end {
+        meter.tick()?;
         let row = index.row(pos);
         counter.plan().extract(step, row, assignment);
-        ctj_distinct_rec(query, counter, step + 1, assignment, seen, out);
+        ctj_distinct_rec(query, counter, step + 1, assignment, seen, out, meter)?;
     }
+    Ok(())
 }
 
 /// The conventional materializing engine (Virtuoso stand-in, see DESIGN.md).
@@ -167,12 +193,13 @@ impl CountEngine for BaselineEngine {
         "baseline"
     }
 
-    fn evaluate(
+    fn evaluate_governed(
         &self,
         ig: &IndexedGraph,
         query: &ExplorationQuery,
+        budget: &ExecBudget,
     ) -> Result<GroupedCounts, EngineError> {
-        baseline_grouped(ig, query, self.tuple_limit)
+        baseline_grouped_governed(ig, query, self.tuple_limit, budget)
     }
 }
 
@@ -186,13 +213,14 @@ impl CountEngine for YannakakisEngine {
         "yannakakis"
     }
 
-    fn evaluate(
+    fn evaluate_governed(
         &self,
         ig: &IndexedGraph,
         query: &ExplorationQuery,
+        budget: &ExecBudget,
     ) -> Result<GroupedCounts, EngineError> {
-        match yannakakis_grouped_distinct(ig, query) {
-            Err(EngineError::Unsupported(_)) => CtjEngine.evaluate(ig, query),
+        match yannakakis_grouped_distinct_governed(ig, query, budget) {
+            Err(EngineError::Unsupported(_)) => CtjEngine.evaluate_governed(ig, query, budget),
             other => other,
         }
     }

@@ -4,6 +4,8 @@ use std::fmt;
 
 use kgoa_query::QueryError;
 
+use crate::budget::BudgetExceeded;
+
 /// Errors raised by the exact engines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
@@ -18,6 +20,9 @@ pub enum EngineError {
     /// The engine does not support the query shape (e.g. Yannakakis
     /// distinct counting requires α and β to co-occur in a pattern).
     Unsupported(&'static str),
+    /// A cooperative budget checkpoint tripped (deadline, cancellation,
+    /// or a resource cap); the supervisor degrades to online aggregation.
+    BudgetExceeded(BudgetExceeded),
 }
 
 impl fmt::Display for EngineError {
@@ -28,6 +33,7 @@ impl fmt::Display for EngineError {
                 write!(f, "intermediate result exceeded the {limit}-tuple budget")
             }
             EngineError::Unsupported(what) => write!(f, "unsupported query shape: {what}"),
+            EngineError::BudgetExceeded(b) => write!(f, "budget exceeded: {b}"),
         }
     }
 }
@@ -36,6 +42,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Query(e) => Some(e),
+            EngineError::BudgetExceeded(b) => Some(b),
             _ => None,
         }
     }
@@ -44,6 +51,12 @@ impl std::error::Error for EngineError {
 impl From<QueryError> for EngineError {
     fn from(e: QueryError) -> Self {
         EngineError::Query(e)
+    }
+}
+
+impl From<BudgetExceeded> for EngineError {
+    fn from(b: BudgetExceeded) -> Self {
+        EngineError::BudgetExceeded(b)
     }
 }
 

@@ -15,6 +15,7 @@
 use kgoa_index::{IndexedGraph, TrieCursor};
 use kgoa_query::{ExplorationQuery, JoinLevel, JoinPlan};
 
+use crate::budget::{BudgetExceeded, BudgetMeter, ExecBudget};
 use crate::error::EngineError;
 
 /// An LFTJ execution over one query. Construct with [`LftjExec::new`], then
@@ -59,16 +60,35 @@ impl<'g> LftjExec<'g> {
 
     /// Run the join, invoking `on_result` once per full assignment.
     pub fn run(&mut self, mut on_result: impl FnMut(&[u32])) {
-        if self.empty {
-            return;
-        }
-        self.solve(0, &mut on_result);
+        self.run_governed(&ExecBudget::unlimited(), |a| on_result(a))
+            .expect("unlimited budget cannot trip");
     }
 
-    fn solve(&mut self, rank: usize, on_result: &mut impl FnMut(&[u32])) {
+    /// Run the join under a cooperative budget. On a tripped checkpoint the
+    /// enumeration stops where it is and the violation is returned; results
+    /// already reported through `on_result` are a valid prefix.
+    pub fn run_governed(
+        &mut self,
+        budget: &ExecBudget,
+        mut on_result: impl FnMut(&[u32]),
+    ) -> Result<(), BudgetExceeded> {
+        if self.empty {
+            return Ok(());
+        }
+        let mut meter = budget.meter();
+        self.solve(0, &mut meter, &mut on_result)
+    }
+
+    fn solve(
+        &mut self,
+        rank: usize,
+        meter: &mut BudgetMeter,
+        on_result: &mut impl FnMut(&[u32]),
+    ) -> Result<(), BudgetExceeded> {
+        meter.tick()?;
         if rank == self.plan.var_order().len() {
             on_result(&self.assignment);
-            return;
+            return Ok(());
         }
         // Navigate every cursor containing this variable down to the
         // variable's level, seeking constants and bound variables on the
@@ -120,8 +140,11 @@ impl<'g> LftjExec<'g> {
             descended.push((pi, opened));
         }
 
+        // On a tripped budget the error is held until the cursors are
+        // unwound, so the executor stays structurally consistent.
+        let mut result = Ok(());
         if ok {
-            self.leapfrog(rank, &occs, on_result);
+            result = self.leapfrog(rank, &occs, meter, on_result);
         }
 
         for &(pi, opened) in descended.iter().rev() {
@@ -129,14 +152,22 @@ impl<'g> LftjExec<'g> {
                 self.cursors[pi].up();
             }
         }
+        result
     }
 
     /// Classic leapfrog intersection at the variable's levels, recursing on
     /// every common key.
-    fn leapfrog(&mut self, rank: usize, occs: &[(usize, usize)], on_result: &mut impl FnMut(&[u32])) {
+    fn leapfrog(
+        &mut self,
+        rank: usize,
+        occs: &[(usize, usize)],
+        meter: &mut BudgetMeter,
+        on_result: &mut impl FnMut(&[u32]),
+    ) -> Result<(), BudgetExceeded> {
         // All cursors are open at the variable's level and not at end.
         let var = self.plan.var_order()[rank];
         'outer: loop {
+            meter.tick()?;
             // Align all cursors on a common key.
             let mut maxk = 0u32;
             for &(pi, _) in occs {
@@ -159,7 +190,7 @@ impl<'g> LftjExec<'g> {
                 }
             }
             self.assignment[var.index()] = maxk;
-            self.solve(rank + 1, on_result);
+            self.solve(rank + 1, meter, on_result)?;
             // Advance the first cursor past the matched key.
             let (p0, _) = occs[0];
             self.cursors[p0].next_key();
@@ -167,15 +198,25 @@ impl<'g> LftjExec<'g> {
                 break;
             }
         }
+        Ok(())
     }
 }
 
 /// Count all full assignments (`|Γ|`, the join size) with LFTJ.
 pub fn lftj_count(ig: &IndexedGraph, query: &ExplorationQuery) -> Result<u64, EngineError> {
+    lftj_count_governed(ig, query, &ExecBudget::unlimited())
+}
+
+/// [`lftj_count`] under a cooperative budget.
+pub fn lftj_count_governed(
+    ig: &IndexedGraph,
+    query: &ExplorationQuery,
+    budget: &ExecBudget,
+) -> Result<u64, EngineError> {
     let plan = JoinPlan::canonical(query, &kgoa_index::IndexOrder::PAPER_DEFAULT)?;
     let mut exec = LftjExec::new(ig, query, plan)?;
     let mut n = 0u64;
-    exec.run(|_| n += 1);
+    exec.run_governed(budget, |_| n += 1)?;
     Ok(n)
 }
 

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod budget;
 pub mod ctj;
 pub mod engines;
 pub mod error;
@@ -27,10 +28,15 @@ pub mod lftj;
 pub mod result;
 pub mod yannakakis;
 
-pub use baseline::{baseline_grouped, DEFAULT_TUPLE_LIMIT};
+pub use baseline::{baseline_grouped, baseline_grouped_governed, DEFAULT_TUPLE_LIMIT};
+#[cfg(feature = "fault-inject")]
+pub use budget::FaultPlan;
+pub use budget::{BudgetExceeded, BudgetMeter, BudgetReason, ExecBudget, ExecBudgetBuilder};
 pub use ctj::{ctj_count, CacheStats, CtjCounter};
 pub use engines::{BaselineEngine, CountEngine, CtjEngine, LftjEngine, YannakakisEngine};
 pub use error::EngineError;
-pub use lftj::{lftj_count, LftjExec};
+pub use lftj::{lftj_count, lftj_count_governed, LftjExec};
 pub use result::{mean_absolute_error, mean_ci_width, GroupedCounts, GroupedEstimates};
-pub use yannakakis::{count_distinct_values, yannakakis_grouped_distinct};
+pub use yannakakis::{
+    count_distinct_values, yannakakis_grouped_distinct, yannakakis_grouped_distinct_governed,
+};

@@ -11,6 +11,7 @@
 use kgoa_index::{FxHashMap, FxHashSet, IndexOrder, IndexedGraph, RowRange, TrieIndex};
 use kgoa_query::{ExplorationQuery, Var, WalkAccess};
 
+use crate::budget::{BudgetMeter, ExecBudget};
 use crate::error::EngineError;
 use crate::result::GroupedCounts;
 
@@ -51,6 +52,7 @@ impl<'g> Reduction<'g> {
         patterns: &[kgoa_query::TriplePattern],
         var_count: usize,
         root: usize,
+        meter: &mut BudgetMeter,
     ) -> Result<Self, EngineError> {
         let n = patterns.len();
         // Materialize base relations (constants resolved via the indexes).
@@ -123,6 +125,7 @@ impl<'g> Reduction<'g> {
             let rel = &rels[pi];
             let mut live: FxHashSet<u32> = FxHashSet::default();
             for pos in rel.range.start..rel.range.end {
+                meter.tick()?;
                 let row = rel.index.row(pos);
                 let alive =
                     child_slots.iter().all(|(c, slot)| support[*c].contains(&row[*slot]));
@@ -160,7 +163,8 @@ pub fn count_distinct_values(
         .iter()
         .position(|p| p.position_of(var).is_some())
         .ok_or(EngineError::Unsupported("variable does not occur in the patterns"))?;
-    let red = Reduction::new(ig, patterns, var_count, root)?;
+    let mut meter = ExecBudget::unlimited().meter();
+    let red = Reduction::new(ig, patterns, var_count, root, &mut meter)?;
     let child_slots = red.root_child_slots();
     let slot = red.rels[root].slot_of(var);
     let rel = &red.rels[root];
@@ -182,6 +186,17 @@ pub fn yannakakis_grouped_distinct(
     ig: &IndexedGraph,
     query: &ExplorationQuery,
 ) -> Result<GroupedCounts, EngineError> {
+    yannakakis_grouped_distinct_governed(ig, query, &ExecBudget::unlimited())
+}
+
+/// [`yannakakis_grouped_distinct`] under a cooperative budget: every
+/// relation sweep (semi-join reduction, counting DP, final read-off) is
+/// metered.
+pub fn yannakakis_grouped_distinct_governed(
+    ig: &IndexedGraph,
+    query: &ExplorationQuery,
+    budget: &ExecBudget,
+) -> Result<GroupedCounts, EngineError> {
     let alpha = query.alpha();
     let beta = query.beta();
     let root = query
@@ -191,7 +206,8 @@ pub fn yannakakis_grouped_distinct(
         .ok_or(EngineError::Unsupported("α and β must co-occur in one pattern"))?;
 
     let n = query.patterns().len();
-    let red = Reduction::new(ig, query.patterns(), query.var_count(), root)?;
+    let mut meter = budget.meter();
+    let red = Reduction::new(ig, query.patterns(), query.var_count(), root, &mut meter)?;
     let Reduction { rels, order, parent, support, .. } = &red;
     let child_slots = red.root_child_slots();
     let a_slot = rels[root].slot_of(alpha);
@@ -201,6 +217,7 @@ pub fn yannakakis_grouped_distinct(
     if query.distinct() {
         let mut seen: FxHashSet<u64> = FxHashSet::default();
         for pos in rel.range.start..rel.range.end {
+            meter.tick()?;
             let row = rel.index.row(pos);
             if child_slots.iter().all(|(c, slot)| support[*c].contains(&row[*slot]))
                 && seen.insert(kgoa_index::pack2(row[a_slot], row[b_slot]))
@@ -227,6 +244,7 @@ pub fn yannakakis_grouped_distinct(
             let rel = &rels[pi];
             let mut acc: FxHashMap<u32, u64> = FxHashMap::default();
             for pos in rel.range.start..rel.range.end {
+                meter.tick()?;
                 let row = rel.index.row(pos);
                 let mut m = 1u64;
                 let mut dead = false;
@@ -246,6 +264,7 @@ pub fn yannakakis_grouped_distinct(
             counts[pi] = acc;
         }
         for pos in rel.range.start..rel.range.end {
+            meter.tick()?;
             let row = rel.index.row(pos);
             let mut m = 1u64;
             let mut dead = false;

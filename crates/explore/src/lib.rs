@@ -19,4 +19,4 @@ pub use chart::{short_label, Bar, Chart, ChartKind};
 pub use error::ExploreError;
 pub use generator::{generate_explorations, GeneratedQuery, GeneratorConfig};
 pub use history::{History, HistoryStep};
-pub use session::{Expansion, Session};
+pub use session::{Expansion, GovernedChart, Session};

@@ -9,6 +9,7 @@
 //! remark); selecting a bar of the resulting chart folds the chosen
 //! category back into the pattern set.
 
+use kgoa_core::{supervise, Degraded, SupervisedResult, SupervisorConfig, SupervisorError};
 use kgoa_engine::{CountEngine, EngineError};
 use kgoa_index::IndexedGraph;
 use kgoa_query::{ExplorationQuery, TriplePattern, Var};
@@ -17,6 +18,27 @@ use kgoa_rdf::TermId;
 use crate::chart::{Chart, ChartKind};
 use crate::error::ExploreError;
 use crate::history::History;
+
+/// A chart produced under the supervisor's degradation ladder, together
+/// with how it was obtained. Exactly one of the three shapes holds:
+/// exact (`provenance` and `error` both `None`), degraded estimates
+/// (`provenance` set), or empty-with-error (`error` set, empty chart).
+#[derive(Debug, Clone)]
+pub struct GovernedChart {
+    /// The chart to render; bars carry confidence intervals when degraded.
+    pub chart: Chart,
+    /// Degradation provenance — `None` means the chart is exact.
+    pub provenance: Option<Degraded>,
+    /// Set when even the degraded rungs failed; the chart is then empty.
+    pub error: Option<SupervisorError>,
+}
+
+impl GovernedChart {
+    /// True if the chart holds exact counts.
+    pub fn is_exact(&self) -> bool {
+        self.provenance.is_none() && self.error.is_none()
+    }
+}
 
 /// The five bar expansions of the exploration model (§III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -238,6 +260,42 @@ impl<'g> Session<'g> {
         Ok(Chart::from_counts(exp.produces(), &counts))
     }
 
+    /// Expand and evaluate under the resource-governed supervisor
+    /// ([`kgoa_core::supervise`]): exact within the deadline when
+    /// possible, Audit/Wander Join estimates with a [`Degraded`]
+    /// provenance record otherwise. A chart is *always* rendered — even
+    /// when every execution rung fails, the session gets an empty chart
+    /// with the failure recorded in [`GovernedChart::error`] rather than
+    /// losing its interaction state.
+    pub fn expand_governed(
+        &mut self,
+        exp: Expansion,
+        config: &SupervisorConfig,
+    ) -> Result<GovernedChart, ExploreError> {
+        let query = self.expansion_query(exp)?;
+        let kind = exp.produces();
+        let outcome = match supervise(self.ig, &query, config) {
+            Ok(SupervisedResult::Exact { counts, .. }) => GovernedChart {
+                chart: Chart::from_counts(kind, &counts),
+                provenance: None,
+                error: None,
+            },
+            Ok(SupervisedResult::Degraded { estimates, provenance }) => GovernedChart {
+                chart: Chart::from_estimates(kind, &estimates),
+                provenance: Some(provenance),
+                error: None,
+            },
+            Err(SupervisorError::Query(e)) => return Err(ExploreError::Query(e)),
+            Err(e @ SupervisorError::Exhausted { .. }) => GovernedChart {
+                chart: Chart { kind, bars: Vec::new() },
+                provenance: None,
+                error: Some(e),
+            },
+        };
+        self.history.expanded(exp);
+        Ok(outcome)
+    }
+
     /// Select (click) a bar of the chart produced by the last expansion,
     /// folding the chosen category into the focus constraints.
     pub fn select(&mut self, category: TermId) -> Result<(), ExploreError> {
@@ -380,6 +438,42 @@ mod tests {
         let s = Session::root(&ig);
         let size = s.focus_size().unwrap();
         assert!(size > 0, "every generated entity is a Thing instance");
+    }
+
+    #[test]
+    fn governed_expansion_with_generous_deadline_is_exact() {
+        let ig = ig();
+        let mut s = Session::root(&ig);
+        let exact = Session::root(&ig).expand(Expansion::Subclass, &YannakakisEngine).unwrap();
+        let config = SupervisorConfig::with_deadline(std::time::Duration::from_secs(30));
+        let out = s.expand_governed(Expansion::Subclass, &config).unwrap();
+        assert!(out.is_exact());
+        assert_eq!(out.chart.bars.len(), exact.bars.len());
+        // The session can keep interacting off a governed chart.
+        s.select(out.chart.bars[0].category).unwrap();
+    }
+
+    #[test]
+    fn governed_expansion_renders_a_chart_even_when_exact_is_starved() {
+        let ig = ig();
+        let mut s = Session::root(&ig);
+        // Zero exact slice: the supervisor must degrade, and the session
+        // still gets a renderable chart with provenance.
+        let config = SupervisorConfig {
+            deadline: std::time::Duration::from_millis(50),
+            exact_fraction: 0.0,
+            ..SupervisorConfig::default()
+        };
+        let out = s.expand_governed(Expansion::Subclass, &config).unwrap();
+        let provenance = out.provenance.as_ref().expect("degraded");
+        assert!(provenance.walks > 0);
+        assert!(out.error.is_none());
+        assert!(!out.chart.is_empty(), "a chart must always render something");
+        for bar in &out.chart.bars {
+            assert!(bar.count.is_finite() && bar.count >= 0.0);
+            assert!(!bar.half_width.is_nan(), "CIs must never be NaN");
+        }
+        s.select(out.chart.bars[0].category).unwrap();
     }
 
     #[test]

@@ -8,7 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A dictionary-encoded RDF term identifier.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// [`crate::Dictionary`] receives id `n`. This keeps them usable as direct
 /// indexes into side arrays (statistics, caches) and keeps triple storage at
 /// 12 bytes per triple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(transparent)]
 pub struct TermId(pub u32);
 
@@ -66,7 +65,7 @@ impl From<TermId> for u32 {
 /// while objects are IRIs or literals. Blank nodes are treated as IRIs in a
 /// reserved namespace, which is sufficient for counting queries (no blank
 /// node semantics are needed for the exploration use-case).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TermKind {
     /// An IRI (or a blank node mapped into a reserved IRI namespace).
     Iri,
@@ -75,7 +74,7 @@ pub enum TermKind {
 }
 
 /// A decoded RDF term: its lexical value plus its kind.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Term {
     /// Lexical form. For IRIs this is the IRI itself without angle brackets;
     /// for literals it is the lexical value without quotes (datatype and

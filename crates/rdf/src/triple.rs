@@ -1,6 +1,5 @@
 //! Dictionary-encoded triples and triple components.
 
-use serde::{Deserialize, Serialize};
 
 use crate::term::TermId;
 
@@ -8,7 +7,7 @@ use crate::term::TermId;
 ///
 /// Index orders (SPO, POS, ...) and triple patterns are expressed in terms
 /// of these positions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Position {
     /// Subject.
     S,
@@ -34,7 +33,7 @@ impl Position {
 }
 
 /// A dictionary-encoded RDF triple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Triple {
     /// Subject id.
     pub s: TermId,

@@ -72,13 +72,15 @@ pub use kgoa_datagen as datagen;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use kgoa_core::{
-        run_timed, run_walks, AuditJoin, AuditJoinConfig, OnlineAggregator, WanderJoin,
+        run_governed, run_timed, run_walks, supervise, AuditJoin, AuditJoinConfig, Degraded,
+        OnlineAggregator, SupervisedResult, SupervisorConfig, SupervisorError, WanderJoin,
     };
     pub use kgoa_datagen::{KgConfig, Scale};
     pub use kgoa_engine::{
-        CountEngine, CtjEngine, GroupedCounts, GroupedEstimates, LftjEngine, YannakakisEngine,
+        BudgetExceeded, BudgetReason, CountEngine, CtjEngine, ExecBudget, GroupedCounts,
+        GroupedEstimates, LftjEngine, YannakakisEngine,
     };
-    pub use kgoa_explore::{Chart, Expansion, Session};
+    pub use kgoa_explore::{Chart, Expansion, GovernedChart, Session};
     pub use kgoa_index::{IndexOrder, IndexedGraph};
     pub use kgoa_query::{ExplorationQuery, TriplePattern, Var};
     pub use kgoa_rdf::{Graph, GraphBuilder, Term, TermId, Triple};

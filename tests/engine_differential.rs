@@ -1,8 +1,12 @@
-//! Property-based differential testing: on randomized graphs and queries,
-//! every exact engine must produce identical grouped counts, in both the
-//! distinct and non-distinct cases, and the two worst-case-optimal
-//! counting paths (LFTJ enumeration vs CTJ cached recursion) must agree on
-//! the join size.
+//! Differential testing over seeded random cases: on randomized graphs and
+//! queries, every exact engine must produce identical grouped counts, in
+//! both the distinct and non-distinct cases, and the two
+//! worst-case-optimal counting paths (LFTJ enumeration vs CTJ cached
+//! recursion) must agree on the join size.
+//!
+//! Each test is a deterministic fuzz loop: case `i` derives its graph from
+//! `SmallRng::seed_from_u64(BASE + i)`, so a failure report's case number
+//! reproduces exactly.
 
 use kgoa_engine::{
     ctj_count, lftj_count, BaselineEngine, CountEngine, CtjEngine, LftjEngine,
@@ -11,7 +15,10 @@ use kgoa_engine::{
 use kgoa_index::IndexedGraph;
 use kgoa_query::{ExplorationQuery, PatternTerm, TriplePattern, Var};
 use kgoa_rdf::{GraphBuilder, TermId, Triple};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 48;
 
 /// A compact description of a random graph: edges as (subject, predicate,
 /// object) index triples over small id spaces.
@@ -21,11 +28,17 @@ struct RawGraph {
     types: Vec<(u8, u8)>,
 }
 
-fn raw_graph() -> impl Strategy<Value = RawGraph> {
-    let edge = (0u8..12, 0u8..3, 0u8..12);
-    let ty = (0u8..12, 0u8..3);
-    (proptest::collection::vec(edge, 1..40), proptest::collection::vec(ty, 0..12))
-        .prop_map(|(edges, types)| RawGraph { edges, types })
+fn raw_graph(rng: &mut SmallRng) -> RawGraph {
+    let n_edges = rng.gen_range(1usize..40);
+    let n_types = rng.gen_range(0usize..12);
+    RawGraph {
+        edges: (0..n_edges)
+            .map(|_| (rng.gen_range(0u8..12), rng.gen_range(0u8..3), rng.gen_range(0u8..12)))
+            .collect(),
+        types: (0..n_types)
+            .map(|_| (rng.gen_range(0u8..12), rng.gen_range(0u8..3)))
+            .collect(),
+    }
 }
 
 struct Built {
@@ -175,23 +188,27 @@ fn naive_grouped(
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn engines_agree_with_naive_reference(raw in raw_graph(), distinct in any::<bool>()) {
-        let built = build(&raw);
+#[test]
+fn engines_agree_with_naive_reference() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD1FF_0000 + case);
+        let built = build(&raw_graph(&mut rng));
+        let distinct = rng.gen_bool(0.5);
         let triples = built.ig.graph().triples().to_vec();
         for query in query_shapes(&built, distinct) {
             let naive = naive_grouped(&triples, &query);
             let ctj = CtjEngine.evaluate(&built.ig, &query).expect("ctj");
-            prop_assert_eq!(&naive, &ctj, "CTJ deviates from naive scans on {}", query);
+            assert_eq!(naive, ctj, "case {case}: CTJ deviates from naive scans on {query}");
         }
     }
+}
 
-    #[test]
-    fn all_engines_agree(raw in raw_graph(), distinct in any::<bool>()) {
-        let built = build(&raw);
+#[test]
+fn all_engines_agree() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD1FF_1000 + case);
+        let built = build(&raw_graph(&mut rng));
+        let distinct = rng.gen_bool(0.5);
         let engines: Vec<Box<dyn CountEngine>> = vec![
             Box::new(LftjEngine),
             Box::new(CtjEngine),
@@ -202,46 +219,62 @@ proptest! {
             let reference = engines[0].evaluate(&built.ig, &query).expect("lftj");
             for e in &engines[1..] {
                 let r = e.evaluate(&built.ig, &query).unwrap_or_else(|_| panic!("{}", e.name()));
-                prop_assert_eq!(
-                    &reference, &r,
-                    "{} disagrees with lftj on {} (distinct={})", e.name(), query, distinct
+                assert_eq!(
+                    reference,
+                    r,
+                    "case {case}: {} disagrees with lftj on {query} (distinct={distinct})",
+                    e.name()
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn count_paths_agree(raw in raw_graph()) {
-        let built = build(&raw);
+#[test]
+fn count_paths_agree() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD1FF_2000 + case);
+        let built = build(&raw_graph(&mut rng));
         for query in query_shapes(&built, false) {
             let a = lftj_count(&built.ig, &query).expect("lftj count");
             let b = ctj_count(&built.ig, &query).expect("ctj count");
-            prop_assert_eq!(a, b, "join size mismatch on {}", query);
+            assert_eq!(a, b, "case {case}: join size mismatch on {query}");
             // Grouped counts must sum to the join size.
             let grouped = CtjEngine.evaluate(&built.ig, &query).expect("grouped");
-            prop_assert_eq!(grouped.total(), a);
+            assert_eq!(grouped.total(), a, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn distinct_never_exceeds_plain(raw in raw_graph()) {
-        let built = build(&raw);
+#[test]
+fn distinct_never_exceeds_plain() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD1FF_3000 + case);
+        let built = build(&raw_graph(&mut rng));
         for query in query_shapes(&built, true) {
             let distinct = CtjEngine.evaluate(&built.ig, &query).expect("distinct");
             let plain = CtjEngine
                 .evaluate(&built.ig, &query.with_distinct(false))
                 .expect("plain");
-            prop_assert_eq!(distinct.len(), plain.len(), "same group sets");
+            assert_eq!(distinct.len(), plain.len(), "case {case}: same group sets");
             for (g, c) in distinct.iter() {
-                prop_assert!(c <= plain.get(g), "distinct {} > plain {} in group {}", c, plain.get(g), g);
-                prop_assert!(c >= 1);
+                assert!(
+                    c <= plain.get(g),
+                    "case {case}: distinct {c} > plain {} in group {g}",
+                    plain.get(g)
+                );
+                assert!(c >= 1, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn constants_restrict_results(raw in raw_graph(), pin in 0u8..12) {
-        let built = build(&raw);
+#[test]
+fn constants_restrict_results() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD1FF_4000 + case);
+        let built = build(&raw_graph(&mut rng));
+        let pin = rng.gen_range(0u8..12);
         // Pin the final object of a two-hop path to a constant; the pinned
         // result must be the matching slice of the unpinned one.
         let p = &built.preds;
@@ -253,14 +286,15 @@ proptest! {
             Var(0),
             Var(1),
             true,
-        ).expect("query");
+        )
+        .expect("query");
         let node = built.ig.dict().lookup_iri(&format!("u:n{pin}")).expect("node interned");
         let pinned = unpinned.bind_var(Var(2), node);
-        prop_assert_eq!(pinned.patterns()[1].o, PatternTerm::Const(node));
+        assert_eq!(pinned.patterns()[1].o, PatternTerm::Const(node), "case {case}");
         let full = CtjEngine.evaluate(&built.ig, &unpinned).expect("full");
         let restricted = CtjEngine.evaluate(&built.ig, &pinned).expect("restricted");
         for (g, c) in restricted.iter() {
-            prop_assert!(c <= full.get(g), "pinning must not grow counts");
+            assert!(c <= full.get(g), "case {case}: pinning must not grow counts");
         }
     }
 }

@@ -1,12 +1,23 @@
-//! Property-based tests of the index substrate: trie indexes, cursors and
-//! statistics must agree with naive scans on arbitrary triple sets.
+//! Property tests of the index substrate over seeded random cases: trie
+//! indexes, cursors and statistics must agree with naive scans on
+//! arbitrary triple sets.
+//!
+//! Each test is a deterministic fuzz loop: case `i` derives its triples
+//! from `SmallRng::seed_from_u64(BASE + i)`, so a failure report's case
+//! number reproduces exactly.
 
 use kgoa_index::{IndexOrder, IndexedGraph, TrieCursor, TrieIndex};
 use kgoa_rdf::{subclass_closure, GraphBuilder, TermId, Triple};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn triples_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
-    proptest::collection::vec((0u8..16, 0u8..6, 0u8..16), 0..60)
+const CASES: u64 = 64;
+
+fn raw_triples(rng: &mut SmallRng) -> Vec<(u8, u8, u8)> {
+    let n = rng.gen_range(0usize..60);
+    (0..n)
+        .map(|_| (rng.gen_range(0u8..16), rng.gen_range(0u8..6), rng.gen_range(0u8..16)))
+        .collect()
 }
 
 fn build(triples: &[(u8, u8, u8)]) -> Vec<Triple> {
@@ -21,48 +32,55 @@ fn build(triples: &[(u8, u8, u8)]) -> Vec<Triple> {
     ts
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn ranges_agree_with_scan(raw in triples_strategy(), order_pick in 0usize..6) {
-        let triples = build(&raw);
-        let order = IndexOrder::ALL[order_pick];
+#[test]
+fn ranges_agree_with_scan() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1DE_0000 + case);
+        let triples = build(&raw_triples(&mut rng));
+        let order = IndexOrder::ALL[rng.gen_range(0usize..6)];
         let idx = TrieIndex::build(order, &triples);
-        prop_assert_eq!(idx.len(), triples.len());
+        assert_eq!(idx.len(), triples.len(), "case {case}");
         let [a_pos, b_pos, _] = order.positions();
         // Every 1-prefix range matches a scan count.
         for t in &triples {
             let a = t.get(a_pos).raw();
             let expect = triples.iter().filter(|x| x.get(a_pos).raw() == a).count();
-            prop_assert_eq!(idx.range1(a).len(), expect);
+            assert_eq!(idx.range1(a).len(), expect, "case {case}");
             let b = t.get(b_pos).raw();
             let expect2 = triples
                 .iter()
                 .filter(|x| x.get(a_pos).raw() == a && x.get(b_pos).raw() == b)
                 .count();
-            prop_assert_eq!(idx.range2(a, b).len(), expect2);
+            assert_eq!(idx.range2(a, b).len(), expect2, "case {case}");
         }
         // Missing keys yield empty ranges.
-        prop_assert!(idx.range1(99_999).is_empty());
-        prop_assert!(idx.range2(99_999, 1).is_empty());
+        assert!(idx.range1(99_999).is_empty(), "case {case}");
+        assert!(idx.range2(99_999, 1).is_empty(), "case {case}");
     }
+}
 
-    #[test]
-    fn rows_decode_back_to_input(raw in triples_strategy(), order_pick in 0usize..6) {
-        let triples = build(&raw);
-        let order = IndexOrder::ALL[order_pick];
+#[test]
+fn rows_decode_back_to_input() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1DE_1000 + case);
+        let triples = build(&raw_triples(&mut rng));
+        let order = IndexOrder::ALL[rng.gen_range(0usize..6)];
         let idx = TrieIndex::build(order, &triples);
         let mut decoded: Vec<Triple> = (0..idx.len() as u32).map(|i| idx.triple(i)).collect();
         decoded.sort_unstable();
-        prop_assert_eq!(decoded, triples);
+        assert_eq!(decoded, triples, "case {case}");
     }
+}
 
-    #[test]
-    fn cursor_enumerates_distinct_sorted_keys(raw in triples_strategy(), order_pick in 0usize..6) {
-        let triples = build(&raw);
-        prop_assume!(!triples.is_empty());
-        let order = IndexOrder::ALL[order_pick];
+#[test]
+fn cursor_enumerates_distinct_sorted_keys() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1DE_2000 + case);
+        let triples = build(&raw_triples(&mut rng));
+        if triples.is_empty() {
+            continue;
+        }
+        let order = IndexOrder::ALL[rng.gen_range(0usize..6)];
         let idx = TrieIndex::build(order, &triples);
         let [a_pos, b_pos, c_pos] = order.positions();
         let mut cur = TrieCursor::over_index(&idx);
@@ -72,7 +90,7 @@ proptest! {
         while !cur.at_end() {
             let a = cur.key();
             if let Some(pa) = prev_a {
-                prop_assert!(a > pa, "level-0 keys must be strictly increasing");
+                assert!(a > pa, "case {case}: level-0 keys must be strictly increasing");
             }
             prev_a = Some(a);
             // Descend and verify full leaf enumeration matches a scan.
@@ -83,9 +101,11 @@ proptest! {
                 while !cur.at_end() {
                     let c = cur.key();
                     let exists = triples.iter().any(|t| {
-                        t.get(a_pos).raw() == a && t.get(b_pos).raw() == b && t.get(c_pos).raw() == c
+                        t.get(a_pos).raw() == a
+                            && t.get(b_pos).raw() == b
+                            && t.get(c_pos).raw() == c
                     });
-                    prop_assert!(exists, "cursor produced a phantom triple");
+                    assert!(exists, "case {case}: cursor produced a phantom triple");
                     seen += 1;
                     cur.next_key();
                 }
@@ -95,34 +115,40 @@ proptest! {
             cur.up();
             cur.next_key();
         }
-        prop_assert_eq!(seen, triples.len(), "cursor must visit every triple once");
+        assert_eq!(seen, triples.len(), "case {case}: cursor must visit every triple once");
     }
+}
 
-    #[test]
-    fn seek_is_lower_bound(raw in triples_strategy(), target in 0u32..20) {
-        let triples = build(&raw);
-        prop_assume!(!triples.is_empty());
+#[test]
+fn seek_is_lower_bound() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1DE_3000 + case);
+        let triples = build(&raw_triples(&mut rng));
+        if triples.is_empty() {
+            continue;
+        }
+        let target = rng.gen_range(0u32..20);
         let idx = TrieIndex::build(IndexOrder::Spo, &triples);
         let mut cur = TrieCursor::over_index(&idx);
         cur.open();
         cur.seek(target);
-        let expected: Option<u32> = triples
-            .iter()
-            .map(|t| t.s.raw())
-            .filter(|s| *s >= target)
-            .min();
+        let expected: Option<u32> =
+            triples.iter().map(|t| t.s.raw()).filter(|s| *s >= target).min();
         match expected {
             Some(k) => {
-                prop_assert!(!cur.at_end());
-                prop_assert_eq!(cur.key(), k);
+                assert!(!cur.at_end(), "case {case}");
+                assert_eq!(cur.key(), k, "case {case}");
             }
-            None => prop_assert!(cur.at_end()),
+            None => assert!(cur.at_end(), "case {case}"),
         }
     }
+}
 
-    #[test]
-    fn stats_match_scans(raw in triples_strategy()) {
-        let triples = build(&raw);
+#[test]
+fn stats_match_scans() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1DE_4000 + case);
+        let triples = build(&raw_triples(&mut rng));
         let mut b = GraphBuilder::new();
         for t in &triples {
             // Re-intern through a dictionary to get a realistic graph.
@@ -140,99 +166,103 @@ proptest! {
             v.dedup();
             v.len() as u64
         };
-        prop_assert_eq!(ig.stats().triples, dedup.len() as u64);
-        prop_assert_eq!(ig.stats().distinct_subjects, distinct(|t| t.s.raw()));
-        prop_assert_eq!(ig.stats().distinct_predicates, distinct(|t| t.p.raw()));
-        prop_assert_eq!(ig.stats().distinct_objects, distinct(|t| t.o.raw()));
+        assert_eq!(ig.stats().triples, dedup.len() as u64, "case {case}");
+        assert_eq!(ig.stats().distinct_subjects, distinct(|t| t.s.raw()), "case {case}");
+        assert_eq!(ig.stats().distinct_predicates, distinct(|t| t.p.raw()), "case {case}");
+        assert_eq!(ig.stats().distinct_objects, distinct(|t| t.o.raw()), "case {case}");
         // Per-predicate stats.
         for t in &dedup {
             let ps = ig.stats().predicate(t.p.raw());
             let matching: Vec<&Triple> = dedup.iter().filter(|x| x.p == t.p).collect();
-            prop_assert_eq!(ps.triples, matching.len() as u64);
+            assert_eq!(ps.triples, matching.len() as u64, "case {case}");
             let mut subj: Vec<u32> = matching.iter().map(|x| x.s.raw()).collect();
             subj.sort_unstable();
             subj.dedup();
-            prop_assert_eq!(ps.distinct_subjects, subj.len() as u64);
+            assert_eq!(ps.distinct_subjects, subj.len() as u64, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn sampling_is_uniform_over_range(raw in triples_strategy()) {
-        use rand::{rngs::SmallRng, SeedableRng};
-        let triples = build(&raw);
-        prop_assume!(triples.len() >= 4);
+#[test]
+fn sampling_is_uniform_over_range() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1DE_5000 + case);
+        let triples = build(&raw_triples(&mut rng));
+        if triples.len() < 4 {
+            continue;
+        }
         let idx = TrieIndex::build(IndexOrder::Spo, &triples);
         let range = idx.full_range();
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut pick_rng = SmallRng::seed_from_u64(1);
         let mut counts = vec![0u32; triples.len()];
         let draws = 200 * triples.len();
         for _ in 0..draws {
-            let pos = range.pick(&mut rng).expect("non-empty");
+            let pos = range.pick(&mut pick_rng).expect("non-empty");
             counts[pos as usize] += 1;
         }
         // Every row is sampled; chi-square style sanity: no row gets more
         // than 4x its fair share.
         let fair = draws as f64 / triples.len() as f64;
         for (i, c) in counts.iter().enumerate() {
-            prop_assert!(*c > 0, "row {i} never sampled");
-            prop_assert!((*c as f64) < 4.0 * fair, "row {i} oversampled: {c}");
+            assert!(*c > 0, "case {case}: row {i} never sampled");
+            assert!((*c as f64) < 4.0 * fair, "case {case}: row {i} oversampled: {c}");
         }
     }
+}
 
-    #[test]
-    fn subclass_closure_is_reflexive_transitive(edges in proptest::collection::vec((0u32..10, 0u32..10), 0..25)) {
+#[test]
+fn subclass_closure_is_reflexive_transitive() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1DE_6000 + case);
+        let n = rng.gen_range(0usize..25);
+        let edges: Vec<(u32, u32)> =
+            (0..n).map(|_| (rng.gen_range(0u32..10), rng.gen_range(0u32..10))).collect();
         const TYPE: TermId = TermId(90);
         const SUB: TermId = TermId(91);
-        let triples: Vec<Triple> = edges
-            .iter()
-            .map(|(a, b)| Triple::new(TermId(*a), SUB, TermId(*b)))
-            .collect();
+        let triples: Vec<Triple> =
+            edges.iter().map(|(a, b)| Triple::new(TermId(*a), SUB, TermId(*b))).collect();
         let closure = subclass_closure(&triples, TYPE, SUB);
         let set: std::collections::HashSet<(TermId, TermId)> = closure.iter().copied().collect();
         // Reflexive over every class mentioned.
         for (a, b) in &edges {
-            prop_assert!(set.contains(&(TermId(*a), TermId(*a))));
-            prop_assert!(set.contains(&(TermId(*b), TermId(*b))));
+            assert!(set.contains(&(TermId(*a), TermId(*a))), "case {case}");
+            assert!(set.contains(&(TermId(*b), TermId(*b))), "case {case}");
         }
         // Contains every direct edge.
         for (a, b) in &edges {
-            prop_assert!(set.contains(&(TermId(*a), TermId(*b))));
+            assert!(set.contains(&(TermId(*a), TermId(*b))), "case {case}");
         }
         // Transitive: (x,y) ∧ (y,z) ⇒ (x,z).
         for &(x, y) in &set {
             for &(y2, z) in &set {
                 if y == y2 {
-                    prop_assert!(set.contains(&(x, z)), "missing ({x}, {z})");
+                    assert!(set.contains(&(x, z)), "case {case}: missing ({x}, {z})");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn update_merge_equals_rebuild_prop(
-        base in triples_strategy(),
-        adds in triples_strategy(),
-        dels in triples_strategy(),
-    ) {
-        use kgoa_index::UpdateBatch;
-        let base = build(&base);
+#[test]
+fn update_merge_equals_rebuild_prop() {
+    use kgoa_index::UpdateBatch;
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1DE_7000 + case);
+        let base = build(&raw_triples(&mut rng));
         let batch = UpdateBatch {
-            insert: build(&adds),
-            delete: build(&dels),
+            insert: build(&raw_triples(&mut rng)),
+            delete: build(&raw_triples(&mut rng)),
         };
         for order in [IndexOrder::Spo, IndexOrder::Pos] {
             let idx = TrieIndex::build(order, &base);
             let merged = idx.merged(&batch);
-            let mut expected: Vec<Triple> = base
-                .iter()
-                .filter(|t| !batch.delete.contains(t))
-                .copied()
-                .collect();
+            let mut expected: Vec<Triple> =
+                base.iter().filter(|t| !batch.delete.contains(t)).copied().collect();
             expected.extend(batch.insert.iter().filter(|t| !batch.delete.contains(t)));
             expected.sort_unstable();
             expected.dedup();
             let rebuilt = TrieIndex::build(order, &expected);
-            prop_assert_eq!(merged.rows(), rebuilt.rows(), "order {}", order);
+            assert_eq!(merged.rows(), rebuilt.rows(), "case {case}: order {order}");
         }
     }
 }

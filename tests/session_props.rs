@@ -1,11 +1,18 @@
-//! Property-based tests of the exploration session: arbitrary interaction
-//! sequences must keep the session's invariants — every expansion query
-//! validates, chart counts agree with the post-selection focus, and the
-//! Fig. 3 transition system is respected.
+//! Property tests of the exploration session over seeded random
+//! interaction scripts: every expansion query validates, chart counts
+//! agree with the post-selection focus, and the Fig. 3 transition system
+//! is respected.
+//!
+//! Each test is a deterministic fuzz loop: script `i` derives from
+//! `SmallRng::seed_from_u64(BASE + i)`, so a failure report's case number
+//! reproduces exactly.
 
 use kgoa::prelude::*;
 use kgoa_explore::ChartKind;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 10;
 
 fn ig() -> IndexedGraph {
     IndexedGraph::build(kgoa::datagen::generate(&KgConfig::dbpedia_like(Scale::Tiny)))
@@ -15,30 +22,30 @@ fn ig() -> IndexedGraph {
 /// valid ones) and which bar to click (modulo chart size).
 type Script = Vec<(u8, u8)>;
 
-fn script() -> impl Strategy<Value = Script> {
-    proptest::collection::vec((0u8..8, 0u8..8), 1..6)
+fn script(rng: &mut SmallRng) -> Script {
+    let n = rng.gen_range(1usize..6);
+    (0..n).map(|_| (rng.gen_range(0u8..8), rng.gen_range(0u8..8))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    #[test]
-    fn arbitrary_interactions_keep_invariants(script in script()) {
-        let ig = ig();
+#[test]
+fn arbitrary_interactions_keep_invariants() {
+    let ig = ig();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5E55_0000 + case);
         let mut session = Session::root(&ig);
-        for (exp_pick, bar_pick) in script {
+        for (exp_pick, bar_pick) in script(&mut rng) {
             let valid = session.valid_expansions().to_vec();
-            prop_assert!(!valid.is_empty());
+            assert!(!valid.is_empty(), "case {case}");
             let exp = valid[exp_pick as usize % valid.len()];
             // The query must validate and be evaluable.
             let chart = session.expand(exp, &CtjEngine).expect("expansion evaluates");
-            prop_assert_eq!(chart.kind, exp.produces());
+            assert_eq!(chart.kind, exp.produces(), "case {case}");
             if chart.is_empty() {
                 break; // dead end, like the generator
             }
             // Bars are sorted descending.
             for w in chart.bars.windows(2) {
-                prop_assert!(w[0].count >= w[1].count);
+                assert!(w[0].count >= w[1].count, "case {case}");
             }
             let bar = &chart.bars[bar_pick as usize % chart.len()];
             let clicked_count = bar.count;
@@ -51,42 +58,45 @@ proptest! {
                 (ChartKind::Class, Expansion::Subclass)
                 | (ChartKind::OutProperty, _)
                 | (ChartKind::InProperty, _) => {
-                    prop_assert!(
+                    assert!(
                         (focus - clicked_count).abs() < 0.5,
-                        "focus {focus} vs bar {clicked_count}"
+                        "case {case}: focus {focus} vs bar {clicked_count}"
                     );
                 }
                 // Object/subject charts group by *explicit* type but
                 // selection applies the subclass closure (§IV-A remark), so
                 // the focus can only be at least the bar.
                 (ChartKind::Class, _) => {
-                    prop_assert!(
+                    assert!(
                         focus + 0.5 >= clicked_count,
-                        "closure focus {focus} smaller than bar {clicked_count}"
+                        "case {case}: closure focus {focus} smaller than bar {clicked_count}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn expansion_queries_round_trip_through_sparql(script in script()) {
-        let ig = ig();
+#[test]
+fn expansion_queries_round_trip_through_sparql() {
+    let ig = ig();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5E55_1000 + case);
         let mut session = Session::root(&ig);
-        for (exp_pick, bar_pick) in script {
+        for (exp_pick, bar_pick) in script(&mut rng) {
             let valid = session.valid_expansions().to_vec();
             let exp = valid[exp_pick as usize % valid.len()];
             let query = session.expansion_query(exp).expect("query");
             // Render to SPARQL and parse back: same structure.
             let text = kgoa::query::to_sparql(&query, ig.dict());
             let reparsed = kgoa::query::parse_query(&text, ig.dict()).expect("reparse");
-            prop_assert_eq!(reparsed.patterns().len(), query.patterns().len());
-            prop_assert_eq!(reparsed.distinct(), query.distinct());
+            assert_eq!(reparsed.patterns().len(), query.patterns().len(), "case {case}");
+            assert_eq!(reparsed.distinct(), query.distinct(), "case {case}");
             // And both give the same exact answer.
             let a = CtjEngine.evaluate(&ig, &query).expect("a");
             let b = CtjEngine.evaluate(&ig, &reparsed).expect("b");
-            prop_assert_eq!(a.len(), b.len());
-            prop_assert_eq!(a.total(), b.total());
+            assert_eq!(a.len(), b.len(), "case {case}");
+            assert_eq!(a.total(), b.total(), "case {case}");
 
             let chart = session.expand(exp, &CtjEngine).expect("chart");
             if chart.is_empty() {
