@@ -16,6 +16,9 @@
 //!   verify          all exact engines agree on the whole workload
 //!   parallel        parallel Audit Join scaling (merged estimators)
 //!   deadlines       supervised execution under a deadline sweep
+//!   trace           convergence traces + telemetry snapshot (JSON, kgoa-obs)
+//!   bench-json      machine-readable benchmark export (BENCH_PR2.json)
+//!   obs-overhead    disabled-telemetry overhead gate (nonzero exit on fail)
 //!   all             everything above
 //!
 //! options:
@@ -26,6 +29,7 @@
 //!   --steps N                         max exploration depth (default 4)
 //!   --seed N                          workload seed
 //!   --tipping X                       AJ tipping threshold (default 1024)
+//!   --out PATH                        JSON output path (trace, bench-json)
 //!   --paper                           paper protocol: 9 ticks × 1 s
 //! ```
 
@@ -33,16 +37,16 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use kgoa_bench::{
-    ablate_cache, ablate_order, ablate_tipping, fig11, fig8, fig9_10, load_datasets,
-    deadline_sweep, parallel_scaling, prepare_workload, sample_time, table1, verify_engines,
-    BenchConfig,
+    ablate_cache, ablate_order, ablate_tipping, bench_json, fig11, fig8, fig9_10,
+    load_datasets, deadline_sweep, obs_overhead, parallel_scaling, prepare_workload,
+    sample_time, table1, trace_report, verify_engines, BenchConfig,
 };
 use kgoa_datagen::Scale;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <table1|fig8|fig9|fig10|fig11|sampletime|ablate-tipping|ablate-cache|ablate-order|verify|parallel|deadlines|all> \
-         [--scale S] [--ticks N] [--tick-ms N] [--runs N] [--steps N] [--seed N] [--tipping X] [--paper]"
+        "usage: repro <table1|fig8|fig9|fig10|fig11|sampletime|ablate-tipping|ablate-cache|ablate-order|verify|parallel|deadlines|trace|bench-json|obs-overhead|all> \
+         [--scale S] [--ticks N] [--tick-ms N] [--runs N] [--steps N] [--seed N] [--tipping X] [--out PATH] [--paper]"
     );
     ExitCode::FAILURE
 }
@@ -53,6 +57,7 @@ fn main() -> ExitCode {
         return usage();
     };
     let mut cfg = BenchConfig::default();
+    let mut out_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         let take_value = |i: &mut usize| -> Option<String> {
@@ -94,6 +99,10 @@ fn main() -> ExitCode {
                 Some(v) => cfg.tipping_threshold = v,
                 None => return usage(),
             },
+            "--out" => match take_value(&mut i) {
+                Some(v) => out_path = Some(v),
+                None => return usage(),
+            },
             "--paper" => {
                 cfg.ticks = 9;
                 cfg.tick = Duration::from_secs(1);
@@ -119,7 +128,8 @@ fn main() -> ExitCode {
         t0.elapsed().as_secs_f64()
     );
 
-    let run = |name: &str| -> Option<String> {
+    let mut gate_failed = false;
+    let mut run = |name: &str| -> Option<String> {
         match name {
             "table1" => Some(table1(&datasets)),
             "fig8" => Some(fig8(&datasets, &workload, &cfg)),
@@ -133,6 +143,13 @@ fn main() -> ExitCode {
             "verify" => Some(verify_engines(&datasets, &workload)),
             "parallel" => Some(parallel_scaling(&datasets, &workload, &cfg)),
             "deadlines" => Some(deadline_sweep(&datasets, &workload, &cfg)),
+            "trace" => Some(trace_report(&datasets, &workload, &cfg, out_path.as_deref())),
+            "bench-json" => Some(bench_json(&datasets, &workload, &cfg, out_path.as_deref())),
+            "obs-overhead" => {
+                let (report, ok) = obs_overhead(&datasets, &workload, 15);
+                gate_failed |= !ok;
+                Some(report)
+            }
             _ => None,
         }
     };
@@ -150,6 +167,9 @@ fn main() -> ExitCode {
         "ablate-order",
         "parallel",
         "deadlines",
+        "trace",
+        "bench-json",
+        "obs-overhead",
     ];
     // One experiment, a comma-separated list, or "all".
     let selected: Vec<&str> = if experiment == "all" {
@@ -165,5 +185,9 @@ fn main() -> ExitCode {
         }
     }
     eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+    if gate_failed {
+        eprintln!("# FAILED: a telemetry gate did not pass");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -11,6 +11,7 @@
 pub mod experiments;
 pub mod metrics;
 pub mod microbench;
+pub mod telemetry;
 pub mod workload;
 
 pub use experiments::{
@@ -18,6 +19,7 @@ pub use experiments::{
     fig9_10, parallel_scaling, sample_time, table1, verify_engines,
 };
 pub use metrics::{fmt_duration, fmt_pct, selectivity, tukey, Tukey};
+pub use telemetry::{bench_json, obs_overhead, trace_report, BENCH_SCHEMA, TRACE_SCHEMA};
 pub use workload::{
     load_datasets, prepare_workload, run_fixed_walks, run_series, select_walk_plan, Algo,
     BenchConfig, Dataset, PreparedQuery, SeriesPoint,

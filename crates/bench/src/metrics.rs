@@ -21,13 +21,15 @@ pub struct Tukey {
     pub hi: f64,
 }
 
-/// Compute Tukey statistics. Returns `None` for an empty sample.
+/// Compute Tukey statistics. NaN values are filtered out (they have no
+/// order and would silently corrupt the sort); returns `None` for an
+/// empty or all-NaN sample.
 pub fn tukey(values: &[f64]) -> Option<Tukey> {
-    if values.is_empty() {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
         return None;
     }
-    let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(f64::total_cmp);
     let q = |p: f64| -> f64 {
         // Linear interpolation between closest ranks (type-7 quantile).
         let h = p * (v.len() as f64 - 1.0);
@@ -121,6 +123,35 @@ mod tests {
         assert_eq!(t.median, 7.0);
         assert_eq!(t.lo, 7.0);
         assert_eq!(t.hi, 7.0);
+    }
+
+    #[test]
+    fn tukey_all_equal_collapses() {
+        let t = tukey(&[4.0; 8]).unwrap();
+        assert_eq!(t, Tukey { lo: 4.0, q1: 4.0, median: 4.0, q3: 4.0, hi: 4.0 });
+    }
+
+    #[test]
+    fn tukey_filters_nan() {
+        // NaNs must not poison the sort order or the quantiles: the result
+        // equals the NaN-free computation.
+        let with_nan = [f64::NAN, 1.0, f64::NAN, 2.0, 3.0, 4.0, 5.0, f64::NAN];
+        let t = tukey(&with_nan).unwrap();
+        let clean = tukey(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(t, clean);
+        assert!(!t.median.is_nan() && !t.lo.is_nan() && !t.hi.is_nan());
+    }
+
+    #[test]
+    fn tukey_all_nan_is_none() {
+        assert!(tukey(&[f64::NAN, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn tukey_handles_infinities() {
+        // total_cmp orders ±inf correctly; they are legitimate values.
+        let t = tukey(&[f64::NEG_INFINITY, 1.0, 2.0, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(t.median, 2.0);
     }
 
     #[test]

@@ -147,6 +147,8 @@ impl<'g> AuditJoin<'g> {
             let Some(pos) = range.pick(&mut self.rng) else {
                 self.stats.walks += 1;
                 self.stats.rejected += 1;
+                kgoa_obs::metrics::WALKS.inc();
+                kgoa_obs::metrics::WALKS_REJECTED.inc();
                 return Ok(());
             };
             prob_inv *= d as f64;
@@ -157,6 +159,8 @@ impl<'g> AuditJoin<'g> {
                 self.finish_full(prob_inv, budget)?;
                 self.stats.walks += 1;
                 self.stats.full += 1;
+                kgoa_obs::metrics::WALKS.inc();
+                kgoa_obs::metrics::WALKS_FULL.inc();
                 return Ok(());
             }
             let next_step = &self.plan.steps()[i + 1];
@@ -170,10 +174,14 @@ impl<'g> AuditJoin<'g> {
                 budget.check()?;
                 let contributed = self.finish_tipped(i + 1, prob_inv, budget)?;
                 self.stats.walks += 1;
+                kgoa_obs::metrics::WALKS.inc();
                 if contributed {
                     self.stats.tipped += 1;
+                    kgoa_obs::metrics::WALKS_TIPPED.inc();
+                    kgoa_obs::metrics::AJ_TIP_STEP.record((i + 1) as u64);
                 } else {
                     self.stats.rejected += 1;
+                    kgoa_obs::metrics::WALKS_REJECTED.inc();
                 }
                 return Ok(());
             }

@@ -42,7 +42,7 @@ pub use audit::{
     suffix_group_counts, suffix_masses, try_suffix_group_counts, try_suffix_masses, AuditJoin,
     AuditJoinConfig,
 };
-pub use online::{run_governed, run_timed, run_walks, OnlineAggregator, Snapshot};
+pub use online::{run_governed, run_timed, run_traced, run_walks, OnlineAggregator, Snapshot};
 pub use parallel::{run_parallel, Budget, ParallelAlgo, ParallelError, ParallelOutcome};
 pub use supervisor::{
     supervise, DegradeReason, Degraded, SupervisedResult, SupervisorConfig, SupervisorError,

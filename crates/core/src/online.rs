@@ -80,6 +80,41 @@ pub fn run_governed<A: OnlineAggregator + ?Sized>(
     }
 }
 
+/// Step the aggregator for `walks` walks in batches of `batch`, recording
+/// one [`kgoa_obs::TracePoint`] per batch into a convergence trace: walk
+/// count, total estimate (sum over groups), mean 95% CI half-width, and
+/// elapsed wall time. This is the estimator-side feed for `repro trace`
+/// and works regardless of the global telemetry flag (the trace is
+/// explicitly requested, not ambient).
+pub fn run_traced<A: OnlineAggregator + ?Sized>(
+    agg: &mut A,
+    query_id: &str,
+    walks: u64,
+    batch: u64,
+) -> kgoa_obs::ConvergenceTrace {
+    let batch = batch.max(1);
+    let start = Instant::now();
+    let mut trace = kgoa_obs::ConvergenceTrace::new(agg.name(), query_id);
+    let mut done = 0u64;
+    while done < walks {
+        let n = batch.min(walks - done);
+        run_walks(agg, n);
+        done += n;
+        let est = agg.estimates();
+        let total: f64 = est.estimates.values().sum();
+        // Mean absolute 95% CI half-width over groups (0 when no group
+        // has an interval yet).
+        let mean_ci = if est.half_widths.is_empty() {
+            0.0
+        } else {
+            est.half_widths.values().filter(|w| w.is_finite()).sum::<f64>()
+                / est.half_widths.len() as f64
+        };
+        trace.record(agg.stats().walks, total, mean_ci, start.elapsed());
+    }
+    trace
+}
+
 /// Run for `ticks` intervals of `tick` wall-clock time each, snapshotting
 /// the estimates at every boundary — the measurement loop behind the
 /// paper's MAE-over-time plots (Figs. 8–10).

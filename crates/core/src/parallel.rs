@@ -129,6 +129,7 @@ pub fn run_parallel(
     if threads == 0 {
         return Err(ParallelError::NoThreads);
     }
+    kgoa_obs::metrics::PARALLEL_WORKERS.add(threads as u64);
     type WorkerResult = Result<Result<(GroupAccumulator, WalkStats), QueryError>, ()>;
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -139,7 +140,8 @@ pub fn run_parallel(
             let worker_seed =
                 seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1));
             handles.push(scope.spawn(move || -> WorkerResult {
-                catch_unwind(AssertUnwindSafe(
+                kgoa_obs::metrics::PARALLEL_ACTIVE_WORKERS.add(1);
+                let out = catch_unwind(AssertUnwindSafe(
                     || -> Result<(GroupAccumulator, WalkStats), QueryError> {
                         if let Budget::Exec(b) = &budget {
                             b.fault_worker_delay(t);
@@ -159,7 +161,9 @@ pub fn run_parallel(
                         }
                     },
                 ))
-                .map_err(|_| ())
+                .map_err(|_| ());
+                kgoa_obs::metrics::PARALLEL_ACTIVE_WORKERS.add(-1);
+                out
             }));
         }
         handles
@@ -171,17 +175,30 @@ pub fn run_parallel(
     let mut accum = GroupAccumulator::new();
     let mut stats = WalkStats::default();
     let mut workers_panicked = 0usize;
-    for r in results {
+    for (t, r) in results.into_iter().enumerate() {
         match r {
             Ok(worker) => {
                 let (a, s) = worker?;
+                kgoa_obs::metrics::PARALLEL_WORKER_WALKS.record(s.walks);
+                kgoa_obs::events::emit_with(
+                    kgoa_obs::Level::Debug,
+                    "parallel",
+                    "worker finished",
+                    vec![("worker", t.to_string()), ("walks", s.walks.to_string())],
+                );
                 accum.merge_from(&a);
                 stats.merge_from(&s);
             }
             Err(()) => {
                 // The worker panicked: its partial accumulator died with it.
                 // The merged estimator over the survivors is still unbiased.
-                eprintln!("kgoa: parallel worker panicked; discarding its partial estimator");
+                kgoa_obs::metrics::PARALLEL_WORKER_PANICS.inc();
+                kgoa_obs::events::emit_with(
+                    kgoa_obs::Level::Warn,
+                    "parallel",
+                    "worker panicked; discarding its partial estimator",
+                    vec![("worker", t.to_string())],
+                );
                 workers_panicked += 1;
             }
         }

@@ -215,6 +215,7 @@ pub fn supervise(
     query: &ExplorationQuery,
     config: &SupervisorConfig,
 ) -> Result<SupervisedResult, SupervisorError> {
+    let _span = kgoa_obs::Span::timed(&kgoa_obs::metrics::SUPERVISE_NS);
     let start = Instant::now();
 
     // Rung 1: exact CTJ under its slice of the deadline.
@@ -224,10 +225,23 @@ pub fn supervise(
         builder = builder.tuple_limit(limit);
     }
     let exact_budget = builder.build();
-    let reason = match catch_unwind(AssertUnwindSafe(|| {
+    let exact_span = kgoa_obs::Span::timed(&kgoa_obs::metrics::EXACT_RUNG_NS);
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
         CtjEngine.evaluate_governed(ig, query, &exact_budget)
-    })) {
+    }));
+    drop(exact_span);
+    let reason = match attempt {
         Ok(Ok(counts)) => {
+            kgoa_obs::metrics::SUPERVISOR_EXACT.inc();
+            kgoa_obs::events::emit_with(
+                kgoa_obs::Level::Info,
+                "supervisor",
+                "served exact",
+                vec![
+                    ("rung", "exact".into()),
+                    ("elapsed_us", start.elapsed().as_micros().to_string()),
+                ],
+            );
             return Ok(SupervisedResult::Exact { counts, elapsed: start.elapsed() });
         }
         Ok(Err(EngineError::BudgetExceeded(b))) => DegradeReason::Budget(b.reason),
@@ -235,6 +249,12 @@ pub fn supervise(
         Ok(Err(e)) => DegradeReason::ExactFailed(e.to_string()),
         Err(_) => DegradeReason::ExactPanicked,
     };
+    kgoa_obs::events::emit_with(
+        kgoa_obs::Level::Info,
+        "supervisor",
+        "exact rung abandoned",
+        vec![("reason", reason.to_string())],
+    );
 
     // Rung 2: Audit Join on the remaining budget (fault plan still armed,
     // so injected walk panics exercise this rung's isolation too).
@@ -247,6 +267,18 @@ pub fn supervise(
     }));
     match attempt {
         Ok(Ok((estimates, walks))) => {
+            kgoa_obs::metrics::SUPERVISOR_DEGRADED_AJ.inc();
+            kgoa_obs::events::emit_with(
+                kgoa_obs::Level::Info,
+                "supervisor",
+                "served degraded estimates",
+                vec![
+                    ("rung", "audit_join".into()),
+                    ("reason", reason.to_string()),
+                    ("walks", walks.to_string()),
+                    ("elapsed_us", start.elapsed().as_micros().to_string()),
+                ],
+            );
             return Ok(SupervisedResult::Degraded {
                 estimates,
                 provenance: Degraded {
@@ -259,7 +291,10 @@ pub fn supervise(
         }
         Ok(Err(e)) => return Err(SupervisorError::Query(e)),
         Err(_) => {
-            eprintln!("kgoa: audit join panicked under supervision; falling back to wander join");
+            kgoa_obs::events::warn(
+                "supervisor",
+                "audit join panicked under supervision; falling back to wander join",
+            );
         }
     }
 
@@ -274,12 +309,39 @@ pub fn supervise(
         Ok((wj.estimates(), wj.stats().walks))
     }));
     match attempt {
-        Ok(Ok((estimates, walks))) => Ok(SupervisedResult::Degraded {
-            estimates,
-            provenance: Degraded { reason, elapsed: start.elapsed(), walks, estimator: "wj" },
-        }),
+        Ok(Ok((estimates, walks))) => {
+            kgoa_obs::metrics::SUPERVISOR_DEGRADED_WJ.inc();
+            kgoa_obs::events::emit_with(
+                kgoa_obs::Level::Info,
+                "supervisor",
+                "served degraded estimates",
+                vec![
+                    ("rung", "wander_join".into()),
+                    ("reason", reason.to_string()),
+                    ("walks", walks.to_string()),
+                    ("elapsed_us", start.elapsed().as_micros().to_string()),
+                ],
+            );
+            Ok(SupervisedResult::Degraded {
+                estimates,
+                provenance: Degraded { reason, elapsed: start.elapsed(), walks, estimator: "wj" },
+            })
+        }
         Ok(Err(e)) => Err(SupervisorError::Query(e)),
-        Err(_) => Err(SupervisorError::Exhausted { reason, elapsed: start.elapsed() }),
+        Err(_) => {
+            kgoa_obs::metrics::SUPERVISOR_EXHAUSTED.inc();
+            kgoa_obs::events::emit_with(
+                kgoa_obs::Level::Error,
+                "supervisor",
+                "every execution rung failed",
+                vec![
+                    ("rung", "exhausted".into()),
+                    ("reason", reason.to_string()),
+                    ("elapsed_us", start.elapsed().as_micros().to_string()),
+                ],
+            );
+            Err(SupervisorError::Exhausted { reason, elapsed: start.elapsed() })
+        }
     }
 }
 

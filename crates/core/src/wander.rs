@@ -98,6 +98,8 @@ impl<'g> WanderJoin<'g> {
             let Some(pos) = range.pick(&mut self.rng) else {
                 self.stats.walks += 1;
                 self.stats.rejected += 1;
+                kgoa_obs::metrics::WALKS.inc();
+                kgoa_obs::metrics::WALKS_REJECTED.inc();
                 return Ok(());
             };
             weight *= range.len() as f64;
@@ -105,6 +107,8 @@ impl<'g> WanderJoin<'g> {
         }
         self.stats.walks += 1;
         self.stats.full += 1;
+        kgoa_obs::metrics::WALKS.inc();
+        kgoa_obs::metrics::WALKS_FULL.inc();
         let a = self.assignment[self.alpha];
         if self.distinct {
             let b = self.assignment[self.beta];
@@ -112,6 +116,7 @@ impl<'g> WanderJoin<'g> {
                 self.accum.add(a, weight);
             } else {
                 self.stats.duplicates += 1;
+                kgoa_obs::metrics::WALKS_DUPLICATE.inc();
             }
         } else {
             self.accum.add(a, weight);

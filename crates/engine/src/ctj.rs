@@ -108,6 +108,7 @@ impl<'g> CtjCounter<'g> {
         self.stats
     }
 
+
     /// Drop all cached entries (used between ablation runs).
     pub fn clear_cache(&mut self) {
         for m in &mut self.memo_count {
@@ -146,6 +147,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             if let Some(&c) = self.memo_count[step].get(&k) {
                 self.stats.hits += 1;
+                kgoa_obs::metrics::CTJ_CACHE_HITS.inc();
                 return Ok(c);
             }
         }
@@ -172,6 +174,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             self.memo_count[step].insert(k, total);
             self.stats.misses += 1;
+            kgoa_obs::metrics::CTJ_CACHE_MISSES.inc();
         }
         Ok(total)
     }
@@ -197,6 +200,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             if let Some(&e) = self.memo_exists[step].get(&k) {
                 self.stats.hits += 1;
+                kgoa_obs::metrics::CTJ_CACHE_HITS.inc();
                 return Ok(e);
             }
         }
@@ -224,6 +228,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             self.memo_exists[step].insert(k, found);
             self.stats.misses += 1;
+            kgoa_obs::metrics::CTJ_CACHE_MISSES.inc();
         }
         Ok(found)
     }
@@ -250,6 +255,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             if let Some(&m) = self.memo_mass[step].get(&k) {
                 self.stats.hits += 1;
+                kgoa_obs::metrics::CTJ_CACHE_HITS.inc();
                 return Ok(m);
             }
         }
@@ -278,6 +284,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             self.memo_mass[step].insert(k, mass);
             self.stats.misses += 1;
+            kgoa_obs::metrics::CTJ_CACHE_MISSES.inc();
         }
         Ok(mass)
     }

@@ -168,6 +168,7 @@ impl<'g> LftjExec<'g> {
         let var = self.plan.var_order()[rank];
         'outer: loop {
             meter.tick()?;
+            kgoa_obs::metrics::LFTJ_PROBES.inc();
             // Align all cursors on a common key.
             let mut maxk = 0u32;
             for &(pi, _) in occs {

@@ -254,6 +254,8 @@ impl<'g> Session<'g> {
         exp: Expansion,
         engine: &dyn CountEngine,
     ) -> Result<Chart, ExploreError> {
+        let _span = kgoa_obs::Span::timed(&kgoa_obs::metrics::EXPAND_NS);
+        kgoa_obs::metrics::EXPLORE_EXPANSIONS.inc();
         let query = self.expansion_query(exp)?;
         let counts = engine.evaluate(self.ig, &query).map_err(ExploreError::Engine)?;
         self.history.expanded(exp);
@@ -272,6 +274,8 @@ impl<'g> Session<'g> {
         exp: Expansion,
         config: &SupervisorConfig,
     ) -> Result<GovernedChart, ExploreError> {
+        let _span = kgoa_obs::Span::timed(&kgoa_obs::metrics::EXPAND_NS);
+        kgoa_obs::metrics::EXPLORE_EXPANSIONS.inc();
         let query = self.expansion_query(exp)?;
         let kind = exp.produces();
         let outcome = match supervise(self.ig, &query, config) {

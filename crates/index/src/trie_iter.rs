@@ -119,6 +119,7 @@ impl<'a> TrieCursor<'a> {
 
     /// Position at the first key `>= v` (a no-op if already there).
     pub fn seek(&mut self, v: u32) {
+        kgoa_obs::metrics::TRIE_SEEKS.inc();
         let attr = self.attr();
         let top = self.levels.last_mut().expect("seek() requires an open level");
         if top.run_lo >= top.parent_hi {

@@ -1,0 +1,202 @@
+//! A leveled, ring-buffered structured event log.
+//!
+//! This replaces the workspace's ad-hoc `eprintln!` diagnostics: code
+//! emits an [`Event`] (level + target + message + key/value fields),
+//! the last [`RING_CAPACITY`] events are retained for snapshots, and
+//! events at or above the stderr threshold (default [`Level::Warn`])
+//! are also printed — so the pre-telemetry behaviour of a panicked
+//! worker writing one warning line to stderr is preserved verbatim.
+//!
+//! Unlike metrics, the event log is **not** gated on
+//! [`crate::enabled`]: events are rare (fallbacks, degradations,
+//! panics) and losing them when telemetry is off would regress the
+//! diagnostics the `eprintln!`s used to provide.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// High-volume diagnostics (per-worker stats and the like).
+    Debug,
+    /// Normal lifecycle events (rung transitions, traces).
+    Info,
+    /// Something degraded but the request was still served.
+    Warn,
+    /// A request failed outright.
+    Error,
+}
+
+impl Level {
+    /// Lowercase name for rendering ("debug", "info", ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// One structured log record.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Monotonic sequence number (process-wide, never reused).
+    pub seq: u64,
+    /// Microseconds since [`crate::epoch`].
+    pub elapsed_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// Emitting component, e.g. `"supervisor"` or `"parallel"`.
+    pub target: &'static str,
+    /// Innermost active [`crate::Span`] name, if any.
+    pub span: Option<&'static str>,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured key/value payload.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+/// Ring capacity: the most recent events kept for snapshots. Old events
+/// are dropped (and counted) rather than blocking or growing unbounded.
+pub const RING_CAPACITY: usize = 512;
+
+struct Ring {
+    buf: VecDeque<Event>,
+    seq: u64,
+    dropped: u64,
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring { buf: VecDeque::new(), seq: 0, dropped: 0 });
+
+/// Stderr threshold encoding: level as u8, 255 = never print.
+static STDERR_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Route events at or above `level` to stderr (`None` silences stderr
+/// entirely — used by benchmarks and tests). Default: [`Level::Warn`],
+/// which preserves the visibility the old `eprintln!` calls had.
+pub fn set_stderr_level(level: Option<Level>) {
+    STDERR_LEVEL.store(level.map_or(255, |l| l as u8), Ordering::Relaxed);
+}
+
+fn ring() -> std::sync::MutexGuard<'static, Ring> {
+    RING.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Emit an event with structured fields.
+pub fn emit_with(
+    level: Level,
+    target: &'static str,
+    message: impl Into<String>,
+    fields: Vec<(&'static str, String)>,
+) {
+    let event = Event {
+        seq: 0, // assigned under the lock
+        elapsed_us: crate::elapsed_us(),
+        level,
+        target,
+        span: crate::span::current(),
+        message: message.into(),
+        fields,
+    };
+    if level as u8 >= STDERR_LEVEL.load(Ordering::Relaxed) {
+        let kv: Vec<String> =
+            event.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let suffix = if kv.is_empty() { String::new() } else { format!(" ({})", kv.join(", ")) };
+        eprintln!("kgoa[{}] {}: {}{}", level.as_str(), target, event.message, suffix);
+    }
+    let mut r = ring();
+    let mut event = event;
+    event.seq = r.seq;
+    r.seq += 1;
+    if r.buf.len() == RING_CAPACITY {
+        r.buf.pop_front();
+        r.dropped += 1;
+    }
+    r.buf.push_back(event);
+}
+
+/// Emit an event with no fields.
+pub fn emit(level: Level, target: &'static str, message: impl Into<String>) {
+    emit_with(level, target, message, Vec::new());
+}
+
+/// Emit at [`Level::Debug`].
+pub fn debug(target: &'static str, message: impl Into<String>) {
+    emit(Level::Debug, target, message);
+}
+
+/// Emit at [`Level::Info`].
+pub fn info(target: &'static str, message: impl Into<String>) {
+    emit(Level::Info, target, message);
+}
+
+/// Emit at [`Level::Warn`].
+pub fn warn(target: &'static str, message: impl Into<String>) {
+    emit(Level::Warn, target, message);
+}
+
+/// Emit at [`Level::Error`].
+pub fn error(target: &'static str, message: impl Into<String>) {
+    emit(Level::Error, target, message);
+}
+
+/// Snapshot of the retained events, oldest first.
+pub fn recent() -> Vec<Event> {
+    ring().buf.iter().cloned().collect()
+}
+
+/// How many events were evicted from the ring so far.
+pub fn dropped() -> u64 {
+    ring().dropped
+}
+
+/// Clear the ring and the dropped count (sequence numbers keep going).
+pub fn clear() {
+    let mut r = ring();
+    r.buf.clear();
+    r.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_and_evicts() {
+        let _guard = crate::metrics::test_lock();
+        clear();
+        set_stderr_level(None);
+        for i in 0..(RING_CAPACITY + 10) {
+            emit_with(
+                Level::Debug,
+                "test",
+                format!("event {i}"),
+                vec![("i", i.to_string())],
+            );
+        }
+        let events = recent();
+        assert_eq!(events.len(), RING_CAPACITY);
+        assert_eq!(dropped(), 10);
+        // Oldest retained is #10; sequence numbers are consecutive.
+        for w in events.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        assert_eq!(events.last().unwrap().fields[0].1, (RING_CAPACITY + 9).to_string());
+        clear();
+        assert!(recent().is_empty());
+        assert_eq!(dropped(), 0);
+        set_stderr_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Error.as_str(), "error");
+    }
+}

@@ -1,0 +1,130 @@
+//! Dynamic metric registration.
+//!
+//! Most instrumentation uses the well-known `static`s in
+//! [`crate::metrics`]; the registry covers metrics whose names are only
+//! known at runtime (per-experiment counters in the bench harness,
+//! tests). Handles are `&'static` — a registered metric is leaked once
+//! and lives for the process, so the hot path stays a plain atomic op
+//! with no locking. Lookup by name is linear under a mutex: registration
+//! is expected a handful of times per process, not per sample.
+
+use std::sync::Mutex;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// A process-wide registry of dynamically-created metrics.
+pub struct Registry {
+    counters: Mutex<Vec<&'static Counter>>,
+    gauges: Mutex<Vec<&'static Gauge>>,
+    histograms: Mutex<Vec<&'static Histogram>>,
+}
+
+static GLOBAL: Registry = Registry {
+    counters: Mutex::new(Vec::new()),
+    gauges: Mutex::new(Vec::new()),
+    histograms: Mutex::new(Vec::new()),
+};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// The process-wide registry used by [`crate::snapshot`].
+    pub fn global() -> &'static Registry {
+        &GLOBAL
+    }
+
+    /// Get or create the counter named `name`. The first call for a
+    /// name leaks one `Counter` (by design — see module docs).
+    pub fn counter(&'static self, name: &str) -> &'static Counter {
+        let mut v = lock(&self.counters);
+        if let Some(c) = v.iter().find(|c| c.name() == name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new(leak_name(name))));
+        v.push(c);
+        c
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&'static self, name: &str) -> &'static Gauge {
+        let mut v = lock(&self.gauges);
+        if let Some(g) = v.iter().find(|g| g.name() == name) {
+            return g;
+        }
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new(leak_name(name))));
+        v.push(g);
+        g
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&'static self, name: &str) -> &'static Histogram {
+        let mut v = lock(&self.histograms);
+        if let Some(h) = v.iter().find(|h| h.name() == name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new(leak_name(name))));
+        v.push(h);
+        h
+    }
+
+    /// Zero every registered metric (handles stay valid).
+    pub fn reset(&self) {
+        lock(&self.counters).iter().for_each(|c| c.reset());
+        lock(&self.gauges).iter().for_each(|g| g.reset());
+        lock(&self.histograms).iter().for_each(|h| h.reset());
+    }
+
+    /// Registered counters, in registration order.
+    pub fn counters(&self) -> Vec<&'static Counter> {
+        lock(&self.counters).clone()
+    }
+
+    /// Registered gauges, in registration order.
+    pub fn gauges(&self) -> Vec<&'static Gauge> {
+        lock(&self.gauges).clone()
+    }
+
+    /// Registered histograms, in registration order.
+    pub fn histograms(&self) -> Vec<&'static Histogram> {
+        lock(&self.histograms).clone()
+    }
+}
+
+fn leak_name(name: &str) -> &'static str {
+    Box::leak(name.to_owned().into_boxed_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_handle() {
+        let a = Registry::global().counter("test.registry.reused");
+        let b = Registry::global().counter("test.registry.reused");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn registered_metrics_record_and_reset() {
+        let _guard = crate::metrics::test_lock();
+        crate::set_enabled(true);
+        let c = Registry::global().counter("test.registry.counter");
+        let g = Registry::global().gauge("test.registry.gauge");
+        let h = Registry::global().histogram("test.registry.hist");
+        c.add(3);
+        g.set(-4);
+        h.record(9);
+        crate::set_enabled(false);
+        assert_eq!(c.get(), 3);
+        assert_eq!(g.get(), -4);
+        assert_eq!(h.count(), 1);
+        assert!(Registry::global().counters().iter().any(|x| std::ptr::eq(*x, c)));
+        Registry::global().reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Point-in-time export of all telemetry state.
+//!
+//! [`snapshot`] collects every well-known and registered metric plus
+//! the retained events into a [`Snapshot`], which renders to the stable
+//! JSON schema [`SCHEMA`] (`kgoa-obs/v1`) or to human-readable text.
+//!
+//! ## Schema (`kgoa-obs/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "kgoa-obs/v1",
+//!   "enabled": true,
+//!   "elapsed_us": 12345,
+//!   "counters": {"index.trie.seeks": 42, ...},
+//!   "gauges": {"core.parallel.active_workers": 0, ...},
+//!   "histograms": [
+//!     {"name": "...", "count": 9, "sum": 900, "min": 1, "max": 500,
+//!      "p50": 63, "p95": 511, "p99": 511}, ...
+//!   ],
+//!   "events": [
+//!     {"seq": 0, "elapsed_us": 17, "level": "info", "target": "supervisor",
+//!      "span": "supervisor.supervise_ns", "message": "...",
+//!      "fields": {"rung": "exact"}}, ...
+//!   ],
+//!   "events_dropped": 0
+//! }
+//! ```
+//!
+//! Counters and gauges are sorted by name; histograms with zero samples
+//! are omitted; additive changes only within `v1`.
+
+use crate::events::{self, Event};
+use crate::json::Json;
+use crate::metrics;
+use crate::registry::Registry;
+
+/// Schema identifier stamped into every JSON snapshot.
+pub const SCHEMA: &str = "kgoa-obs/v1";
+
+/// Exported state of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Sample count.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (log-bucket approximation).
+    pub p50: u64,
+    /// 95th percentile (log-bucket approximation).
+    pub p95: u64,
+    /// 99th percentile (log-bucket approximation).
+    pub p99: u64,
+}
+
+/// A point-in-time copy of all telemetry state.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Whether metric recording was enabled at capture time.
+    pub enabled: bool,
+    /// Microseconds since [`crate::epoch`] at capture time.
+    pub elapsed_us: u64,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms with at least one sample, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted from the ring before capture.
+    pub events_dropped: u64,
+}
+
+/// Capture all telemetry state (well-known statics, dynamic registry,
+/// event ring) right now.
+pub fn snapshot() -> Snapshot {
+    let reg = Registry::global();
+    let mut counters: Vec<(String, u64)> = metrics::COUNTERS
+        .iter()
+        .copied()
+        .chain(reg.counters())
+        .map(|c| (c.name().to_owned(), c.get()))
+        .collect();
+    counters.sort();
+    let mut gauges: Vec<(String, i64)> = metrics::GAUGES
+        .iter()
+        .copied()
+        .chain(reg.gauges())
+        .map(|g| (g.name().to_owned(), g.get()))
+        .collect();
+    gauges.sort();
+    let mut histograms: Vec<HistogramSnapshot> = metrics::HISTOGRAMS
+        .iter()
+        .copied()
+        .chain(reg.histograms())
+        .filter(|h| h.count() > 0)
+        .map(|h| HistogramSnapshot {
+            name: h.name().to_owned(),
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    Snapshot {
+        enabled: crate::enabled(),
+        elapsed_us: crate::elapsed_us(),
+        counters,
+        gauges,
+        histograms,
+        events: events::recent(),
+        events_dropped: events::dropped(),
+    }
+}
+
+impl Snapshot {
+    /// Render to the [`SCHEMA`] JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(SCHEMA)),
+            ("enabled".into(), Json::Bool(self.enabled)),
+            ("elapsed_us".into(), Json::Num(self.elapsed_us as f64)),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges.iter().map(|(n, v)| (n.clone(), Json::Num(*v as f64))).collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Arr(
+                    self.histograms
+                        .iter()
+                        .map(|h| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(&h.name)),
+                                ("count".into(), Json::Num(h.count as f64)),
+                                ("sum".into(), Json::Num(h.sum as f64)),
+                                ("min".into(), Json::Num(h.min as f64)),
+                                ("max".into(), Json::Num(h.max as f64)),
+                                ("p50".into(), Json::Num(h.p50 as f64)),
+                                ("p95".into(), Json::Num(h.p95 as f64)),
+                                ("p99".into(), Json::Num(h.p99 as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "events".into(),
+                Json::Arr(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("seq".into(), Json::Num(e.seq as f64)),
+                                ("elapsed_us".into(), Json::Num(e.elapsed_us as f64)),
+                                ("level".into(), Json::str(e.level.as_str())),
+                                ("target".into(), Json::str(e.target)),
+                                (
+                                    "span".into(),
+                                    e.span.map_or(Json::Null, Json::str),
+                                ),
+                                ("message".into(), Json::str(&e.message)),
+                                (
+                                    "fields".into(),
+                                    Json::Obj(
+                                        e.fields
+                                            .iter()
+                                            .map(|(k, v)| ((*k).to_owned(), Json::str(v)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("events_dropped".into(), Json::Num(self.events_dropped as f64)),
+        ])
+    }
+
+    /// Render a compact human-readable report (non-zero metrics only).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry snapshot ({} at +{}us)\n",
+            if self.enabled { "enabled" } else { "disabled" },
+            self.elapsed_us
+        ));
+        out.push_str("counters:\n");
+        for (n, v) in self.counters.iter().filter(|(_, v)| *v > 0) {
+            out.push_str(&format!("  {n:<40} {v}\n"));
+        }
+        for (n, v) in self.gauges.iter().filter(|(_, v)| *v != 0) {
+            out.push_str(&format!("  {n:<40} {v} (gauge)\n"));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (count / p50 / p95 / p99 / max):\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<40} {} / {} / {} / {} / {}\n",
+                    h.name, h.count, h.p50, h.p95, h.p99, h.max
+                ));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str(&format!(
+                "events ({} retained, {} dropped):\n",
+                self.events.len(),
+                self.events_dropped
+            ));
+            for e in &self.events {
+                let kv: Vec<String> =
+                    e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                out.push_str(&format!(
+                    "  +{:>8}us [{:<5}] {}: {}{}\n",
+                    e.elapsed_us,
+                    e.level.as_str(),
+                    e.target,
+                    e.message,
+                    if kv.is_empty() { String::new() } else { format!(" ({})", kv.join(", ")) },
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Level;
+
+    #[test]
+    fn snapshot_serialises_and_round_trips() {
+        let _guard = crate::metrics::test_lock();
+        crate::reset();
+        crate::set_enabled(true);
+        metrics::TRIE_SEEKS.add(7);
+        metrics::SUPERVISE_NS.record(1500);
+        events::set_stderr_level(None);
+        events::emit_with(
+            Level::Info,
+            "supervisor",
+            "served exact",
+            vec![("rung", "exact".into())],
+        );
+        crate::set_enabled(false);
+        events::set_stderr_level(Some(Level::Warn));
+
+        let snap = snapshot();
+        assert!(snap.counters.iter().any(|(n, v)| n == "index.trie.seeks" && *v == 7));
+        assert_eq!(snap.histograms.len(), 1, "only non-empty histograms exported");
+        let j = snap.to_json();
+        assert_eq!(j.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let text = j.pretty(2);
+        let reparsed = Json::parse(&text).unwrap();
+        assert_eq!(reparsed, j, "snapshot JSON must round-trip");
+        // The counters object is sorted by name.
+        let names: Vec<&str> = reparsed
+            .get("counters")
+            .and_then(Json::as_obj)
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        // Events carry their structured fields through.
+        let events = reparsed.get("events").and_then(Json::as_arr).unwrap();
+        let last = events.last().unwrap();
+        assert_eq!(
+            last.get("fields").and_then(|f| f.get("rung")).and_then(Json::as_str),
+            Some("exact")
+        );
+        // Text rendering mentions the non-zero counter.
+        assert!(snap.to_text().contains("index.trie.seeks"));
+        crate::reset();
+    }
+}

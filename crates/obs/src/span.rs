@@ -1,0 +1,109 @@
+//! RAII span timers with a thread-local scoped-span stack.
+//!
+//! A [`Span`] measures the wall time between its creation and drop and
+//! records it into a [`Histogram`]. While alive it sits on a
+//! thread-local stack, so nested spans are well-scoped per thread and
+//! [events](crate::events) emitted inside one are tagged with the
+//! innermost span name ([`current`]).
+//!
+//! When telemetry is disabled at span creation the span is inert: no
+//! clock read, no stack push, and nothing recorded on drop (even if
+//! telemetry is enabled mid-flight — a half-timed interval would lie).
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost active span name on this thread, if any.
+pub fn current() -> Option<&'static str> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// An RAII timer: records elapsed nanoseconds into a histogram on drop.
+#[must_use = "a span measures until it is dropped; binding to _ drops immediately"]
+#[derive(Debug)]
+pub struct Span {
+    start: Option<Instant>,
+    hist: &'static Histogram,
+}
+
+impl Span {
+    /// Start timing into `hist` (named after the histogram). Inert when
+    /// telemetry is disabled.
+    #[inline]
+    pub fn timed(hist: &'static Histogram) -> Span {
+        if crate::enabled() {
+            STACK.with(|s| s.borrow_mut().push(hist.name()));
+            Span { start: Some(Instant::now()), hist }
+        } else {
+            Span { start: None, hist }
+        }
+    }
+
+    /// Is this span actually timing (telemetry was enabled at creation)?
+    pub fn is_active(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            self.hist.record_always(ns);
+            STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                debug_assert_eq!(stack.last(), Some(&self.hist.name()), "span stack imbalance");
+                stack.pop();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static OUTER: Histogram = Histogram::new("test.span.outer");
+    static INNER: Histogram = Histogram::new("test.span.inner");
+
+    #[test]
+    fn spans_nest_and_record() {
+        let _guard = crate::metrics::test_lock();
+        crate::set_enabled(true);
+        assert_eq!(current(), None);
+        {
+            let outer = Span::timed(&OUTER);
+            assert!(outer.is_active());
+            assert_eq!(current(), Some("test.span.outer"));
+            {
+                let _inner = Span::timed(&INNER);
+                assert_eq!(current(), Some("test.span.inner"));
+            }
+            assert_eq!(current(), Some("test.span.outer"));
+        }
+        crate::set_enabled(false);
+        assert_eq!(current(), None);
+        assert_eq!(OUTER.count(), 1);
+        assert_eq!(INNER.count(), 1);
+        OUTER.reset();
+        INNER.reset();
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _guard = crate::metrics::test_lock();
+        crate::set_enabled(false);
+        static H: Histogram = Histogram::new("test.span.inert");
+        let s = Span::timed(&H);
+        assert!(!s.is_active());
+        assert_eq!(current(), None);
+        drop(s);
+        assert_eq!(H.count(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Convergence traces for online-aggregation estimators.
+//!
+//! The paper's promise is *anytime* answers: estimates whose confidence
+//! intervals shrink as walks accumulate. A [`ConvergenceTrace`] records
+//! that trajectory — one [`TracePoint`] per walk batch with the walk
+//! count, the current estimate, the mean CI half-width, and elapsed
+//! wall time — so convergence can be plotted or asserted on instead of
+//! eyeballed.
+
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// One sample of an estimator's state after a batch of walks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Walks completed so far (accepted + rejected).
+    pub walks: u64,
+    /// Current point estimate (for grouped estimators, the sum over
+    /// groups — total estimated count).
+    pub estimate: f64,
+    /// Mean 95% CI half-width across groups (absolute units).
+    pub ci_half_width: f64,
+    /// Wall time since the run started.
+    pub elapsed: Duration,
+}
+
+/// A recorded convergence trajectory for one estimator run.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceTrace {
+    /// Estimator name ("wj", "aj", ...).
+    pub algo: String,
+    /// Query or workload identifier this trace belongs to.
+    pub query: String,
+    /// Samples, in walk order.
+    pub points: Vec<TracePoint>,
+}
+
+impl ConvergenceTrace {
+    /// New empty trace.
+    pub fn new(algo: impl Into<String>, query: impl Into<String>) -> ConvergenceTrace {
+        ConvergenceTrace { algo: algo.into(), query: query.into(), points: Vec::new() }
+    }
+
+    /// Append one sample.
+    pub fn record(&mut self, walks: u64, estimate: f64, ci_half_width: f64, elapsed: Duration) {
+        self.points.push(TracePoint { walks, estimate, ci_half_width, elapsed });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Did the mean CI half-width shrink from the first to the last
+    /// sample? (The headline "convergence" check; `false` for traces
+    /// with fewer than two points.)
+    pub fn ci_shrank(&self) -> bool {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) if self.points.len() >= 2 => b.ci_half_width <= a.ci_half_width,
+            _ => false,
+        }
+    }
+
+    /// JSON form: `{algo, query, points: [{walks, estimate,
+    /// ci_half_width, elapsed_us}]}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("algo".into(), Json::str(&self.algo)),
+            ("query".into(), Json::str(&self.query)),
+            (
+                "points".into(),
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("walks".into(), Json::Num(p.walks as f64)),
+                                ("estimate".into(), Json::Num(p.estimate)),
+                                ("ci_half_width".into(), Json::Num(p.ci_half_width)),
+                                ("elapsed_us".into(), Json::Num(p.elapsed.as_micros() as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_serialises() {
+        let mut t = ConvergenceTrace::new("aj", "q01");
+        assert!(t.is_empty());
+        assert!(!t.ci_shrank());
+        t.record(100, 50.0, 8.0, Duration::from_micros(300));
+        t.record(200, 52.0, 5.0, Duration::from_micros(700));
+        assert_eq!(t.len(), 2);
+        assert!(t.ci_shrank());
+        let j = t.to_json();
+        assert_eq!(j.get("algo").and_then(Json::as_str), Some("aj"));
+        let points = j.get("points").and_then(Json::as_arr).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].get("walks").and_then(Json::as_f64), Some(200.0));
+        assert_eq!(points[1].get("elapsed_us").and_then(Json::as_f64), Some(700.0));
+        // Round-trips through the parser.
+        let reparsed = Json::parse(&j.render()).unwrap();
+        assert_eq!(reparsed, j);
+    }
+}

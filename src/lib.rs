@@ -20,6 +20,7 @@
 //! | [`online`] | `kgoa-core` | Wander Join, **Audit Join**, confidence intervals |
 //! | [`explore`] | `kgoa-explore` | charts, expansions, sessions, workload generator |
 //! | [`datagen`] | `kgoa-datagen` | DBpedia-like / LGD-like synthetic graphs |
+//! | [`obs`] | `kgoa-obs` | telemetry: metrics, spans, events, convergence traces |
 //!
 //! ## Quickstart
 //!
@@ -68,6 +69,11 @@ pub use kgoa_explore as explore;
 
 /// Synthetic dataset generators (re-export of `kgoa-datagen`).
 pub use kgoa_datagen as datagen;
+
+/// Telemetry: metrics registry, span timers, structured events,
+/// convergence traces, JSON snapshots (re-export of `kgoa-obs`).
+/// Disabled by default; flip on with `kgoa::obs::set_enabled(true)`.
+pub use kgoa_obs as obs;
 
 /// The most commonly used items in one import.
 pub mod prelude {
