@@ -1,25 +1,11 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! ```text
-//! repro <experiment> [options]
+//! Run `repro` with no arguments for usage. The experiment list lives in
+//! one place — [`EXPERIMENTS`] — which drives the usage text, the `all`
+//! selection, and dispatch alike, so the three cannot drift apart.
 //!
-//! experiments:
-//!   table1          dataset information (Table I)
-//!   fig8            MAE/time on six selected queries (Fig. 8)
-//!   fig9            MAE/time Tukey stats, all queries with distinct (Fig. 9)
-//!   fig10           same without distinct (Fig. 10)
-//!   fig11           rejection rates per query (Fig. 11)
-//!   sampletime      per-walk timings (§V-C)
-//!   ablate-tipping  tipping-threshold sweep (A1)
-//!   ablate-cache    CTJ vs LFTJ (A2)
-//!   ablate-order    WJ walk-order selection (A3)
-//!   verify          all exact engines agree on the whole workload
-//!   parallel        parallel Audit Join scaling (merged estimators)
-//!   deadlines       supervised execution under a deadline sweep
-//!   trace           convergence traces + telemetry snapshot (JSON, kgoa-obs)
-//!   bench-json      machine-readable benchmark export (BENCH_PR2.json)
-//!   obs-overhead    disabled-telemetry overhead gate (nonzero exit on fail)
-//!   all             everything above
+//! ```text
+//! repro <experiment>[,<experiment>…] [options]
 //!
 //! options:
 //!   --scale tiny|small|medium|large   dataset scale   (default small)
@@ -29,7 +15,10 @@
 //!   --steps N                         max exploration depth (default 4)
 //!   --seed N                          workload seed
 //!   --tipping X                       AJ tipping threshold (default 1024)
-//!   --out PATH                        JSON output path (trace, bench-json)
+//!   --out PATH                        JSON output path (trace, bench-json, profile)
+//!   --baseline PATH                   baseline bench JSON (regress)
+//!   --candidate PATH                  candidate bench JSON (regress; default BENCH_PR3.json)
+//!   --tolerance X                     regression tolerance factor (default 1.25)
 //!   --paper                           paper protocol: 9 ticks × 1 s
 //! ```
 
@@ -37,16 +26,201 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use kgoa_bench::{
-    ablate_cache, ablate_order, ablate_tipping, bench_json, fig11, fig8, fig9_10,
-    load_datasets, deadline_sweep, obs_overhead, parallel_scaling, prepare_workload,
-    sample_time, table1, trace_report, verify_engines, BenchConfig,
+    ablate_cache, ablate_order, ablate_tipping, bench_json, deadline_sweep, fig11, fig8,
+    fig9_10, load_datasets, obs_overhead, parallel_scaling, prepare_workload, profile_report,
+    regress, sample_time, table1, trace_report, verify_engines, BenchConfig, Dataset,
+    PreparedQuery,
 };
 use kgoa_datagen::Scale;
 
+/// Everything an experiment may consume: the prepared workload (empty
+/// slices when no selected experiment needs one) and the CLI options.
+struct Ctx<'a> {
+    datasets: &'a [Dataset],
+    workload: &'a [PreparedQuery],
+    cfg: &'a BenchConfig,
+    opts: &'a Opts,
+}
+
+/// CLI options beyond the [`BenchConfig`] knobs.
+#[derive(Default)]
+struct Opts {
+    out: Option<String>,
+    baseline: Option<String>,
+    candidate: Option<String>,
+    tolerance: Option<f64>,
+}
+
+/// What an experiment produced: the report text and whether its gate
+/// passed (`true` for experiments that are not gates).
+type Outcome = (String, bool);
+
+/// One registered experiment. The table below is the single source of
+/// truth for the CLI surface.
+struct Experiment {
+    name: &'static str,
+    help: &'static str,
+    run: fn(&Ctx) -> Outcome,
+    /// Included in `repro all`. Off for experiments needing extra inputs.
+    in_all: bool,
+    /// Needs the datasets + prepared workload built up front.
+    needs_workload: bool,
+}
+
+fn ok(report: String) -> Outcome {
+    (report, true)
+}
+
+/// The experiment registry: usage text, `all`, and dispatch all read this.
+const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        name: "table1",
+        help: "dataset information (Table I)",
+        run: |c| ok(table1(c.datasets)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "verify",
+        help: "all exact engines agree on the whole workload",
+        run: |c| ok(verify_engines(c.datasets, c.workload)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "fig8",
+        help: "MAE/time on six selected queries (Fig. 8)",
+        run: |c| ok(fig8(c.datasets, c.workload, c.cfg)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "fig9",
+        help: "MAE/time Tukey stats, all queries with distinct (Fig. 9)",
+        run: |c| ok(fig9_10(c.datasets, c.workload, c.cfg, true)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "fig10",
+        help: "same without distinct (Fig. 10)",
+        run: |c| ok(fig9_10(c.datasets, c.workload, c.cfg, false)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "fig11",
+        help: "rejection rates per query (Fig. 11)",
+        run: |c| ok(fig11(c.datasets, c.workload, c.cfg)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "sampletime",
+        help: "per-walk timings (§V-C)",
+        run: |c| ok(sample_time(c.datasets, c.workload, c.cfg)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "ablate-tipping",
+        help: "tipping-threshold sweep (A1)",
+        run: |c| ok(ablate_tipping(c.datasets, c.workload, c.cfg)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "ablate-cache",
+        help: "CTJ vs LFTJ (A2)",
+        run: |c| ok(ablate_cache(c.datasets, c.workload)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "ablate-order",
+        help: "WJ walk-order selection (A3)",
+        run: |c| ok(ablate_order(c.datasets, c.workload, c.cfg)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "parallel",
+        help: "parallel Audit Join scaling (merged estimators)",
+        run: |c| ok(parallel_scaling(c.datasets, c.workload, c.cfg)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "deadlines",
+        help: "supervised execution under a deadline sweep",
+        run: |c| ok(deadline_sweep(c.datasets, c.workload, c.cfg)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "trace",
+        help: "convergence traces + telemetry snapshot (JSON, kgoa-obs)",
+        run: |c| ok(trace_report(c.datasets, c.workload, c.cfg, c.opts.out.as_deref())),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "bench-json",
+        help: "machine-readable benchmark export (BENCH_PR*.json)",
+        run: |c| ok(bench_json(c.datasets, c.workload, c.cfg, c.opts.out.as_deref())),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "profile",
+        help: "EXPLAIN ANALYZE span tree + folded flamegraph (kgoa-obs/v2)",
+        run: |c| ok(profile_report(c.datasets, c.workload, c.cfg, c.opts.out.as_deref())),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
+        name: "regress",
+        help: "bench regression gate vs --baseline (nonzero exit on fail)",
+        run: |c| {
+            let Some(baseline) = c.opts.baseline.as_deref() else {
+                return ("regress requires --baseline PATH".into(), false);
+            };
+            let candidate = c.opts.candidate.as_deref().unwrap_or("BENCH_PR3.json");
+            regress(baseline, candidate, c.opts.tolerance.unwrap_or(1.25))
+        },
+        in_all: false,
+        needs_workload: false,
+    },
+    Experiment {
+        name: "obs-overhead",
+        help: "disabled-telemetry overhead gate (nonzero exit on fail)",
+        run: |c| obs_overhead(c.datasets, c.workload, 15),
+        in_all: true,
+        needs_workload: true,
+    },
+];
+
 fn usage() -> ExitCode {
+    let names: Vec<&str> = EXPERIMENTS.iter().map(|e| e.name).collect();
+    eprintln!("usage: repro <{}|all> [options]\n", names.join("|"));
+    eprintln!("experiments:");
+    for e in EXPERIMENTS {
+        eprintln!("  {:<15} {}", e.name, e.help);
+    }
+    eprintln!("  {:<15} every experiment marked for the full run", "all");
     eprintln!(
-        "usage: repro <table1|fig8|fig9|fig10|fig11|sampletime|ablate-tipping|ablate-cache|ablate-order|verify|parallel|deadlines|trace|bench-json|obs-overhead|all> \
-         [--scale S] [--ticks N] [--tick-ms N] [--runs N] [--steps N] [--seed N] [--tipping X] [--out PATH] [--paper]"
+        "\noptions:\n  --scale tiny|small|medium|large   dataset scale   (default small)\n  \
+         --ticks N                         report points   (default 5)\n  \
+         --tick-ms N                       tick length     (default 200)\n  \
+         --runs N                          generator runs  (default 25)\n  \
+         --steps N                         max exploration depth (default 4)\n  \
+         --seed N                          workload seed\n  \
+         --tipping X                       AJ tipping threshold (default 1024)\n  \
+         --out PATH                        JSON output path (trace, bench-json, profile)\n  \
+         --baseline PATH                   baseline bench JSON (regress)\n  \
+         --candidate PATH                  candidate bench JSON (regress; default BENCH_PR3.json)\n  \
+         --tolerance X                     regression tolerance factor (default 1.25)\n  \
+         --paper                           paper protocol: 9 ticks × 1 s"
     );
     ExitCode::FAILURE
 }
@@ -57,7 +231,7 @@ fn main() -> ExitCode {
         return usage();
     };
     let mut cfg = BenchConfig::default();
-    let mut out_path: Option<String> = None;
+    let mut opts = Opts::default();
     let mut i = 1;
     while i < args.len() {
         let take_value = |i: &mut usize| -> Option<String> {
@@ -100,7 +274,19 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--out" => match take_value(&mut i) {
-                Some(v) => out_path = Some(v),
+                Some(v) => opts.out = Some(v),
+                None => return usage(),
+            },
+            "--baseline" => match take_value(&mut i) {
+                Some(v) => opts.baseline = Some(v),
+                None => return usage(),
+            },
+            "--candidate" => match take_value(&mut i) {
+                Some(v) => opts.candidate = Some(v),
+                None => return usage(),
+            },
+            "--tolerance" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => opts.tolerance = Some(v),
                 None => return usage(),
             },
             "--paper" => {
@@ -112,81 +298,53 @@ fn main() -> ExitCode {
         i += 1;
     }
 
+    // One experiment, a comma-separated list, or "all" — resolved against
+    // the registry before any expensive setup.
+    let selected: Vec<&Experiment> = if experiment == "all" {
+        EXPERIMENTS.iter().filter(|e| e.in_all).collect()
+    } else {
+        let mut picked = Vec::new();
+        for name in experiment.split(',') {
+            match EXPERIMENTS.iter().find(|e| e.name == name) {
+                Some(e) => picked.push(e),
+                None => return usage(),
+            }
+        }
+        picked
+    };
+
     eprintln!(
         "# kgoa repro: {experiment} (scale {:?}, {} ticks × {:?}, {} runs × ≤{} steps, seed {})",
         cfg.scale, cfg.ticks, cfg.tick, cfg.runs, cfg.max_steps, cfg.seed
     );
     let t0 = Instant::now();
-    eprintln!("# building datasets…");
-    let datasets = load_datasets(cfg.scale);
-    eprintln!("# generating workload…");
-    let workload = prepare_workload(&datasets, &cfg);
-    eprintln!(
-        "# ready: {} queries over {} datasets in {:.1}s",
-        workload.len(),
-        datasets.len(),
-        t0.elapsed().as_secs_f64()
-    );
+    let (datasets, workload) = if selected.iter().any(|e| e.needs_workload) {
+        eprintln!("# building datasets…");
+        let datasets = load_datasets(cfg.scale);
+        eprintln!("# generating workload…");
+        let workload = prepare_workload(&datasets, &cfg);
+        eprintln!(
+            "# ready: {} queries over {} datasets in {:.1}s",
+            workload.len(),
+            datasets.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        (datasets, workload)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let ctx = Ctx { datasets: &datasets, workload: &workload, cfg: &cfg, opts: &opts };
 
     let mut gate_failed = false;
-    let mut run = |name: &str| -> Option<String> {
-        match name {
-            "table1" => Some(table1(&datasets)),
-            "fig8" => Some(fig8(&datasets, &workload, &cfg)),
-            "fig9" => Some(fig9_10(&datasets, &workload, &cfg, true)),
-            "fig10" => Some(fig9_10(&datasets, &workload, &cfg, false)),
-            "fig11" => Some(fig11(&datasets, &workload, &cfg)),
-            "sampletime" => Some(sample_time(&datasets, &workload, &cfg)),
-            "ablate-tipping" => Some(ablate_tipping(&datasets, &workload, &cfg)),
-            "ablate-cache" => Some(ablate_cache(&datasets, &workload)),
-            "ablate-order" => Some(ablate_order(&datasets, &workload, &cfg)),
-            "verify" => Some(verify_engines(&datasets, &workload)),
-            "parallel" => Some(parallel_scaling(&datasets, &workload, &cfg)),
-            "deadlines" => Some(deadline_sweep(&datasets, &workload, &cfg)),
-            "trace" => Some(trace_report(&datasets, &workload, &cfg, out_path.as_deref())),
-            "bench-json" => Some(bench_json(&datasets, &workload, &cfg, out_path.as_deref())),
-            "obs-overhead" => {
-                let (report, ok) = obs_overhead(&datasets, &workload, 15);
-                gate_failed |= !ok;
-                Some(report)
-            }
-            _ => None,
-        }
-    };
-
-    let all = [
-        "table1",
-        "verify",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11",
-        "sampletime",
-        "ablate-tipping",
-        "ablate-cache",
-        "ablate-order",
-        "parallel",
-        "deadlines",
-        "trace",
-        "bench-json",
-        "obs-overhead",
-    ];
-    // One experiment, a comma-separated list, or "all".
-    let selected: Vec<&str> = if experiment == "all" {
-        all.to_vec()
-    } else {
-        experiment.split(',').collect()
-    };
-    for name in selected {
-        eprintln!("# running {name}…");
-        match run(name) {
-            Some(report) => println!("{report}"),
-            None => return usage(),
-        }
+    for e in selected {
+        eprintln!("# running {}…", e.name);
+        let (report, passed) = (e.run)(&ctx);
+        println!("{report}");
+        gate_failed |= !passed;
     }
     eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
     if gate_failed {
-        eprintln!("# FAILED: a telemetry gate did not pass");
+        eprintln!("# FAILED: a gate did not pass");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -3,14 +3,16 @@
 //! Benchmark harness regenerating every table and figure of the paper's
 //! evaluation (§V): Table I, Figs. 8–11, the §V-C sample-time numbers, and
 //! three ablations of the design choices DESIGN.md calls out. The `repro`
-//! binary is a CLI over [`experiments`]; micro-benchmarks live under
-//! `benches/` on the self-contained [`microbench`] harness.
+//! binary is a CLI over [`experiments`], [`telemetry`], and [`profiler`];
+//! micro-benchmarks live under `benches/` on the self-contained
+//! [`microbench`] harness.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod metrics;
 pub mod microbench;
+pub mod profiler;
 pub mod telemetry;
 pub mod workload;
 
@@ -19,6 +21,7 @@ pub use experiments::{
     fig9_10, parallel_scaling, sample_time, table1, verify_engines,
 };
 pub use metrics::{fmt_duration, fmt_pct, selectivity, tukey, Tukey};
+pub use profiler::{folded_path_for, profile_report, regress};
 pub use telemetry::{bench_json, obs_overhead, trace_report, BENCH_SCHEMA, TRACE_SCHEMA};
 pub use workload::{
     load_datasets, prepare_workload, run_fixed_walks, run_series, select_walk_plan, Algo,

@@ -1,0 +1,417 @@
+//! Per-query profiling and benchmark regression experiments.
+//!
+//! `repro profile` drives every execution rung — CTJ under the
+//! supervisor, the LFTJ baseline, both online estimators, and a parallel
+//! Audit Join — inside one [`kgoa_obs::QueryProfile`] scope, then renders
+//! the collected span tree three ways: an EXPLAIN ANALYZE-style annotated
+//! plan tree, collapsed stacks in the `folded` flamegraph format, and a
+//! self-validated `kgoa-obs/v2` JSON document.
+//!
+//! `repro regress` compares two `kgoa-bench/v1` documents (see
+//! [`crate::telemetry::bench_json`]) experiment-by-experiment and fails —
+//! nonzero exit in the CLI — when the candidate regressed beyond a
+//! multiplicative tolerance. This is the CI gate that keeps the committed
+//! `BENCH_PR*.json` snapshots honest.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use kgoa_core::{
+    run_parallel, run_walks, supervise, AuditJoin, AuditJoinConfig, Budget, ParallelAlgo,
+    SupervisorConfig, WanderJoin,
+};
+use kgoa_engine::lftj_count;
+use kgoa_obs::{Json, ProfileReport, QueryProfile};
+
+use crate::telemetry::BENCH_SCHEMA;
+use crate::workload::{select_walk_plan, BenchConfig, Dataset, PreparedQuery};
+
+/// Walks per estimator in the profiled demonstration run.
+const PROFILE_WALKS: u64 = 2048;
+
+/// Operator families that must attribute nonzero work in the profile —
+/// one per engine subsystem the tentpole instruments.
+const OPERATOR_FAMILIES: &[&str] =
+    &["engine.lftj.run", "lftj.v", "ctj.step", "wj.step", "aj.step", "parallel.worker"];
+
+/// Derive the collapsed-stack output path from the JSON output path:
+/// `profile.json` → `profile.folded` (or append `.folded` when the path
+/// has no `.json` suffix).
+pub fn folded_path_for(json_path: &str) -> String {
+    match json_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.folded"),
+        None => format!("{json_path}.folded"),
+    }
+}
+
+/// `repro profile`: run the deepest workload query through every
+/// execution rung under a single profile scope and render the span tree.
+/// Self-validates the JSON rendering (parse + schema round-trip) and the
+/// folded rendering (one `frame;frame value` per line), and asserts that
+/// every operator family attributed nonzero work. `out` writes the JSON
+/// there and the folded stacks next to it ([`folded_path_for`]).
+pub fn profile_report(
+    datasets: &[Dataset],
+    workload: &[PreparedQuery],
+    cfg: &BenchConfig,
+    out: Option<&str>,
+) -> String {
+    let mut report = String::new();
+    writeln!(report, "## Profiler — EXPLAIN ANALYZE span tree\n").unwrap();
+    let Some(q) = workload.iter().max_by_key(|q| q.generated.step) else {
+        return report;
+    };
+    let ig = &datasets[q.dataset].ig;
+    let query = &q.generated.query;
+    writeln!(report, "query: {}", q.id).unwrap();
+
+    let aj_cfg = AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: cfg.seed };
+    let profile = QueryProfile::begin(q.id.clone());
+    {
+        let _attach = profile.attach("main");
+        {
+            // Exact rung: the supervisor's CTJ evaluation attributes
+            // per-step cache traffic through the engine's profile hooks.
+            let _s = kgoa_obs::profile::span("bench.supervise");
+            let config = SupervisorConfig {
+                deadline: Duration::from_secs(30),
+                audit: aj_cfg,
+                ..SupervisorConfig::default()
+            };
+            supervise(ig, query, &config).expect("supervise");
+        }
+        {
+            // Worst-case-optimal baseline: per-variable seek/probe counts.
+            let _s = kgoa_obs::profile::span("bench.lftj_count");
+            lftj_count(ig, query).expect("lftj");
+        }
+        let plan = select_walk_plan(ig, query, cfg);
+        {
+            let _s = kgoa_obs::profile::span("bench.wander_join");
+            let mut wj = WanderJoin::with_plan(ig, query, plan.clone(), cfg.seed).expect("wj");
+            run_walks(&mut wj, PROFILE_WALKS);
+            wj.profile_emit();
+        }
+        {
+            let _s = kgoa_obs::profile::span("bench.audit_join");
+            let mut aj = AuditJoin::with_plan(ig, query, plan.clone(), aj_cfg).expect("aj");
+            run_walks(&mut aj, PROFILE_WALKS);
+            aj.profile_emit();
+        }
+        {
+            // Parallel workers attach to this profile from their own
+            // threads, so the tree shows per-worker subtrees.
+            let _s = kgoa_obs::profile::span("bench.parallel_audit_join");
+            run_parallel(
+                ig,
+                query,
+                &plan,
+                ParallelAlgo::AuditJoin(aj_cfg),
+                2,
+                Budget::WalksPerWorker(PROFILE_WALKS / 2),
+                cfg.seed,
+            )
+            .expect("parallel");
+        }
+    }
+    let prof = profile.finish();
+
+    writeln!(report, "\n{}", prof.to_text()).unwrap();
+
+    // Attribution gate: every operator family must report self time or a
+    // nonzero counter somewhere in the tree.
+    for family in OPERATOR_FAMILIES {
+        let attributed = prof.spans.iter().enumerate().any(|(i, n)| {
+            n.name.starts_with(family)
+                && (prof.self_ns(i) > 0 || n.counters.iter().any(|(_, v)| *v > 0))
+        });
+        assert!(attributed, "operator family {family} attributed no work");
+    }
+
+    // Folded rendering: must be well-formed collapsed stacks.
+    let folded = prof.to_folded();
+    let stack_lines =
+        kgoa_obs::profile::check_folded(&folded).expect("folded output must be well-formed");
+
+    // JSON rendering: must parse with the in-tree parser and round-trip
+    // through the schema.
+    let json = prof.to_json().pretty(2);
+    let reparsed = Json::parse(&json).expect("profile JSON must be well-formed");
+    let round = ProfileReport::from_json(&reparsed).expect("profile JSON must match schema");
+    assert_eq!(round.spans.len(), prof.spans.len(), "profile JSON must round-trip");
+
+    writeln!(report, "{} spans, {stack_lines} folded stack lines", prof.spans.len()).unwrap();
+
+    if let Some(path) = out {
+        std::fs::write(path, &json).expect("write profile JSON");
+        let folded_path = folded_path_for(path);
+        std::fs::write(&folded_path, &folded).expect("write folded stacks");
+        writeln!(
+            report,
+            "wrote {path} ({} bytes) and {folded_path} ({} bytes)",
+            json.len(),
+            folded.len()
+        )
+        .unwrap();
+    }
+    report
+}
+
+/// `repro regress`: compare a candidate `kgoa-bench/v1` document against
+/// a baseline. Per experiment present in *both* documents (keyed by
+/// `query`), the gate fails — second tuple element `false` — when:
+///
+/// - `ctj_median_ns` grew beyond `baseline × tolerance`;
+/// - an estimator's `walks_per_sec` fell below `baseline ÷ tolerance`;
+/// - an estimator's `mae` grew beyond `baseline × tolerance` (skipped
+///   when the baseline MAE is zero — nothing to be relative to).
+///
+/// Experiments present in only one document are reported and skipped.
+/// An empty intersection is itself a failure: it means the two documents
+/// describe different workloads and the comparison is vacuous.
+pub fn regress(baseline_path: &str, candidate_path: &str, tolerance: f64) -> (String, bool) {
+    let mut report = String::new();
+    writeln!(report, "## Regression gate — {candidate_path} vs {baseline_path}\n").unwrap();
+    if tolerance.is_nan() || tolerance < 1.0 {
+        writeln!(report, "FAIL: tolerance must be ≥ 1.0, got {tolerance}").unwrap();
+        return (report, false);
+    }
+
+    let load = |path: &str| -> Result<Json, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(s) if s == BENCH_SCHEMA => Ok(doc),
+            other => Err(format!("{path}: expected schema {BENCH_SCHEMA}, found {other:?}")),
+        }
+    };
+    let (base, cand) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for side in [b, c] {
+                if let Err(e) = side {
+                    writeln!(report, "FAIL: {e}").unwrap();
+                }
+            }
+            return (report, false);
+        }
+    };
+
+    let experiments = |doc: &Json| -> Vec<(String, Json)> {
+        doc.get("experiments")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|e| {
+                        e.get("query")
+                            .and_then(Json::as_str)
+                            .map(|id| (id.to_string(), e.clone()))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base_exps = experiments(&base);
+    let cand_exps = experiments(&cand);
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    let num = |e: &Json, key: &str| e.get(key).and_then(Json::as_f64);
+
+    for (id, be) in &base_exps {
+        let Some((_, ce)) = cand_exps.iter().find(|(cid, _)| cid == id) else {
+            writeln!(report, "{id:<28} only in baseline — skipped").unwrap();
+            continue;
+        };
+        compared += 1;
+
+        // Exact rung latency: higher is worse.
+        if let (Some(b), Some(c)) = (num(be, "ctj_median_ns"), num(ce, "ctj_median_ns")) {
+            let ok = c <= b * tolerance;
+            failures += usize::from(!ok);
+            writeln!(
+                report,
+                "{id:<28} ctj_median {:>9.2}ms → {:>9.2}ms  ratio {:>5.2}  {}",
+                b / 1e6,
+                c / 1e6,
+                c / b,
+                if ok { "ok" } else { "REGRESSED" }
+            )
+            .unwrap();
+        }
+
+        // Online rungs, matched by algorithm name.
+        let algos = |e: &Json| -> Vec<Json> {
+            e.get("online").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
+        };
+        for ba in algos(be) {
+            let Some(name) = ba.get("algo").and_then(Json::as_str).map(str::to_string) else {
+                continue;
+            };
+            let Some(ca) = algos(ce)
+                .into_iter()
+                .find(|a| a.get("algo").and_then(Json::as_str) == Some(&name))
+            else {
+                continue;
+            };
+            // Throughput: lower is worse.
+            if let (Some(b), Some(c)) = (num(&ba, "walks_per_sec"), num(&ca, "walks_per_sec")) {
+                let ok = c >= b / tolerance;
+                failures += usize::from(!ok);
+                writeln!(
+                    report,
+                    "{id:<28} {name} walks/s {:>10.0} → {:>10.0}  ratio {:>5.2}  {}",
+                    b,
+                    c,
+                    c / b,
+                    if ok { "ok" } else { "REGRESSED" }
+                )
+                .unwrap();
+            }
+            // Accuracy: higher is worse; a zero baseline has no scale.
+            if let (Some(b), Some(c)) = (num(&ba, "mae"), num(&ca, "mae")) {
+                if b > 0.0 {
+                    let ok = c <= b * tolerance;
+                    failures += usize::from(!ok);
+                    writeln!(
+                        report,
+                        "{id:<28} {name} mae     {:>10.4} → {:>10.4}  ratio {:>5.2}  {}",
+                        b,
+                        c,
+                        c / b,
+                        if ok { "ok" } else { "REGRESSED" }
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+    for (id, _) in &cand_exps {
+        if !base_exps.iter().any(|(bid, _)| bid == id) {
+            writeln!(report, "{id:<28} only in candidate — skipped").unwrap();
+        }
+    }
+
+    let ok = failures == 0 && compared > 0;
+    if compared == 0 {
+        writeln!(report, "\nFAIL: no experiment appears in both documents").unwrap();
+    } else {
+        writeln!(
+            report,
+            "\n{} ({compared} experiments compared, tolerance {tolerance}×, {failures} regressions)",
+            if ok { "PASS" } else { "FAIL" }
+        )
+        .unwrap();
+    }
+    (report, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::bench_json;
+    use crate::workload::{load_datasets, prepare_workload};
+    use kgoa_datagen::Scale;
+
+    fn tiny() -> (Vec<Dataset>, Vec<PreparedQuery>, BenchConfig) {
+        let cfg = BenchConfig {
+            scale: Scale::Tiny,
+            runs: 3,
+            max_steps: 2,
+            wj_order_trials: 0,
+            ..BenchConfig::default()
+        };
+        let datasets = load_datasets(cfg.scale);
+        let workload = prepare_workload(&datasets, &cfg);
+        (datasets, workload, cfg)
+    }
+
+    #[test]
+    fn folded_path_derivation() {
+        assert_eq!(folded_path_for("profile.json"), "profile.folded");
+        assert_eq!(folded_path_for("out/p.json"), "out/p.folded");
+        assert_eq!(folded_path_for("profile"), "profile.folded");
+    }
+
+    #[test]
+    fn profile_report_attributes_every_operator_family() {
+        let (datasets, workload, cfg) = tiny();
+        let dir = std::env::temp_dir().join("kgoa-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        // profile_report self-validates (panics on malformed renderings
+        // or missing operator attribution).
+        let r = profile_report(&datasets, &workload, &cfg, Some(path.to_str().unwrap()));
+        assert!(r.contains("profile trace="));
+        assert!(r.contains("folded stack lines"));
+        let folded = std::fs::read_to_string(dir.join("profile.folded")).unwrap();
+        assert!(kgoa_obs::profile::check_folded(&folded).unwrap() > 0);
+        let json = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(&json).unwrap();
+        assert!(ProfileReport::from_json(&doc).is_ok());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(dir.join("profile.folded")).ok();
+    }
+
+    #[test]
+    fn regress_passes_on_identical_documents_and_fails_on_doctored() {
+        let (datasets, workload, cfg) = tiny();
+        let dir = std::env::temp_dir().join("kgoa-regress-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        bench_json(&datasets, &workload, &cfg, Some(base.to_str().unwrap()));
+        let base_s = base.to_str().unwrap();
+
+        // Identical documents: no regression by construction.
+        let (r, ok) = regress(base_s, base_s, 1.5);
+        assert!(ok, "identical documents must pass:\n{r}");
+        assert!(r.contains("PASS"));
+
+        // Doctor the baseline: claim CTJ used to be 1000× faster and the
+        // estimators 1000× more accurate — the candidate must now fail.
+        let text = std::fs::read_to_string(&base).unwrap();
+        let mut doc = Json::parse(&text).unwrap();
+        fn doctor(j: &mut Json) {
+            match j {
+                Json::Obj(fields) => {
+                    for (k, v) in fields.iter_mut() {
+                        if k == "ctj_median_ns" || k == "mae" {
+                            if let Json::Num(n) = v {
+                                *n /= 1000.0;
+                            }
+                        } else {
+                            doctor(v);
+                        }
+                    }
+                }
+                Json::Arr(items) => items.iter_mut().for_each(doctor),
+                _ => {}
+            }
+        }
+        doctor(&mut doc);
+        let doctored = dir.join("doctored.json");
+        std::fs::write(&doctored, doc.pretty(2)).unwrap();
+        let (r, ok) = regress(doctored.to_str().unwrap(), base_s, 1.5);
+        assert!(!ok, "doctored baseline must fail:\n{r}");
+        assert!(r.contains("REGRESSED"));
+
+        // Disjoint workloads: vacuous comparison is a failure, not a pass.
+        let empty = dir.join("empty.json");
+        std::fs::write(
+            &empty,
+            format!("{{\"schema\": \"{BENCH_SCHEMA}\", \"experiments\": []}}"),
+        )
+        .unwrap();
+        let (r, ok) = regress(empty.to_str().unwrap(), base_s, 1.5);
+        assert!(!ok);
+        assert!(r.contains("no experiment appears in both"));
+
+        // Unreadable input: a clean failure, not a panic.
+        let (r, ok) = regress(dir.join("missing.json").to_str().unwrap(), base_s, 1.5);
+        assert!(!ok);
+        assert!(r.contains("cannot read"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

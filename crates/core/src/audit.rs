@@ -57,6 +57,14 @@ pub struct AuditJoin<'g> {
     assignment: Vec<u32>,
     accum: GroupAccumulator,
     stats: WalkStats,
+    /// Per-plan-step walk arrivals (walks that reached the step).
+    step_visits: Vec<u64>,
+    /// Per-plan-step dead ends (walks that died sampling the step).
+    step_rejects: Vec<u64>,
+    /// Per-plan-step tip events (walk replaced by exact CTJ *before*
+    /// sampling this step) — the distribution `AJ_TIP_STEP` aggregates
+    /// globally, localised to this run.
+    step_tips: Vec<u64>,
     rng: SmallRng,
     // Per-walk scratch buffers (cleared each walk, reused to avoid
     // allocation on the hot path).
@@ -86,6 +94,7 @@ impl<'g> AuditJoin<'g> {
         let est = SuffixEstimator::new(ig, query, &plan);
         let counter = CtjCounter::new(ig, plan.clone());
         let prab = PrAb::new(ig, query.clone(), plan.clone());
+        let n = plan.len();
         Ok(AuditJoin {
             ig,
             est,
@@ -99,6 +108,9 @@ impl<'g> AuditJoin<'g> {
             plan,
             accum: GroupAccumulator::new(),
             stats: WalkStats::default(),
+            step_visits: vec![0; n],
+            step_rejects: vec![0; n],
+            step_tips: vec![0; n],
             rng: SmallRng::seed_from_u64(config.seed),
             masses: FxHashMap::default(),
             group_counts: FxHashMap::default(),
@@ -119,6 +131,46 @@ impl<'g> AuditJoin<'g> {
     /// Number of cached `Pr(a, b)` pairs.
     pub fn cached_pairs(&self) -> usize {
         self.prab.cached_pairs()
+    }
+
+    /// Per-step `(visits, dead_ends, tips)` counters, indexed by
+    /// walk-plan step. A tip at step `i` means the walk was replaced by
+    /// an exact CTJ suffix computation *before* sampling step `i`.
+    pub fn step_stats(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        (0..self.plan.len())
+            .map(|i| (self.step_visits[i], self.step_rejects[i], self.step_tips[i]))
+    }
+
+    /// Emit this run's walk-phase attribution into the active profile
+    /// scope (no-op when none): one `aj.walks` span with per-step
+    /// accept/reject/tip leaves, and an `aj.exact_suffix` child carrying
+    /// the per-node cache stats of the CTJ substrate the tipped walks
+    /// delegated to.
+    pub fn profile_emit(&self) {
+        if !kgoa_obs::profile::active() {
+            return;
+        }
+        let span = kgoa_obs::profile::span("aj.walks");
+        kgoa_obs::profile::add("walks", self.stats.walks);
+        kgoa_obs::profile::add("full", self.stats.full);
+        kgoa_obs::profile::add("rejected", self.stats.rejected);
+        kgoa_obs::profile::add("tipped", self.stats.tipped);
+        for (i, step) in self.plan.steps().iter().enumerate() {
+            kgoa_obs::profile::leaf(
+                format!("aj.step{i}[p{}]", step.pattern_idx),
+                &[
+                    ("visits", self.step_visits[i]),
+                    ("dead_ends", self.step_rejects[i]),
+                    ("tips", self.step_tips[i]),
+                ],
+            );
+        }
+        {
+            let suffix = kgoa_obs::profile::span("aj.exact_suffix");
+            self.counter.profile_emit();
+            drop(suffix);
+        }
+        drop(span);
     }
 
     /// Execute one walk (lines 5–20 of Fig. 7).
@@ -143,10 +195,12 @@ impl<'g> AuditJoin<'g> {
         let mut range = step0.access.resolve(self.ig.require(step0.access.order), None);
         loop {
             budget.check()?;
+            self.step_visits[i] += 1;
             let d = range.len();
             let Some(pos) = range.pick(&mut self.rng) else {
                 self.stats.walks += 1;
                 self.stats.rejected += 1;
+                self.step_rejects[i] += 1;
                 kgoa_obs::metrics::WALKS.inc();
                 kgoa_obs::metrics::WALKS_REJECTED.inc();
                 return Ok(());
@@ -177,10 +231,12 @@ impl<'g> AuditJoin<'g> {
                 kgoa_obs::metrics::WALKS.inc();
                 if contributed {
                     self.stats.tipped += 1;
+                    self.step_tips[i + 1] += 1;
                     kgoa_obs::metrics::WALKS_TIPPED.inc();
                     kgoa_obs::metrics::AJ_TIP_STEP.record((i + 1) as u64);
                 } else {
                     self.stats.rejected += 1;
+                    self.step_rejects[i + 1] += 1;
                     kgoa_obs::metrics::WALKS_REJECTED.inc();
                 }
                 return Ok(());
@@ -603,6 +659,29 @@ mod tests {
             rr_aj < 0.05,
             "tipping should eliminate rejections here: {rr_aj} vs {rr_wj_like}"
         );
+    }
+
+    #[test]
+    fn step_stats_localise_walk_phases() {
+        let (ig, p, q, r) = deep_graph();
+        let query = deep_query(p, q, r, false);
+        let mut aj = AuditJoin::new(
+            &ig,
+            &query,
+            AuditJoinConfig { tipping_threshold: 1024.0, seed: 9 },
+        )
+        .unwrap();
+        run_walks(&mut aj, 500);
+        let steps: Vec<(u64, u64, u64)> = aj.step_stats().collect();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].0, 500, "every walk samples step 0: {steps:?}");
+        let tips: u64 = steps.iter().map(|s| s.2).sum();
+        let rejects: u64 = steps.iter().map(|s| s.1).sum();
+        assert_eq!(tips, aj.stats().tipped, "{steps:?}");
+        assert_eq!(rejects, aj.stats().rejected, "{steps:?}");
+        assert!(tips > 0, "deep graph must tip under this threshold: {steps:?}");
+        // Tips never happen at step 0 (there is no prefix yet).
+        assert_eq!(steps[0].2, 0, "{steps:?}");
     }
 
     #[test]

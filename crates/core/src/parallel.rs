@@ -130,6 +130,10 @@ pub fn run_parallel(
         return Err(ParallelError::NoThreads);
     }
     kgoa_obs::metrics::PARALLEL_WORKERS.add(threads as u64);
+    // If the calling thread is attached to a query profile, hand each
+    // worker a handle *captured before spawning* so their spans land in
+    // the caller's tree (labelled per worker) instead of vanishing.
+    let profile = kgoa_obs::profile::current_handle();
     type WorkerResult = Result<Result<(GroupAccumulator, WalkStats), QueryError>, ()>;
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -137,12 +141,16 @@ pub fn run_parallel(
             let plan = plan.clone();
             let query = query.clone();
             let budget = budget.clone();
+            let profile = profile.clone();
             let worker_seed =
                 seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1));
             handles.push(scope.spawn(move || -> WorkerResult {
                 kgoa_obs::metrics::PARALLEL_ACTIVE_WORKERS.add(1);
                 let out = catch_unwind(AssertUnwindSafe(
                     || -> Result<(GroupAccumulator, WalkStats), QueryError> {
+                        let _attach =
+                            profile.as_ref().map(|h| h.attach(format!("worker-{t}")));
+                        let _span = kgoa_obs::profile::span("parallel.worker");
                         if let Budget::Exec(b) = &budget {
                             b.fault_worker_delay(t);
                         }
@@ -150,12 +158,14 @@ pub fn run_parallel(
                             ParallelAlgo::WanderJoin => {
                                 let mut wj = WanderJoin::with_plan(ig, &query, plan, worker_seed)?;
                                 drive(&mut wj, &budget);
+                                wj.profile_emit();
                                 Ok((wj.accumulator().clone(), wj.stats()))
                             }
                             ParallelAlgo::AuditJoin(cfg) => {
                                 let cfg = AuditJoinConfig { seed: worker_seed, ..cfg };
                                 let mut aj = AuditJoin::with_plan(ig, &query, plan, cfg)?;
                                 drive(&mut aj, &budget);
+                                aj.profile_emit();
                                 Ok((aj.accumulator().clone(), aj.stats()))
                             }
                         }

@@ -261,8 +261,10 @@ pub fn supervise(
     let slice = remaining_slice(config, start);
     let aj_budget = config.budget_builder().deadline(slice).build();
     let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(GroupedEstimates, u64), QueryError> {
+        let _prof = kgoa_obs::profile::span("supervisor.rung.audit_join");
         let mut aj = AuditJoin::new(ig, query, config.audit)?;
         run_governed(&mut aj, &aj_budget);
+        aj.profile_emit();
         Ok((aj.estimates(), aj.stats().walks))
     }));
     match attempt {
@@ -304,8 +306,10 @@ pub fn supervise(
     let wj_budget = ExecBudget::builder().deadline(slice).build();
     let wj_seed = config.audit.seed ^ 0x57AB_1E5E_ED5E_ED00;
     let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(GroupedEstimates, u64), QueryError> {
+        let _prof = kgoa_obs::profile::span("supervisor.rung.wander_join");
         let mut wj = WanderJoin::new(ig, query, wj_seed)?;
         run_governed(&mut wj, &wj_budget);
+        wj.profile_emit();
         Ok((wj.estimates(), wj.stats().walks))
     }));
     match attempt {

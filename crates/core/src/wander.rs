@@ -34,6 +34,10 @@ pub struct WanderJoin<'g> {
     accum: GroupAccumulator,
     seen: FxHashSet<u64>,
     stats: WalkStats,
+    /// Per-plan-step walk arrivals (walks that reached the step).
+    step_visits: Vec<u64>,
+    /// Per-plan-step dead ends (walks that died at the step).
+    step_rejects: Vec<u64>,
     rng: SmallRng,
 }
 
@@ -57,6 +61,7 @@ impl<'g> WanderJoin<'g> {
         plan: WalkPlan,
         seed: u64,
     ) -> Result<Self, QueryError> {
+        let n = plan.len();
         Ok(WanderJoin {
             ig,
             assignment: vec![0u32; query.var_count()],
@@ -67,6 +72,8 @@ impl<'g> WanderJoin<'g> {
             accum: GroupAccumulator::new(),
             seen: FxHashSet::default(),
             stats: WalkStats::default(),
+            step_visits: vec![0; n],
+            step_rejects: vec![0; n],
             rng: SmallRng::seed_from_u64(seed),
         })
     }
@@ -74,6 +81,32 @@ impl<'g> WanderJoin<'g> {
     /// The raw per-group accumulator (used by the parallel runner).
     pub fn accumulator(&self) -> &GroupAccumulator {
         &self.accum
+    }
+
+    /// Per-step `(visits, dead_ends)` counters, indexed by walk-plan step.
+    pub fn step_stats(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.step_visits.iter().copied().zip(self.step_rejects.iter().copied())
+    }
+
+    /// Emit this run's walk-phase attribution into the active profile
+    /// scope (no-op when none): one `wj.walks` span carrying the global
+    /// walk counters, with one leaf per plan step underneath.
+    pub fn profile_emit(&self) {
+        if !kgoa_obs::profile::active() {
+            return;
+        }
+        let span = kgoa_obs::profile::span("wj.walks");
+        kgoa_obs::profile::add("walks", self.stats.walks);
+        kgoa_obs::profile::add("full", self.stats.full);
+        kgoa_obs::profile::add("rejected", self.stats.rejected);
+        kgoa_obs::profile::add("duplicates", self.stats.duplicates);
+        for (i, step) in self.plan.steps().iter().enumerate() {
+            kgoa_obs::profile::leaf(
+                format!("wj.step{i}[p{}]", step.pattern_idx),
+                &[("visits", self.step_visits[i]), ("dead_ends", self.step_rejects[i])],
+            );
+        }
+        drop(span);
     }
 
     /// Execute one random walk, updating the estimators.
@@ -92,12 +125,14 @@ impl<'g> WanderJoin<'g> {
         let mut weight = 1.0f64;
         for (si, step) in self.plan.steps().iter().enumerate() {
             budget.check()?;
+            self.step_visits[si] += 1;
             let index = self.ig.require(step.access.order);
             let in_value = step.in_var.map(|(v, _)| self.assignment[v.index()]);
             let range = step.access.resolve(index, in_value);
             let Some(pos) = range.pick(&mut self.rng) else {
                 self.stats.walks += 1;
                 self.stats.rejected += 1;
+                self.step_rejects[si] += 1;
                 kgoa_obs::metrics::WALKS.inc();
                 kgoa_obs::metrics::WALKS_REJECTED.inc();
                 return Ok(());
@@ -235,6 +270,30 @@ mod tests {
         run_walks(&mut wj, 2000);
         let rr = wj.stats().rejection_rate();
         assert!((rr - 0.5).abs() < 0.05, "rejection rate {rr}");
+    }
+
+    #[test]
+    fn step_stats_localise_dead_ends() {
+        // Same shape as rejections_on_dead_ends: all deaths at step 1.
+        let mut b = GraphBuilder::new();
+        let p = b.dict_mut().intern_iri("u:p");
+        let q = b.dict_mut().intern_iri("u:q");
+        let s = b.dict_mut().intern_iri("u:s");
+        let o0 = b.dict_mut().intern_iri("u:o0");
+        let o1 = b.dict_mut().intern_iri("u:o1");
+        let c = b.dict_mut().intern_iri("u:c");
+        b.add(Triple::new(s, p, o0));
+        b.add(Triple::new(s, p, o1));
+        b.add(Triple::new(o0, q, c));
+        let ig = IndexedGraph::build(b.build());
+        let mut wj = WanderJoin::new(&ig, &query(p, q, false), 11).unwrap();
+        run_walks(&mut wj, 500);
+        let steps: Vec<(u64, u64)> = wj.step_stats().collect();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0], (500, 0), "step 0 always succeeds");
+        assert_eq!(steps[1].0, 500, "every walk reaches step 1");
+        assert_eq!(steps[1].1, wj.stats().rejected, "all deaths at step 1");
+        assert!(steps[1].1 > 0);
     }
 
     #[test]

@@ -35,6 +35,20 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// Cache and enumeration counters for **one** walk-plan step (one node of
+/// the CTJ recursion tree), aggregated across all semirings. Collected
+/// unconditionally — plain `u64` bumps next to hash-map probes are noise —
+/// and attributed to the active profile via [`CtjCounter::profile_emit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepCacheStats {
+    /// Memo hits at this step.
+    pub hits: u64,
+    /// Memo misses (suffix aggregates computed) at this step.
+    pub misses: u64,
+    /// Candidate rows enumerated at this step while computing misses.
+    pub rows: u64,
+}
+
 /// Which variables a step's suffix depends on, and how to build memo keys.
 #[derive(Debug, Clone)]
 enum DepKey {
@@ -75,6 +89,7 @@ pub struct CtjCounter<'g> {
     memo_exists: Vec<FxHashMap<u64, bool>>,
     memo_mass: Vec<FxHashMap<u64, f64>>,
     stats: CacheStats,
+    step_stats: Vec<StepCacheStats>,
 }
 
 impl<'g> CtjCounter<'g> {
@@ -90,6 +105,7 @@ impl<'g> CtjCounter<'g> {
             memo_exists: vec![FxHashMap::default(); n + 1],
             memo_mass: vec![FxHashMap::default(); n + 1],
             stats: CacheStats::default(),
+            step_stats: vec![StepCacheStats::default(); n],
         }
     }
 
@@ -108,6 +124,33 @@ impl<'g> CtjCounter<'g> {
         self.stats
     }
 
+    /// Per-step cache/enumeration counters, indexed by walk-plan step.
+    pub fn step_stats(&self) -> &[StepCacheStats] {
+        &self.step_stats
+    }
+
+    /// Attribute one enumerated row to `step`. Drivers that enumerate a
+    /// prefix themselves (e.g. [`crate::CtjEngine`]'s group recursion)
+    /// call this so their rows land in the same per-step counters as the
+    /// memoized suffix work.
+    pub fn note_row(&mut self, step: usize) {
+        self.step_stats[step].rows += 1;
+    }
+
+    /// Emit one attribution leaf per walk-plan step (one per CTJ cache
+    /// node) into the active profile scope; no-op when none.
+    pub fn profile_emit(&self) {
+        if !kgoa_obs::profile::active() {
+            return;
+        }
+        for (i, (st, step)) in self.step_stats.iter().zip(self.plan.steps()).enumerate() {
+            kgoa_obs::profile::leaf(
+                format!("ctj.step{i}[p{}]", step.pattern_idx),
+                &[("cache_hits", st.hits), ("cache_misses", st.misses), ("rows", st.rows)],
+            );
+        }
+    }
+
 
     /// Drop all cached entries (used between ablation runs).
     pub fn clear_cache(&mut self) {
@@ -121,6 +164,7 @@ impl<'g> CtjCounter<'g> {
             m.clear();
         }
         self.stats = CacheStats::default();
+        self.step_stats.fill(StepCacheStats::default());
     }
 
     /// Number of completions of the suffix starting at `step`, given the
@@ -147,6 +191,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             if let Some(&c) = self.memo_count[step].get(&k) {
                 self.stats.hits += 1;
+                self.step_stats[step].hits += 1;
                 kgoa_obs::metrics::CTJ_CACHE_HITS.inc();
                 return Ok(c);
             }
@@ -165,6 +210,7 @@ impl<'g> CtjCounter<'g> {
             let mut total = 0u64;
             for pos in range.start..range.end {
                 meter.tick()?;
+                self.step_stats[step].rows += 1;
                 let row = index.row(pos);
                 self.plan.extract(step, row, assignment);
                 total += self.try_count_from(step + 1, assignment, meter)?;
@@ -174,6 +220,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             self.memo_count[step].insert(k, total);
             self.stats.misses += 1;
+            self.step_stats[step].misses += 1;
             kgoa_obs::metrics::CTJ_CACHE_MISSES.inc();
         }
         Ok(total)
@@ -200,6 +247,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             if let Some(&e) = self.memo_exists[step].get(&k) {
                 self.stats.hits += 1;
+                self.step_stats[step].hits += 1;
                 kgoa_obs::metrics::CTJ_CACHE_HITS.inc();
                 return Ok(e);
             }
@@ -217,6 +265,7 @@ impl<'g> CtjCounter<'g> {
         } else {
             for pos in range.start..range.end {
                 meter.tick()?;
+                self.step_stats[step].rows += 1;
                 let row = index.row(pos);
                 self.plan.extract(step, row, assignment);
                 if self.try_exists_from(step + 1, assignment, meter)? {
@@ -228,6 +277,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             self.memo_exists[step].insert(k, found);
             self.stats.misses += 1;
+            self.step_stats[step].misses += 1;
             kgoa_obs::metrics::CTJ_CACHE_MISSES.inc();
         }
         Ok(found)
@@ -255,6 +305,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             if let Some(&m) = self.memo_mass[step].get(&k) {
                 self.stats.hits += 1;
+                self.step_stats[step].hits += 1;
                 kgoa_obs::metrics::CTJ_CACHE_HITS.inc();
                 return Ok(m);
             }
@@ -275,6 +326,7 @@ impl<'g> CtjCounter<'g> {
             let mut sum = 0.0;
             for pos in range.start..range.end {
                 meter.tick()?;
+                self.step_stats[step].rows += 1;
                 let row = index.row(pos);
                 self.plan.extract(step, row, assignment);
                 sum += self.try_mass_from(step + 1, assignment, meter)?;
@@ -284,6 +336,7 @@ impl<'g> CtjCounter<'g> {
         if let Some(k) = key {
             self.memo_mass[step].insert(k, mass);
             self.stats.misses += 1;
+            self.step_stats[step].misses += 1;
             kgoa_obs::metrics::CTJ_CACHE_MISSES.inc();
         }
         Ok(mass)
@@ -391,6 +444,30 @@ mod tests {
         let h0 = counter.cache_stats().hits;
         assert_eq!(counter.count_from(0, &mut asg), 2);
         assert!(counter.cache_stats().hits > h0);
+    }
+
+    #[test]
+    fn step_stats_localise_cache_traffic() {
+        let (ig, p, q, r) = diamond();
+        let query = path3(p, q, r);
+        let plan = WalkPlan::canonical(&query, &kgoa_index::IndexOrder::PAPER_DEFAULT).unwrap();
+        let mut counter = CtjCounter::new(&ig, plan);
+        let mut asg = vec![0u32; query.var_count()];
+        assert_eq!(counter.count_from(0, &mut asg), 2);
+        let steps = counter.step_stats().to_vec();
+        assert_eq!(steps.len(), 3);
+        // Per-step counters sum to the global aggregate.
+        let global = counter.cache_stats();
+        assert_eq!(steps.iter().map(|s| s.hits).sum::<u64>(), global.hits);
+        assert_eq!(steps.iter().map(|s| s.misses).sum::<u64>(), global.misses);
+        // The diamond's reconvergence (both x and y lead to m) shows up
+        // as a hit on the suffix *after* the meeting step, not step 0.
+        assert_eq!(steps[0].hits, 0, "{steps:?}");
+        assert!(steps[1].hits + steps[2].hits >= 1, "{steps:?}");
+        // Rows were enumerated wherever suffixes were computed.
+        assert!(steps.iter().map(|s| s.rows).sum::<u64>() > 0, "{steps:?}");
+        counter.clear_cache();
+        assert!(counter.step_stats().iter().all(|s| *s == StepCacheStats::default()));
     }
 
     #[test]

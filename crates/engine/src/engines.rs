@@ -100,6 +100,7 @@ impl CountEngine for CtjEngine {
         } else {
             ctj_count_rec(query, &mut counter, 0, &mut assignment, &mut out, &mut meter)?;
         }
+        counter.profile_emit();
         Ok(out)
     }
 }
@@ -131,6 +132,7 @@ fn ctj_count_rec(
     let range = s.access.resolve(index, in_value);
     for pos in range.start..range.end {
         meter.tick()?;
+        counter.note_row(step);
         let row = index.row(pos);
         counter.plan().extract(step, row, assignment);
         ctj_count_rec(query, counter, step + 1, assignment, out, meter)?;
@@ -169,6 +171,7 @@ fn ctj_distinct_rec(
     let range = s.access.resolve(index, in_value);
     for pos in range.start..range.end {
         meter.tick()?;
+        counter.note_row(step);
         let row = index.row(pos);
         counter.plan().extract(step, row, assignment);
         ctj_distinct_rec(query, counter, step + 1, assignment, seen, out, meter)?;

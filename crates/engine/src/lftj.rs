@@ -18,6 +18,21 @@ use kgoa_query::{ExplorationQuery, JoinLevel, JoinPlan};
 use crate::budget::{BudgetExceeded, BudgetMeter, ExecBudget};
 use crate::error::EngineError;
 
+/// Per-variable operator counters for one LFTJ execution, indexed by the
+/// variable's rank in the plan order. Plain `u64`s bumped unconditionally
+/// (an increment next to a trie seek is noise); read them back with
+/// [`LftjExec::op_stats`] or let [`LftjExec::run_governed`] attribute
+/// them to the active [`kgoa_obs::profile`] scope.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LftjVarStats {
+    /// Leapfrog alignment rounds at this variable's level.
+    pub probes: u64,
+    /// Trie `seek` calls issued for this variable (navigation + leapfrog).
+    pub seeks: u64,
+    /// `next_key` advances past a matched key at this level.
+    pub next_keys: u64,
+}
+
 /// An LFTJ execution over one query. Construct with [`LftjExec::new`], then
 /// call [`LftjExec::run`] with a callback receiving each full assignment
 /// (indexed by variable id).
@@ -25,6 +40,8 @@ pub struct LftjExec<'g> {
     plan: JoinPlan,
     cursors: Vec<TrieCursor<'g>>,
     assignment: Vec<u32>,
+    /// Per-rank operator counters (see [`LftjVarStats`]).
+    op_stats: Vec<LftjVarStats>,
     /// True once a constant-only pattern has been verified absent — the
     /// result is empty regardless of the rest.
     empty: bool,
@@ -55,7 +72,34 @@ impl<'g> LftjExec<'g> {
             }
         }
         let assignment = vec![0u32; query.var_count()];
-        Ok(LftjExec { plan, cursors, assignment, empty })
+        let op_stats = vec![LftjVarStats::default(); plan.var_order().len()];
+        Ok(LftjExec { plan, cursors, assignment, op_stats, empty })
+    }
+
+    /// Per-variable operator counters accumulated so far, indexed by plan
+    /// rank (same order as `plan.var_order()`).
+    pub fn op_stats(&self) -> &[LftjVarStats] {
+        &self.op_stats
+    }
+
+    /// Emit one attribution leaf per plan variable into the active
+    /// profile scope (no-op when none). Called after a run; also usable
+    /// directly by callers that drive [`LftjExec::run`] themselves.
+    pub fn profile_emit(&self) {
+        if !kgoa_obs::profile::active() {
+            return;
+        }
+        for (rank, st) in self.op_stats.iter().enumerate() {
+            let var = self.plan.var_order()[rank];
+            kgoa_obs::profile::leaf(
+                format!("lftj.v{rank}[?{}]", var.index()),
+                &[
+                    ("probes", st.probes),
+                    ("seeks", st.seeks),
+                    ("next_keys", st.next_keys),
+                ],
+            );
+        }
     }
 
     /// Run the join, invoking `on_result` once per full assignment.
@@ -75,8 +119,11 @@ impl<'g> LftjExec<'g> {
         if self.empty {
             return Ok(());
         }
+        let _prof = kgoa_obs::profile::span("engine.lftj.run");
         let mut meter = budget.meter();
-        self.solve(0, &mut meter, &mut on_result)
+        let result = self.solve(0, &mut meter, &mut on_result);
+        self.profile_emit();
+        result
     }
 
     fn solve(
@@ -107,6 +154,7 @@ impl<'g> LftjExec<'g> {
                 match self.plan.accesses()[pi].levels[lvl] {
                     JoinLevel::Const(c) => {
                         let c = c.raw();
+                        self.op_stats[rank].seeks += 1;
                         self.cursors[pi].seek(c);
                         if self.cursors[pi].at_end() || self.cursors[pi].key() != c {
                             ok = false;
@@ -115,6 +163,7 @@ impl<'g> LftjExec<'g> {
                     JoinLevel::Var(w) => {
                         if self.plan.rank(w) < rank {
                             let val = self.assignment[w.index()];
+                            self.op_stats[rank].seeks += 1;
                             self.cursors[pi].seek(val);
                             if self.cursors[pi].at_end() || self.cursors[pi].key() != val {
                                 ok = false;
@@ -169,6 +218,7 @@ impl<'g> LftjExec<'g> {
         'outer: loop {
             meter.tick()?;
             kgoa_obs::metrics::LFTJ_PROBES.inc();
+            self.op_stats[rank].probes += 1;
             // Align all cursors on a common key.
             let mut maxk = 0u32;
             for &(pi, _) in occs {
@@ -178,6 +228,7 @@ impl<'g> LftjExec<'g> {
                 let mut all_eq = true;
                 for &(pi, _) in occs {
                     if self.cursors[pi].key() < maxk {
+                        self.op_stats[rank].seeks += 1;
                         self.cursors[pi].seek(maxk);
                         if self.cursors[pi].at_end() {
                             break 'outer;
@@ -194,6 +245,7 @@ impl<'g> LftjExec<'g> {
             self.solve(rank + 1, meter, on_result)?;
             // Advance the first cursor past the matched key.
             let (p0, _) = occs[0];
+            self.op_stats[rank].next_keys += 1;
             self.cursors[p0].next_key();
             if self.cursors[p0].at_end() {
                 break;
@@ -292,6 +344,30 @@ mod tests {
         let y = ig.dict().lookup_iri("u:y").unwrap().raw();
         let mids: Vec<u32> = rows.iter().map(|r| r[1]).collect();
         assert!(mids.contains(&x) && mids.contains(&y));
+    }
+
+    #[test]
+    fn op_stats_attribute_work_per_variable() {
+        let (ig, p, q, _) = diamond();
+        let query = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+            ],
+            Var(2),
+            Var(1),
+            false,
+        )
+        .unwrap();
+        let plan = JoinPlan::canonical(&query, &kgoa_index::IndexOrder::PAPER_DEFAULT).unwrap();
+        let mut exec = LftjExec::new(&ig, &query, plan).unwrap();
+        exec.run(|_| {});
+        let stats = exec.op_stats();
+        assert_eq!(stats.len(), 3);
+        // Every variable level ran at least one leapfrog round, and the
+        // join did real work somewhere.
+        assert!(stats.iter().all(|s| s.probes > 0), "{stats:?}");
+        assert!(stats.iter().map(|s| s.next_keys).sum::<u64>() > 0, "{stats:?}");
     }
 
     #[test]

@@ -32,10 +32,10 @@ pub use baseline::{baseline_grouped, baseline_grouped_governed, DEFAULT_TUPLE_LI
 #[cfg(feature = "fault-inject")]
 pub use budget::FaultPlan;
 pub use budget::{BudgetExceeded, BudgetMeter, BudgetReason, ExecBudget, ExecBudgetBuilder};
-pub use ctj::{ctj_count, CacheStats, CtjCounter};
+pub use ctj::{ctj_count, CacheStats, CtjCounter, StepCacheStats};
 pub use engines::{BaselineEngine, CountEngine, CtjEngine, LftjEngine, YannakakisEngine};
 pub use error::EngineError;
-pub use lftj::{lftj_count, lftj_count_governed, LftjExec};
+pub use lftj::{lftj_count, lftj_count_governed, LftjExec, LftjVarStats};
 pub use result::{mean_absolute_error, mean_ci_width, GroupedCounts, GroupedEstimates};
 pub use yannakakis::{
     count_distinct_values, yannakakis_grouped_distinct, yannakakis_grouped_distinct_governed,

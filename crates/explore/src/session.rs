@@ -300,6 +300,26 @@ impl<'g> Session<'g> {
         Ok(outcome)
     }
 
+    /// [`Self::expand_governed`] under a per-query profile scope: spans
+    /// and operator attribution emitted anywhere below the supervisor —
+    /// LFTJ per-variable seek/probe counts, CTJ per-step cache traffic,
+    /// walk accept/reject tallies — are collected into a
+    /// [`kgoa_obs::ProfileReport`] and returned alongside the chart
+    /// instead of smearing into the global histograms.
+    pub fn expand_profiled(
+        &mut self,
+        exp: Expansion,
+        config: &SupervisorConfig,
+    ) -> Result<(GovernedChart, kgoa_obs::ProfileReport), ExploreError> {
+        let profile = kgoa_obs::QueryProfile::begin(format!("expand:{exp:?}"));
+        let result = {
+            let _attach = profile.handle().attach("main");
+            self.expand_governed(exp, config)
+        };
+        let report = profile.finish();
+        result.map(|chart| (chart, report))
+    }
+
     /// Select (click) a bar of the chart produced by the last expansion,
     /// folding the chosen category into the focus constraints.
     pub fn select(&mut self, category: TermId) -> Result<(), ExploreError> {
@@ -455,6 +475,26 @@ mod tests {
         assert_eq!(out.chart.bars.len(), exact.bars.len());
         // The session can keep interacting off a governed chart.
         s.select(out.chart.bars[0].category).unwrap();
+    }
+
+    #[test]
+    fn profiled_expansion_attributes_engine_work() {
+        let ig = ig();
+        let mut s = Session::root(&ig);
+        let config = SupervisorConfig::with_deadline(std::time::Duration::from_secs(30));
+        let (out, report) = s.expand_profiled(Expansion::Subclass, &config).unwrap();
+        assert!(out.is_exact());
+        assert!(report.query.starts_with("expand:"));
+        assert!(!report.spans.is_empty());
+        // The exact rung runs CTJ under the profile scope, so per-step
+        // cache attribution must show up in the span tree.
+        assert!(
+            report.spans.iter().any(|n| n.name.starts_with("ctj.step")),
+            "expected ctj.step* leaves, got {:?}",
+            report.spans.iter().map(|n| n.name.as_str()).collect::<Vec<_>>()
+        );
+        // Outside the scope, spans go back to being inert.
+        assert_eq!(kgoa_obs::profile::open_depth(), 0);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! This replaces the workspace's ad-hoc `eprintln!` diagnostics: code
 //! emits an [`Event`] (level + target + message + key/value fields),
 //! the last [`RING_CAPACITY`] events are retained for snapshots, and
-//! events at or above the stderr threshold (default [`Level::Warn`])
-//! are also printed — so the pre-telemetry behaviour of a panicked
-//! worker writing one warning line to stderr is preserved verbatim.
+//! events at or above the stderr threshold (default [`Level::Warn`],
+//! overridable with the `KGOA_LOG` environment variable) are also
+//! printed — so the pre-telemetry behaviour of a panicked worker
+//! writing one warning line to stderr is preserved verbatim.
 //!
 //! Unlike metrics, the event log is **not** gated on
 //! [`crate::enabled`]: events are rare (fallbacks, degradations,
@@ -14,7 +15,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 /// Event severity, ordered `Debug < Info < Warn < Error`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -37,6 +38,17 @@ impl Level {
             Level::Info => "info",
             Level::Warn => "warn",
             Level::Error => "error",
+        }
+    }
+
+    /// Parse a level name, case-insensitively.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
         }
     }
 }
@@ -75,11 +87,47 @@ static RING: Mutex<Ring> = Mutex::new(Ring { buf: VecDeque::new(), seq: 0, dropp
 /// Stderr threshold encoding: level as u8, 255 = never print.
 static STDERR_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
 
+/// One-time `KGOA_LOG` environment lookup. Guarded by a `Once` so an
+/// explicit [`set_stderr_level`] call always wins regardless of whether
+/// it runs before or after the first emit: both paths force the env
+/// read first, and the env value is applied at most once.
+static ENV_INIT: Once = Once::new();
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("KGOA_LOG") {
+            if let Some(level) = parse_stderr_level(&v) {
+                STDERR_LEVEL.store(encode(level), Ordering::Relaxed);
+            } else {
+                eprintln!("kgoa[warn] events: ignoring unrecognised KGOA_LOG={v:?}");
+            }
+        }
+    });
+}
+
+/// Parse a `KGOA_LOG` value: a [`Level`] name routes that level and
+/// above to stderr, `off`/`none`/`silent` silences stderr
+/// (`Some(None)`), anything else is unrecognised (`None`).
+pub fn parse_stderr_level(value: &str) -> Option<Option<Level>> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "silent" => Some(None),
+        other => Level::parse(other).map(Some),
+    }
+}
+
+fn encode(level: Option<Level>) -> u8 {
+    level.map_or(255, |l| l as u8)
+}
+
 /// Route events at or above `level` to stderr (`None` silences stderr
-/// entirely — used by benchmarks and tests). Default: [`Level::Warn`],
-/// which preserves the visibility the old `eprintln!` calls had.
+/// entirely — used by benchmarks and tests). The default is
+/// [`Level::Warn`] — which preserves the visibility the old
+/// `eprintln!` calls had — overridable at startup with the `KGOA_LOG`
+/// environment variable (`error`/`warn`/`info`/`debug`/`off`). An
+/// explicit call to this function always beats the environment.
 pub fn set_stderr_level(level: Option<Level>) {
-    STDERR_LEVEL.store(level.map_or(255, |l| l as u8), Ordering::Relaxed);
+    ENV_INIT.call_once(|| {}); // consume the env slot: explicit wins
+    STDERR_LEVEL.store(encode(level), Ordering::Relaxed);
 }
 
 fn ring() -> std::sync::MutexGuard<'static, Ring> {
@@ -102,6 +150,7 @@ pub fn emit_with(
         message: message.into(),
         fields,
     };
+    init_from_env();
     if level as u8 >= STDERR_LEVEL.load(Ordering::Relaxed) {
         let kv: Vec<String> =
             event.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
@@ -189,6 +238,32 @@ mod tests {
         clear();
         assert!(recent().is_empty());
         assert_eq!(dropped(), 0);
+        set_stderr_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn kgoa_log_values_parse() {
+        assert_eq!(parse_stderr_level("debug"), Some(Some(Level::Debug)));
+        assert_eq!(parse_stderr_level("INFO"), Some(Some(Level::Info)));
+        assert_eq!(parse_stderr_level(" warn "), Some(Some(Level::Warn)));
+        assert_eq!(parse_stderr_level("warning"), Some(Some(Level::Warn)));
+        assert_eq!(parse_stderr_level("error"), Some(Some(Level::Error)));
+        assert_eq!(parse_stderr_level("off"), Some(None));
+        assert_eq!(parse_stderr_level("none"), Some(None));
+        assert_eq!(parse_stderr_level("verbose"), None);
+        assert_eq!(parse_stderr_level(""), None);
+        assert_eq!(Level::parse("Error"), Some(Level::Error));
+        assert_eq!(Level::parse("trace"), None);
+    }
+
+    #[test]
+    fn explicit_stderr_level_beats_environment() {
+        let _guard = crate::metrics::test_lock();
+        // After an explicit set, the env slot is consumed: emitting
+        // must not re-apply KGOA_LOG over the explicit choice.
+        set_stderr_level(None);
+        emit(Level::Error, "test", "silenced");
+        assert_eq!(STDERR_LEVEL.load(Ordering::Relaxed), 255);
         set_stderr_level(Some(Level::Warn));
     }
 

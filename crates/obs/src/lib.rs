@@ -4,7 +4,9 @@
 //! registry ([`Counter`], [`Gauge`], log-bucketed [`Histogram`] with
 //! p50/p95/p99), RAII [`Span`] timers with a thread-local span stack, a
 //! leveled ring-buffered [event log](events), a [`ConvergenceTrace`]
-//! recorder for online-aggregation estimators, and a stable JSON
+//! recorder for online-aggregation estimators, a per-query
+//! [profiler](profile) ([`QueryProfile`] span trees with operator
+//! counters, schema [`profile::PROFILE_SCHEMA`]), and a stable JSON
 //! [snapshot](snapshot) (schema [`snapshot::SCHEMA`]) plus a
 //! human-readable text rendering.
 //!
@@ -34,6 +36,7 @@
 pub mod events;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
@@ -42,6 +45,7 @@ pub mod trace;
 pub use events::{Event, Level};
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram};
+pub use profile::{ProfileHandle, ProfileReport, QueryProfile, SpanNode, PROFILE_SCHEMA};
 pub use registry::Registry;
 pub use snapshot::{snapshot, HistogramSnapshot, Snapshot, SCHEMA};
 pub use span::Span;

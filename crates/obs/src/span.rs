@@ -9,11 +9,20 @@
 //! When telemetry is disabled at span creation the span is inert: no
 //! clock read, no stack push, and nothing recorded on drop (even if
 //! telemetry is enabled mid-flight — a half-timed interval would lie).
+//!
+//! When the current thread is attached to a live
+//! [`QueryProfile`](crate::profile::QueryProfile), each `Span` also
+//! opens a node in that profile's span *tree* under the same name, so
+//! existing `Span::timed` call sites get per-query attribution for
+//! free. Profile participation is independent of the metrics gate —
+//! a profile is an explicit opt-in scope, so its spans are collected
+//! even when global histograms are off.
 
 use std::cell::RefCell;
 use std::time::Instant;
 
 use crate::metrics::Histogram;
+use crate::profile::ProfileSpan;
 
 thread_local! {
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
@@ -30,18 +39,24 @@ pub fn current() -> Option<&'static str> {
 pub struct Span {
     start: Option<Instant>,
     hist: &'static Histogram,
+    /// Mirror node in the current thread's profile tree (inert when the
+    /// thread is not attached to a profile). Dropped with the span.
+    _profile: ProfileSpan,
 }
 
 impl Span {
     /// Start timing into `hist` (named after the histogram). Inert when
-    /// telemetry is disabled.
+    /// telemetry is disabled — except for the profile-tree mirror node,
+    /// which follows the profile attachment instead (an explicit
+    /// per-query opt-in must not depend on the global metrics flag).
     #[inline]
     pub fn timed(hist: &'static Histogram) -> Span {
+        let profile = crate::profile::span(hist.name());
         if crate::enabled() {
             STACK.with(|s| s.borrow_mut().push(hist.name()));
-            Span { start: Some(Instant::now()), hist }
+            Span { start: Some(Instant::now()), hist, _profile: profile }
         } else {
-            Span { start: None, hist }
+            Span { start: None, hist, _profile: profile }
         }
     }
 
@@ -93,6 +108,25 @@ mod tests {
         assert_eq!(INNER.count(), 1);
         OUTER.reset();
         INNER.reset();
+    }
+
+    #[test]
+    fn spans_mirror_into_profile_tree() {
+        let _guard = crate::metrics::test_lock();
+        crate::set_enabled(true);
+        static PH: Histogram = Histogram::new("test.span.profiled");
+        let p = crate::profile::QueryProfile::begin("span-mirror");
+        {
+            let _attach = p.attach("main");
+            let _s = Span::timed(&PH);
+            crate::profile::add("inside", 4);
+        }
+        crate::set_enabled(false);
+        let report = p.finish();
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].name, "test.span.profiled");
+        assert_eq!(report.spans[0].counters, vec![("inside".to_string(), 4)]);
+        PH.reset();
     }
 
     #[test]

@@ -374,6 +374,49 @@ mod fault_injection {
     }
 
     #[test]
+    fn profile_spans_stay_balanced_across_worker_panics() {
+        // A worker panic unwinds through its profile span and attach
+        // guard before `catch_unwind` stops it: the shared span tree must
+        // come out complete (every opened span closed and flushed) and
+        // the main thread's stack balanced.
+        let (ig, p, q) = two_hop_graph();
+        let query = query_over(p, q, false);
+        let plan = WalkPlan::canonical(&query, &IndexOrder::PAPER_DEFAULT).unwrap();
+        let profile = kgoa::obs::QueryProfile::begin("panic-balance");
+        let out = {
+            let _attach = profile.attach("main");
+            let budget = ExecBudget::builder()
+                .walk_limit(2_000)
+                .faults(FaultPlan { panic_walk_at: Some(50), ..Default::default() })
+                .build();
+            run_parallel(
+                &ig,
+                &query,
+                &plan,
+                ParallelAlgo::WanderJoin,
+                4,
+                Budget::Exec(budget),
+                9,
+            )
+            .unwrap()
+        };
+        assert_eq!(out.workers_panicked, 1);
+        assert_eq!(
+            kgoa::obs::profile::open_depth(),
+            0,
+            "main-thread span stack must balance after an isolated worker panic"
+        );
+        let report = profile.finish();
+        assert!(report.spans.iter().any(|n| n.name == "parallel.worker"));
+        // The tree renders and validates: no dangling parent ids from the
+        // panicked worker.
+        let json = report.to_json().pretty(2);
+        let doc = kgoa::obs::Json::parse(&json).unwrap();
+        assert!(kgoa::obs::ProfileReport::from_json(&doc).is_ok());
+        kgoa::obs::profile::check_folded(&report.to_folded()).unwrap();
+    }
+
+    #[test]
     fn injected_seek_fault_aborts_exact_engine_cleanly() {
         let (ig, p, q) = two_hop_graph();
         let query = query_over(p, q, false);
