@@ -15,9 +15,10 @@
 //!   --steps N                         max exploration depth (default 4)
 //!   --seed N                          workload seed
 //!   --tipping X                       AJ tipping threshold (default 1024)
+//!   --layout rows|csr                 index storage layout (default csr)
 //!   --out PATH                        JSON output path (trace, bench-json, profile)
 //!   --baseline PATH                   baseline bench JSON (regress)
-//!   --candidate PATH                  candidate bench JSON (regress; default BENCH_PR3.json)
+//!   --candidate PATH                  candidate bench JSON (regress; default BENCH_PR4.json)
 //!   --tolerance X                     regression tolerance factor (default 1.25)
 //!   --paper                           paper protocol: 9 ticks × 1 s
 //! ```
@@ -27,11 +28,12 @@ use std::time::{Duration, Instant};
 
 use kgoa_bench::{
     ablate_cache, ablate_order, ablate_tipping, bench_json, deadline_sweep, fig11, fig8,
-    fig9_10, load_datasets, obs_overhead, parallel_scaling, prepare_workload, profile_report,
-    regress, sample_time, table1, trace_report, verify_engines, BenchConfig, Dataset,
-    PreparedQuery,
+    fig9_10, index_bench, layout_parity, load_datasets_in, obs_overhead, parallel_scaling,
+    prepare_workload, profile_report, regress, sample_time, table1, trace_report,
+    verify_engines, BenchConfig, Dataset, PreparedQuery,
 };
 use kgoa_datagen::Scale;
+use kgoa_index::Layout;
 
 /// Everything an experiment may consume: the prepared workload (empty
 /// slices when no selected experiment needs one) and the CLI options.
@@ -179,13 +181,27 @@ const EXPERIMENTS: &[Experiment] = &[
         needs_workload: true,
     },
     Experiment {
+        name: "index-bench",
+        help: "index layout A/B: rows vs CSR build + micro-ops (PR 4)",
+        run: |c| ok(index_bench(c.cfg)),
+        in_all: true,
+        needs_workload: false,
+    },
+    Experiment {
+        name: "layout-parity",
+        help: "rows vs CSR exact/sampled parity gate (nonzero exit on fail)",
+        run: |c| layout_parity(c.cfg),
+        in_all: true,
+        needs_workload: false,
+    },
+    Experiment {
         name: "regress",
         help: "bench regression gate vs --baseline (nonzero exit on fail)",
         run: |c| {
             let Some(baseline) = c.opts.baseline.as_deref() else {
                 return ("regress requires --baseline PATH".into(), false);
             };
-            let candidate = c.opts.candidate.as_deref().unwrap_or("BENCH_PR3.json");
+            let candidate = c.opts.candidate.as_deref().unwrap_or("BENCH_PR4.json");
             regress(baseline, candidate, c.opts.tolerance.unwrap_or(1.25))
         },
         in_all: false,
@@ -216,9 +232,10 @@ fn usage() -> ExitCode {
          --steps N                         max exploration depth (default 4)\n  \
          --seed N                          workload seed\n  \
          --tipping X                       AJ tipping threshold (default 1024)\n  \
+         --layout rows|csr                 index storage layout (default csr)\n  \
          --out PATH                        JSON output path (trace, bench-json, profile)\n  \
          --baseline PATH                   baseline bench JSON (regress)\n  \
-         --candidate PATH                  candidate bench JSON (regress; default BENCH_PR3.json)\n  \
+         --candidate PATH                  candidate bench JSON (regress; default BENCH_PR4.json)\n  \
          --tolerance X                     regression tolerance factor (default 1.25)\n  \
          --paper                           paper protocol: 9 ticks × 1 s"
     );
@@ -273,6 +290,10 @@ fn main() -> ExitCode {
                 Some(v) => cfg.tipping_threshold = v,
                 None => return usage(),
             },
+            "--layout" => match take_value(&mut i).and_then(|v| Layout::parse(&v)) {
+                Some(v) => cfg.layout = v,
+                None => return usage(),
+            },
             "--out" => match take_value(&mut i) {
                 Some(v) => opts.out = Some(v),
                 None => return usage(),
@@ -314,13 +335,14 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "# kgoa repro: {experiment} (scale {:?}, {} ticks × {:?}, {} runs × ≤{} steps, seed {})",
-        cfg.scale, cfg.ticks, cfg.tick, cfg.runs, cfg.max_steps, cfg.seed
+        "# kgoa repro: {experiment} (scale {:?}, {} ticks × {:?}, {} runs × ≤{} steps, seed {}, \
+         layout {})",
+        cfg.scale, cfg.ticks, cfg.tick, cfg.runs, cfg.max_steps, cfg.seed, cfg.layout
     );
     let t0 = Instant::now();
     let (datasets, workload) = if selected.iter().any(|e| e.needs_workload) {
         eprintln!("# building datasets…");
-        let datasets = load_datasets(cfg.scale);
+        let datasets = load_datasets_in(cfg.scale, cfg.layout);
         eprintln!("# generating workload…");
         let workload = prepare_workload(&datasets, &cfg);
         eprintln!(

@@ -1,0 +1,279 @@
+//! Layout A/B experiments for the PR 4 columnar index.
+//!
+//! Two experiments compare the legacy row-oriented trie storage
+//! ([`Layout::Rows`]) against the CSR columnar layout ([`Layout::Csr`]):
+//!
+//! - `index-bench` builds both layouts over the paper-shaped graphs and
+//!   times construction plus the three index hot paths (full trie walks,
+//!   galloped seeks, point containment) — the micro-level evidence behind
+//!   the BENCH_PR4 macro numbers;
+//! - `layout-parity` is a gate: exact CTJ/LFTJ results and deterministic
+//!   Wander Join runs must be *identical* across layouts (leaf positions
+//!   coincide by construction, so even the sampled walks are bit-equal).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use kgoa_datagen::{generate_with_info, KgConfig};
+use kgoa_engine::{CountEngine, CtjEngine, LftjEngine, YannakakisEngine};
+use kgoa_explore::{generate_explorations, GeneratorConfig};
+use kgoa_index::{IndexOrder, IndexedGraph, Layout, TrieCursor};
+
+use crate::metrics::fmt_duration;
+use crate::workload::{load_datasets_in, run_fixed_walks, Algo, BenchConfig};
+
+/// Deterministic splitmix-style generator — the experiments must not
+/// depend on wall-clock entropy, so probe positions come from this.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let x = self.0;
+        (x ^ (x >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd)
+    }
+}
+
+/// Number of probe operations per micro-op timing loop.
+const PROBES: usize = 50_000;
+
+/// Walk the full trie depth-first, returning the number of keys visited
+/// at all levels — the enumeration pattern of CTJ's per-step scans.
+fn full_walk(cursor: &mut TrieCursor) -> u64 {
+    let mut visited = 0u64;
+    cursor.open();
+    loop {
+        if cursor.at_end() {
+            if cursor.depth() == 1 {
+                break;
+            }
+            cursor.up();
+            cursor.next_key();
+            continue;
+        }
+        visited += 1;
+        if cursor.depth() < cursor.max_depth() {
+            cursor.open();
+        } else {
+            cursor.next_key();
+        }
+    }
+    visited
+}
+
+/// Seek storm: descend the trie along randomly chosen existing rows,
+/// seeking each attribute — the navigation pattern of LFTJ/WJ.
+fn seek_storm(index: &kgoa_index::TrieIndex, rng: &mut Lcg) -> u64 {
+    let len = index.len() as u64;
+    let mut hits = 0u64;
+    for _ in 0..PROBES {
+        let pos = (rng.next() % len) as u32;
+        let row = index.row(pos);
+        let mut c = TrieCursor::over_index(index);
+        c.open();
+        for (d, v) in row.iter().enumerate() {
+            c.seek(*v);
+            debug_assert!(!c.at_end() && c.key() == *v);
+            hits += u64::from(c.key());
+            if d < 2 {
+                c.open();
+            }
+        }
+    }
+    hits
+}
+
+/// Point-containment storm over a mix of present and absent triples.
+fn contains_storm(index: &kgoa_index::TrieIndex, rng: &mut Lcg) -> u64 {
+    let len = index.len() as u64;
+    let mut present = 0u64;
+    for i in 0..PROBES {
+        let pos = (rng.next() % len) as u32;
+        let mut row = index.row(pos);
+        if i % 2 == 1 {
+            // Perturb the leaf to probe (mostly) absent rows.
+            row[2] = row[2].wrapping_add(1 + (rng.next() % 7) as u32);
+        }
+        present += u64::from(index.contains_row(row[0], row[1], row[2]));
+    }
+    present
+}
+
+/// Best-of-three timing of a closure, with the closure's checksum
+/// returned so the work cannot be optimised away.
+fn time_best<F: FnMut() -> u64>(mut f: F) -> (Duration, u64) {
+    let mut best = Duration::MAX;
+    let mut sum = 0;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        sum = f();
+        best = best.min(t0.elapsed());
+    }
+    (best, sum)
+}
+
+/// Total index memory across all built orders.
+fn memory(ig: &IndexedGraph) -> usize {
+    ig.built_orders().into_iter().map(|o| ig.require(o).memory_bytes()).sum()
+}
+
+/// `index-bench`: build + micro-op timings, Rows vs CSR, per dataset.
+pub fn index_bench(cfg: &BenchConfig) -> String {
+    let mut out = String::new();
+    writeln!(out, "## Index layout A/B — row-oriented vs CSR columnar (PR 4)\n").unwrap();
+    writeln!(
+        out,
+        "{} probes per micro-op; walk = full trie DFS (CTJ enumeration), seek = \
+         per-attribute galloped descent (LFTJ/WJ navigation), contains = point lookup.\n",
+        PROBES
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<14} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "dataset", "layout", "build", "walk", "seek", "contains", "mem(MB)"
+    )
+    .unwrap();
+    for make in [KgConfig::dbpedia_like, KgConfig::lgd_like] {
+        let (graph, info) = generate_with_info(&make(cfg.scale));
+        let mut timings: Vec<(Layout, [Duration; 4])> = Vec::new();
+        for layout in Layout::ALL {
+            let g = graph.clone();
+            let t0 = Instant::now();
+            let ig = IndexedGraph::build_with_layout(g, layout);
+            let t_build = t0.elapsed();
+            let spo = ig.require(IndexOrder::Spo);
+            let (t_walk, walked) = time_best(|| full_walk(&mut TrieCursor::over_index(spo)));
+            let mut rng = Lcg(cfg.seed);
+            let (t_seek, _) = time_best(|| seek_storm(spo, &mut rng));
+            let mut rng = Lcg(cfg.seed ^ 0xDEAD);
+            let (t_contains, _) = time_best(|| contains_storm(spo, &mut rng));
+            assert!(walked >= spo.len() as u64, "walk visited too few keys");
+            writeln!(
+                out,
+                "{:<14} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9.1}",
+                info.name,
+                layout.name(),
+                fmt_duration(t_build),
+                fmt_duration(t_walk),
+                fmt_duration(t_seek),
+                fmt_duration(t_contains),
+                memory(&ig) as f64 / (1024.0 * 1024.0),
+            )
+            .unwrap();
+            timings.push((layout, [t_build, t_walk, t_seek, t_contains]));
+        }
+        let rows = timings.iter().find(|(l, _)| *l == Layout::Rows).unwrap().1;
+        let csr = timings.iter().find(|(l, _)| *l == Layout::Csr).unwrap().1;
+        let ratio = |i: usize| rows[i].as_secs_f64() / csr[i].as_secs_f64().max(1e-9);
+        writeln!(
+            out,
+            "{:<14} {:<6} {:>8.2}x {:>8.2}x {:>8.2}x {:>8.2}x   (rows/csr; >1 ⇒ CSR faster)\n",
+            info.name,
+            "ratio",
+            ratio(0),
+            ratio(1),
+            ratio(2),
+            ratio(3),
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// `layout-parity`: exact and sampled results must be identical across
+/// layouts. Returns the report and whether the gate passed.
+pub fn layout_parity(cfg: &BenchConfig) -> (String, bool) {
+    let mut out = String::new();
+    writeln!(out, "## Layout parity gate — Rows vs CSR must agree exactly\n").unwrap();
+    let rows_ds = load_datasets_in(cfg.scale, Layout::Rows);
+    let csr_ds = load_datasets_in(cfg.scale, Layout::Csr);
+    let gen_cfg = GeneratorConfig { runs: cfg.runs, max_steps: cfg.max_steps, seed: cfg.seed };
+    let mut checks = 0usize;
+    let mut mismatches = 0usize;
+    for (r, c) in rows_ds.iter().zip(&csr_ds) {
+        // The generator samples through the index; identical leaf
+        // positions must reproduce the identical query workload.
+        let qs_rows = generate_explorations(&r.ig, &YannakakisEngine, gen_cfg)
+            .expect("generator over rows layout");
+        let qs_csr = generate_explorations(&c.ig, &YannakakisEngine, gen_cfg)
+            .expect("generator over csr layout");
+        if qs_rows.len() != qs_csr.len()
+            || qs_rows.iter().zip(&qs_csr).any(|(a, b)| a.query != b.query)
+        {
+            writeln!(out, "MISMATCH {}: generated workloads differ across layouts", r.name)
+                .unwrap();
+            mismatches += 1;
+            continue;
+        }
+        for (qi, g) in qs_csr.iter().enumerate() {
+            let q = &g.query;
+            let ctj_r = CtjEngine.evaluate(&r.ig, q).expect("ctj rows");
+            let ctj_c = CtjEngine.evaluate(&c.ig, q).expect("ctj csr");
+            let lftj_r = LftjEngine.evaluate(&r.ig, q).expect("lftj rows");
+            let lftj_c = LftjEngine.evaluate(&c.ig, q).expect("lftj csr");
+            // Deterministic sampled runs: same seed + same leaf-position
+            // space ⇒ the RNG draws, walks, and estimates are bit-equal.
+            let (mae_r, st_r) = run_fixed_walks(&r.ig, q, &ctj_r, Algo::Wj, 256, cfg);
+            let (mae_c, st_c) = run_fixed_walks(&c.ig, q, &ctj_c, Algo::Wj, 256, cfg);
+            checks += 1;
+            let exact_ok = ctj_r == ctj_c && lftj_r == lftj_c && ctj_r == lftj_r;
+            let sampled_ok = mae_r.to_bits() == mae_c.to_bits() && st_r == st_c;
+            if !exact_ok || !sampled_ok {
+                mismatches += 1;
+                writeln!(
+                    out,
+                    "MISMATCH {}/q{:02}/step{}: exact_ok={} sampled_ok={}",
+                    r.name, qi, g.step, exact_ok, sampled_ok
+                )
+                .unwrap();
+            }
+        }
+    }
+    writeln!(
+        out,
+        "{} queries checked across {} datasets (CTJ + LFTJ exact, 256-walk WJ): {}",
+        checks,
+        rows_ds.len(),
+        if mismatches == 0 { "all identical" } else { "LAYOUTS DISAGREE" }
+    )
+    .unwrap();
+    if mismatches > 0 {
+        writeln!(out, "FAILED: {mismatches} mismatching checks").unwrap();
+    }
+    (out, mismatches == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgoa_datagen::Scale;
+    use std::time::Duration;
+
+    fn tiny_cfg() -> BenchConfig {
+        BenchConfig {
+            scale: Scale::Tiny,
+            ticks: 2,
+            tick: Duration::from_millis(20),
+            runs: 2,
+            max_steps: 2,
+            wj_order_trials: 16,
+            ..BenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn layout_parity_passes_at_tiny_scale() {
+        let (report, ok) = layout_parity(&tiny_cfg());
+        assert!(ok, "parity gate failed:\n{report}");
+        assert!(report.contains("all identical"));
+    }
+
+    #[test]
+    fn index_bench_reports_both_layouts() {
+        let report = index_bench(&tiny_cfg());
+        assert!(report.contains("rows"), "missing rows row:\n{report}");
+        assert!(report.contains("csr"), "missing csr row:\n{report}");
+        assert!(report.contains("ratio"));
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod layouts;
 pub mod metrics;
 pub mod microbench;
 pub mod profiler;
@@ -20,10 +21,11 @@ pub use experiments::{
     ablate_cache, ablate_order, ablate_tipping, deadline_sweep, fig11, fig8, fig8_queries,
     fig9_10, parallel_scaling, sample_time, table1, verify_engines,
 };
+pub use layouts::{index_bench, layout_parity};
 pub use metrics::{fmt_duration, fmt_pct, selectivity, tukey, Tukey};
 pub use profiler::{folded_path_for, profile_report, regress};
 pub use telemetry::{bench_json, obs_overhead, trace_report, BENCH_SCHEMA, TRACE_SCHEMA};
 pub use workload::{
-    load_datasets, prepare_workload, run_fixed_walks, run_series, select_walk_plan, Algo,
-    BenchConfig, Dataset, PreparedQuery, SeriesPoint,
+    load_datasets, load_datasets_in, prepare_workload, run_fixed_walks, run_series,
+    select_walk_plan, Algo, BenchConfig, Dataset, PreparedQuery, SeriesPoint,
 };

@@ -260,6 +260,7 @@ pub fn bench_json(
                 ("max_steps".into(), Json::Num(cfg.max_steps as f64)),
                 ("seed".into(), Json::Num(cfg.seed as f64)),
                 ("tipping_threshold".into(), Json::Num(cfg.tipping_threshold)),
+                ("layout".into(), Json::str(cfg.layout.name())),
                 ("bench_walks".into(), Json::Num(BENCH_WALKS as f64)),
             ]),
         ),

@@ -166,7 +166,7 @@ impl<'g> SumAuditJoin<'g> {
             };
             prob_inv *= d as f64;
             let index = self.ig.require(self.plan.steps()[i].access.order);
-            self.plan.extract(i, index.row(pos), &mut self.assignment);
+            self.plan.extract_at(index, i, pos, &mut self.assignment);
             if i + 1 == n {
                 let a = self.assignment[self.alpha.index()];
                 let b = self.assignment[self.beta.index()];
@@ -248,7 +248,7 @@ fn suffix_group_values(
     let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
     let range = s.access.resolve(index, in_value);
     for pos in range.start..range.end {
-        plan.extract(step, index.row(pos), assignment);
+        plan.extract_at(index, step, pos, assignment);
         suffix_group_values(ig, plan, counter, values, alpha, beta, step + 1, assignment, out);
     }
 }

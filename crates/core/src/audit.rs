@@ -17,7 +17,7 @@
 //! unbiased.
 
 use kgoa_engine::{BudgetExceeded, BudgetMeter, CtjCounter, ExecBudget};
-use kgoa_index::{pack2, FxHashMap, IndexedGraph};
+use kgoa_index::{pack2, FxHashMap, IndexedGraph, RowRange, TrieIndex};
 use kgoa_query::{ExplorationQuery, QueryError, SuffixEstimator, Var, WalkPlan};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -47,6 +47,13 @@ impl Default for AuditJoinConfig {
 pub struct AuditJoin<'g> {
     ig: &'g IndexedGraph,
     plan: WalkPlan,
+    /// Per-step index, resolved once at construction (hoists the order
+    /// lookup out of the walk loop).
+    step_index: Vec<&'g TrieIndex>,
+    /// Per-step constant range for steps with no in-variable.
+    fixed_ranges: Vec<Option<RowRange>>,
+    /// The first step's range, resolved once (step 0 has no in-binding).
+    first_range: RowRange,
     est: SuffixEstimator,
     counter: CtjCounter<'g>,
     prab: PrAb<'g>,
@@ -95,8 +102,20 @@ impl<'g> AuditJoin<'g> {
         let counter = CtjCounter::new(ig, plan.clone());
         let prab = PrAb::new(ig, query.clone(), plan.clone());
         let n = plan.len();
+        let step_index: Vec<&TrieIndex> =
+            plan.steps().iter().map(|s| ig.require(s.access.order)).collect();
+        let fixed_ranges: Vec<Option<RowRange>> = plan
+            .steps()
+            .iter()
+            .zip(&step_index)
+            .map(|(s, idx)| s.in_var.is_none().then(|| s.access.resolve(idx, None)))
+            .collect();
+        let first_range = plan.steps()[0].access.resolve(step_index[0], None);
         Ok(AuditJoin {
             ig,
+            step_index,
+            fixed_ranges,
+            first_range,
             est,
             counter,
             prab,
@@ -191,8 +210,7 @@ impl<'g> AuditJoin<'g> {
         let n = self.plan.len();
         let mut prob_inv = 1.0f64;
         let mut i = 0usize;
-        let step0 = &self.plan.steps()[0];
-        let mut range = step0.access.resolve(self.ig.require(step0.access.order), None);
+        let mut range = self.first_range;
         loop {
             budget.check()?;
             self.step_visits[i] += 1;
@@ -206,9 +224,7 @@ impl<'g> AuditJoin<'g> {
                 return Ok(());
             };
             prob_inv *= d as f64;
-            let index = self.ig.require(self.plan.steps()[i].access.order);
-            let row = index.row(pos);
-            self.plan.extract(i, row, &mut self.assignment);
+            self.plan.extract_at(self.step_index[i], i, pos, &mut self.assignment);
             if i + 1 == n {
                 self.finish_full(prob_inv, budget)?;
                 self.stats.walks += 1;
@@ -218,9 +234,13 @@ impl<'g> AuditJoin<'g> {
                 return Ok(());
             }
             let next_step = &self.plan.steps()[i + 1];
-            let next_index = self.ig.require(next_step.access.order);
-            let in_value = next_step.in_var.map(|(v, _)| self.assignment[v.index()]);
-            let next = next_step.access.resolve(next_index, in_value);
+            let next = match self.fixed_ranges[i + 1] {
+                Some(r) => r,
+                None => {
+                    let in_value = next_step.in_var.map(|(v, _)| self.assignment[v.index()]);
+                    next_step.access.resolve(self.step_index[i + 1], in_value)
+                }
+            };
             // Tipping point (Fig. 7 line 11): estimated completions of the
             // remaining suffix, using the exact next fan-out.
             let est_rem = self.est.remaining(i + 1, next.len() as u64);
@@ -410,7 +430,7 @@ pub fn try_suffix_masses(
     let w = weight / range.len() as f64;
     for pos in range.start..range.end {
         meter.tick()?;
-        plan.extract(step, index.row(pos), assignment);
+        plan.extract_at(index, step, pos, assignment);
         try_suffix_masses(
             ig,
             plan,
@@ -472,7 +492,7 @@ pub fn try_suffix_group_counts(
     let range = s.access.resolve(index, in_value);
     for pos in range.start..range.end {
         meter.tick()?;
-        plan.extract(step, index.row(pos), assignment);
+        plan.extract_at(index, step, pos, assignment);
         try_suffix_group_counts(ig, plan, counter, alpha, step + 1, assignment, out, meter)?;
     }
     Ok(())

@@ -188,7 +188,7 @@ impl<'g> PrAb<'g> {
         let k = s.access.prefix_len();
         for pos in range.start..range.end {
             meter.tick()?;
-            let row = index.row(pos);
+            let row = index.row_from(pos, k);
             for (j, v) in s.out_vars.iter().enumerate() {
                 assignment[v.index()] = row[k + j];
             }

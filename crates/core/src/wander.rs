@@ -15,7 +15,7 @@
 //! that bias is one of the paper's experimental points.
 
 use kgoa_engine::{BudgetExceeded, ExecBudget};
-use kgoa_index::{pack2, FxHashSet, IndexOrder, IndexedGraph};
+use kgoa_index::{pack2, FxHashSet, IndexOrder, IndexedGraph, RowRange, TrieIndex};
 use kgoa_query::{ExplorationQuery, QueryError, WalkPlan};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -25,8 +25,13 @@ use crate::online::OnlineAggregator;
 
 /// A Wander Join run over one query.
 pub struct WanderJoin<'g> {
-    ig: &'g IndexedGraph,
     plan: WalkPlan,
+    /// Per-step index, resolved once at construction (hoists the order
+    /// lookup out of the walk loop).
+    step_index: Vec<&'g TrieIndex>,
+    /// Per-step constant range for steps with no in-variable (their access
+    /// prefix is fully ground, so the hash lookup happens once here).
+    fixed_ranges: Vec<Option<RowRange>>,
     distinct: bool,
     alpha: usize,
     beta: usize,
@@ -62,8 +67,17 @@ impl<'g> WanderJoin<'g> {
         seed: u64,
     ) -> Result<Self, QueryError> {
         let n = plan.len();
+        let step_index: Vec<&TrieIndex> =
+            plan.steps().iter().map(|s| ig.require(s.access.order)).collect();
+        let fixed_ranges: Vec<Option<RowRange>> = plan
+            .steps()
+            .iter()
+            .zip(&step_index)
+            .map(|(s, idx)| s.in_var.is_none().then(|| s.access.resolve(idx, None)))
+            .collect();
         Ok(WanderJoin {
-            ig,
+            step_index,
+            fixed_ranges,
             assignment: vec![0u32; query.var_count()],
             distinct: query.distinct(),
             alpha: query.alpha().index(),
@@ -126,9 +140,14 @@ impl<'g> WanderJoin<'g> {
         for (si, step) in self.plan.steps().iter().enumerate() {
             budget.check()?;
             self.step_visits[si] += 1;
-            let index = self.ig.require(step.access.order);
-            let in_value = step.in_var.map(|(v, _)| self.assignment[v.index()]);
-            let range = step.access.resolve(index, in_value);
+            let index = self.step_index[si];
+            let range = match self.fixed_ranges[si] {
+                Some(r) => r,
+                None => {
+                    let in_value = step.in_var.map(|(v, _)| self.assignment[v.index()]);
+                    step.access.resolve(index, in_value)
+                }
+            };
             let Some(pos) = range.pick(&mut self.rng) else {
                 self.stats.walks += 1;
                 self.stats.rejected += 1;
@@ -138,7 +157,7 @@ impl<'g> WanderJoin<'g> {
                 return Ok(());
             };
             weight *= range.len() as f64;
-            self.plan.extract(si, index.row(pos), &mut self.assignment);
+            self.plan.extract_at(index, si, pos, &mut self.assignment);
         }
         self.stats.walks += 1;
         self.stats.full += 1;

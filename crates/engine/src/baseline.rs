@@ -63,7 +63,7 @@ pub fn baseline_grouped_governed(
             for pos in range.start..range.end {
                 meter.tick()?;
                 let mut t = vec![0u32; width];
-                plan.extract(si, index.row(pos), &mut t);
+                plan.extract_at(index, si, pos, &mut t);
                 tuples.push(t);
             }
         } else {
@@ -78,7 +78,7 @@ pub fn baseline_grouped_governed(
                 for pos in range.start..range.end {
                     meter.tick()?;
                     let mut ext = t.clone();
-                    plan.extract(si, index.row(pos), &mut ext);
+                    plan.extract_at(index, si, pos, &mut ext);
                     next.push(ext);
                 }
             }

@@ -85,6 +85,12 @@ pub struct CtjCounter<'g> {
     ig: &'g IndexedGraph,
     plan: WalkPlan,
     deps: Vec<DepKey>,
+    /// Raw dependency sets behind [`CtjCounter::suffix_dep_vars`] (sorted).
+    dep_vars: Vec<Vec<Var>>,
+    /// `collapse[i]`: no step after `i` reads `i`'s out-variables, so every
+    /// row of `i`'s range leads to an identical suffix (see the suffix
+    /// multiplication in [`CtjCounter::try_count_from`]).
+    collapse: Vec<bool>,
     memo_count: Vec<FxHashMap<u64, u64>>,
     memo_exists: Vec<FxHashMap<u64, bool>>,
     memo_mass: Vec<FxHashMap<u64, f64>>,
@@ -96,17 +102,48 @@ impl<'g> CtjCounter<'g> {
     /// Create an evaluator for a query under a given walk plan.
     pub fn new(ig: &'g IndexedGraph, plan: WalkPlan) -> Self {
         let n = plan.len();
-        let deps = compute_deps(&plan);
+        let dep_vars = compute_deps(&plan);
+        let deps: Vec<DepKey> = dep_vars
+            .iter()
+            .map(|vars| match vars.as_slice() {
+                [] => DepKey::None,
+                [v] => DepKey::One(*v),
+                [v, w] => DepKey::Two(*v, *w),
+                _ => DepKey::Many,
+            })
+            .collect();
+        let collapse = plan
+            .steps()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.out_vars.iter().all(|v| !dep_vars[i + 1].contains(v)))
+            .collect();
         CtjCounter {
             ig,
             plan,
             deps,
+            dep_vars,
+            collapse,
             memo_count: vec![FxHashMap::default(); n + 1],
             memo_exists: vec![FxHashMap::default(); n + 1],
             memo_mass: vec![FxHashMap::default(); n + 1],
             stats: CacheStats::default(),
             step_stats: vec![StepCacheStats::default(); n],
         }
+    }
+
+    /// Variables bound before `step` that the suffix from `step` still
+    /// reads (sorted). This is the suffix's memo key; the value `1` means
+    /// the suffix is a function of one earlier binding.
+    pub fn suffix_dep_vars(&self, step: usize) -> &[Var] {
+        &self.dep_vars[step]
+    }
+
+    /// True when no later step reads `step`'s out-variables: all rows of
+    /// `step`'s candidate range lead to the *same* suffix, so aggregates
+    /// multiply by the fan-out instead of enumerating it.
+    pub fn suffix_collapses(&self, step: usize) -> bool {
+        self.collapse[step]
     }
 
     /// The walk plan driving the recursion.
@@ -200,19 +237,24 @@ impl<'g> CtjCounter<'g> {
         let index = self.ig.require(s.access.order);
         let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
         let range = s.access.resolve(index, in_value);
-        let total = if s.out_vars.is_empty() {
-            // No new bindings: every candidate row leads to the same suffix.
+        let total = if s.out_vars.is_empty() || self.collapse[step] {
+            // No new bindings — or bindings nothing downstream reads:
+            // every candidate row leads to the same suffix, so multiply by
+            // the fan-out instead of enumerating it.
             meter.tick()?;
-            (range.len() as u64)
-                .checked_mul(self.try_count_from(step + 1, assignment, meter)?)
-                .expect("join size overflow")
+            if range.is_empty() {
+                0
+            } else {
+                (range.len() as u64)
+                    .checked_mul(self.try_count_from(step + 1, assignment, meter)?)
+                    .expect("join size overflow")
+            }
         } else {
             let mut total = 0u64;
             for pos in range.start..range.end {
                 meter.tick()?;
                 self.step_stats[step].rows += 1;
-                let row = index.row(pos);
-                self.plan.extract(step, row, assignment);
+                self.plan.extract_at(index, step, pos, assignment);
                 total += self.try_count_from(step + 1, assignment, meter)?;
             }
             total
@@ -257,7 +299,9 @@ impl<'g> CtjCounter<'g> {
         let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
         let range = s.access.resolve(index, in_value);
         let mut found = false;
-        if s.out_vars.is_empty() {
+        if s.out_vars.is_empty() || self.collapse[step] {
+            // Suffix is independent of this step's bindings: one
+            // representative decides existence for the whole range.
             meter.tick()?;
             if !range.is_empty() {
                 found = self.try_exists_from(step + 1, assignment, meter)?;
@@ -266,8 +310,7 @@ impl<'g> CtjCounter<'g> {
             for pos in range.start..range.end {
                 meter.tick()?;
                 self.step_stats[step].rows += 1;
-                let row = index.row(pos);
-                self.plan.extract(step, row, assignment);
+                self.plan.extract_at(index, step, pos, assignment);
                 if self.try_exists_from(step + 1, assignment, meter)? {
                     found = true;
                     break;
@@ -316,9 +359,9 @@ impl<'g> CtjCounter<'g> {
         let range = s.access.resolve(index, in_value);
         let mass = if range.is_empty() {
             0.0
-        } else if s.out_vars.is_empty() {
+        } else if s.out_vars.is_empty() || self.collapse[step] {
             // d candidates, each reached with probability 1/d and leading
-            // to the same suffix.
+            // to the same suffix: Σ = d · (1/d) · suffix.
             meter.tick()?;
             self.try_mass_from(step + 1, assignment, meter)?
         } else {
@@ -327,8 +370,7 @@ impl<'g> CtjCounter<'g> {
             for pos in range.start..range.end {
                 meter.tick()?;
                 self.step_stats[step].rows += 1;
-                let row = index.row(pos);
-                self.plan.extract(step, row, assignment);
+                self.plan.extract_at(index, step, pos, assignment);
                 sum += self.try_mass_from(step + 1, assignment, meter)?;
             }
             sum / d
@@ -344,8 +386,8 @@ impl<'g> CtjCounter<'g> {
 }
 
 /// For each step, the set of variables bound before it that its suffix
-/// still reads (i.e. the memo key of the suffix function).
-fn compute_deps(plan: &WalkPlan) -> Vec<DepKey> {
+/// still reads (i.e. the memo key of the suffix function). Sorted.
+fn compute_deps(plan: &WalkPlan) -> Vec<Vec<Var>> {
     let n = plan.len();
     let mut dep_sets: Vec<Vec<Var>> = vec![Vec::new(); n + 1];
     for (j, step) in plan.steps().iter().enumerate() {
@@ -358,18 +400,10 @@ fn compute_deps(plan: &WalkPlan) -> Vec<DepKey> {
             }
         }
     }
+    for vars in &mut dep_sets {
+        vars.sort_unstable();
+    }
     dep_sets
-        .into_iter()
-        .map(|mut vars| {
-            vars.sort_unstable();
-            match vars.len() {
-                0 => DepKey::None,
-                1 => DepKey::One(vars[0]),
-                2 => DepKey::Two(vars[0], vars[1]),
-                _ => DepKey::Many,
-            }
-        })
-        .collect()
 }
 
 /// Exact join size (`|Γ|`) with CTJ.

@@ -94,14 +94,98 @@ impl CountEngine for CtjEngine {
         let mut meter = budget.meter();
         if query.distinct() {
             let mut seen: FxHashSet<u64> = FxHashSet::default();
+            let mut dedup = DedupState::new(query, &counter);
             ctj_distinct_rec(
-                query, &mut counter, 0, &mut assignment, &mut seen, &mut out, &mut meter,
+                query,
+                &mut counter,
+                0,
+                &mut assignment,
+                &mut seen,
+                &mut out,
+                &mut meter,
+                &mut dedup,
             )?;
         } else {
-            ctj_count_rec(query, &mut counter, 0, &mut assignment, &mut out, &mut meter)?;
+            ctj_count_rec(query, &mut counter, 0, &mut assignment, &mut out, &mut meter, 1)?;
         }
         counter.profile_emit();
         Ok(out)
+    }
+}
+
+/// For each step of the distinct driver, the variables (as assignment
+/// indices) that the remaining computation after the step reads: the
+/// suffix dependency set plus α/β when already bound. Two subtrees rooted
+/// at the same step with equal values for these variables insert the same
+/// (α, β) pairs, so the second one can be skipped ([`ctj_distinct_rec`]).
+/// `None` disables the dedup at a step (key too wide for a `u128`).
+fn distinct_skip_vars(query: &ExplorationQuery, counter: &CtjCounter) -> Vec<Option<Vec<usize>>> {
+    let plan = counter.plan();
+    (0..plan.len())
+        .map(|step| {
+            let mut vars: Vec<usize> =
+                counter.suffix_dep_vars(step + 1).iter().map(|v| v.index()).collect();
+            for g in [query.alpha(), query.beta()] {
+                if plan.binder_step(g) <= step && !vars.contains(&g.index()) {
+                    vars.push(g.index());
+                }
+            }
+            // At the final step the key degenerates to (α, β), which the
+            // driver's `seen` set already dedups — disable the extra map.
+            (vars.len() <= 4 && step + 1 < plan.len()).then_some(vars)
+        })
+        .collect()
+}
+
+/// Fold up to four bound values into one dedup key.
+#[inline]
+fn skip_key(vars: &[usize], assignment: &[u32]) -> u128 {
+    let mut key = 0u128;
+    for (i, v) in vars.iter().enumerate() {
+        key |= u128::from(assignment[*v]) << (32 * i);
+    }
+    key
+}
+
+/// Per-step subtree dedup for the distinct driver. A key is inserted
+/// *before* recursing — safe because a budget abort discards the whole
+/// evaluation, never resumes it — so each fresh subtree costs one hash.
+/// Steps where the key never repeats (e.g. a unique-per-row join column)
+/// turn their dedup off after a probation window: the map would only burn
+/// memory and a lookup per row.
+struct DedupState {
+    vars: Vec<Option<Vec<usize>>>,
+    done: Vec<FxHashSet<u128>>,
+    hits: Vec<u64>,
+}
+
+/// Re-examine a step's dedup hit rate every this many fresh keys.
+const DEDUP_PROBATION: usize = 8192;
+
+impl DedupState {
+    fn new(query: &ExplorationQuery, counter: &CtjCounter) -> Self {
+        let vars = distinct_skip_vars(query, counter);
+        let n = vars.len();
+        DedupState { vars, done: vec![FxHashSet::default(); n], hits: vec![0; n] }
+    }
+
+    /// True ⇒ an identical subtree already ran at this step; skip it.
+    #[inline]
+    fn is_duplicate(&mut self, step: usize, assignment: &[u32]) -> bool {
+        let Some(vars) = &self.vars[step] else { return false };
+        let key = skip_key(vars, assignment);
+        if self.done[step].insert(key) {
+            let n = self.done[step].len();
+            if n.is_multiple_of(DEDUP_PROBATION) && self.hits[step] < (n as u64) / 32 {
+                // Under ~3% of subtrees repeated: not worth the hashing.
+                self.vars[step] = None;
+                self.done[step] = FxHashSet::default();
+            }
+            false
+        } else {
+            self.hits[step] += 1;
+            true
+        }
     }
 }
 
@@ -114,13 +198,17 @@ fn ctj_count_rec(
     assignment: &mut [u32],
     out: &mut GroupedCounts,
     meter: &mut BudgetMeter,
+    mult: u64,
 ) -> Result<(), BudgetExceeded> {
     let plan_len = counter.plan().len();
     let alpha = query.alpha();
     let alpha_bound = counter.plan().binder_step(alpha) < step;
     if alpha_bound || step == plan_len {
         let a = assignment[alpha.index()];
-        let c = counter.try_count_from(step, assignment, meter)?;
+        let c = counter
+            .try_count_from(step, assignment, meter)?
+            .checked_mul(mult)
+            .expect("join size overflow");
         if c > 0 {
             out.add(a, c);
         }
@@ -130,18 +218,41 @@ fn ctj_count_rec(
     let index = counter.graph().require(s.access.order);
     let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
     let range = s.access.resolve(index, in_value);
+    if counter.suffix_collapses(step) && !s.out_vars.contains(&alpha) {
+        // Nothing after this step (α included) reads its bindings: every
+        // row leads to the same recursion, so scale instead of looping.
+        if !range.is_empty() {
+            meter.tick()?;
+            counter.note_row(step);
+            let mult = mult.checked_mul(range.len() as u64).expect("join size overflow");
+            ctj_count_rec(query, counter, step + 1, assignment, out, meter, mult)?;
+        }
+        return Ok(());
+    }
+    if step + 1 == plan_len {
+        // Last step: the recursion would hit the trivial base case (suffix
+        // count 1) per row — inline it to skip the call overhead.
+        let a_idx = alpha.index();
+        for pos in range.start..range.end {
+            meter.tick()?;
+            counter.note_row(step);
+            counter.plan().extract_at(index, step, pos, assignment);
+            out.add(assignment[a_idx], mult);
+        }
+        return Ok(());
+    }
     for pos in range.start..range.end {
         meter.tick()?;
         counter.note_row(step);
-        let row = index.row(pos);
-        counter.plan().extract(step, row, assignment);
-        ctj_count_rec(query, counter, step + 1, assignment, out, meter)?;
+        counter.plan().extract_at(index, step, pos, assignment);
+        ctj_count_rec(query, counter, step + 1, assignment, out, meter, mult)?;
     }
     Ok(())
 }
 
 /// Enumerate until both α and β are bound, then a cached existence check
 /// decides whether the pair contributes.
+#[allow(clippy::too_many_arguments)]
 fn ctj_distinct_rec(
     query: &ExplorationQuery,
     counter: &mut CtjCounter<'_>,
@@ -150,6 +261,7 @@ fn ctj_distinct_rec(
     seen: &mut FxHashSet<u64>,
     out: &mut GroupedCounts,
     meter: &mut BudgetMeter,
+    dedup: &mut DedupState,
 ) -> Result<(), BudgetExceeded> {
     let alpha = query.alpha();
     let beta = query.beta();
@@ -169,12 +281,44 @@ fn ctj_distinct_rec(
     let index = counter.graph().require(s.access.order);
     let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
     let range = s.access.resolve(index, in_value);
+    if counter.suffix_collapses(step)
+        && !s.out_vars.contains(&alpha)
+        && !s.out_vars.contains(&beta)
+    {
+        // Neither α/β nor any later step reads this step's bindings, so
+        // every row reaches the same set of (α, β) pairs: recurse once.
+        if !range.is_empty() {
+            meter.tick()?;
+            counter.note_row(step);
+            ctj_distinct_rec(query, counter, step + 1, assignment, seen, out, meter, dedup)?;
+        }
+        return Ok(());
+    }
+    if step + 1 == counter.plan().len() {
+        // Last step: all variables are bound after it and the suffix
+        // existence check is trivially true — inline the base case.
+        let (a_idx, b_idx) = (alpha.index(), beta.index());
+        for pos in range.start..range.end {
+            meter.tick()?;
+            counter.note_row(step);
+            counter.plan().extract_at(index, step, pos, assignment);
+            let (a, b) = (assignment[a_idx], assignment[b_idx]);
+            if seen.insert(kgoa_index::pack2(a, b)) {
+                out.add(a, 1);
+            }
+        }
+        return Ok(());
+    }
     for pos in range.start..range.end {
         meter.tick()?;
         counter.note_row(step);
-        let row = index.row(pos);
-        counter.plan().extract(step, row, assignment);
-        ctj_distinct_rec(query, counter, step + 1, assignment, seen, out, meter)?;
+        counter.plan().extract_at(index, step, pos, assignment);
+        // Two subtrees that agree on the suffix deps plus any bound α/β
+        // insert the same (α, β) pairs — skip the repeat.
+        if dedup.is_duplicate(step, assignment) {
+            continue;
+        }
+        ctj_distinct_rec(query, counter, step + 1, assignment, seen, out, meter, dedup)?;
     }
     Ok(())
 }

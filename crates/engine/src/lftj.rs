@@ -31,6 +31,23 @@ pub struct LftjVarStats {
     pub seeks: u64,
     /// `next_key` advances past a matched key at this level.
     pub next_keys: u64,
+    /// Seeks that fell through to the exponential-then-binary gallop.
+    pub gallops: u64,
+    /// Seeks resolved by the small-range linear fast path (including
+    /// no-op seeks that were already positioned).
+    pub linear_hits: u64,
+}
+
+impl LftjVarStats {
+    /// Record one seek together with how the cursor resolved it.
+    #[inline]
+    fn note_seek(&mut self, outcome: kgoa_index::SeekOutcome) {
+        self.seeks += 1;
+        match outcome {
+            kgoa_index::SeekOutcome::Gallop => self.gallops += 1,
+            kgoa_index::SeekOutcome::Linear => self.linear_hits += 1,
+        }
+    }
 }
 
 /// An LFTJ execution over one query. Construct with [`LftjExec::new`], then
@@ -97,6 +114,8 @@ impl<'g> LftjExec<'g> {
                     ("probes", st.probes),
                     ("seeks", st.seeks),
                     ("next_keys", st.next_keys),
+                    ("gallops", st.gallops),
+                    ("linear_hits", st.linear_hits),
                 ],
             );
         }
@@ -154,8 +173,8 @@ impl<'g> LftjExec<'g> {
                 match self.plan.accesses()[pi].levels[lvl] {
                     JoinLevel::Const(c) => {
                         let c = c.raw();
-                        self.op_stats[rank].seeks += 1;
-                        self.cursors[pi].seek(c);
+                        let outcome = self.cursors[pi].seek(c);
+                        self.op_stats[rank].note_seek(outcome);
                         if self.cursors[pi].at_end() || self.cursors[pi].key() != c {
                             ok = false;
                         }
@@ -163,8 +182,8 @@ impl<'g> LftjExec<'g> {
                     JoinLevel::Var(w) => {
                         if self.plan.rank(w) < rank {
                             let val = self.assignment[w.index()];
-                            self.op_stats[rank].seeks += 1;
-                            self.cursors[pi].seek(val);
+                            let outcome = self.cursors[pi].seek(val);
+                            self.op_stats[rank].note_seek(outcome);
                             if self.cursors[pi].at_end() || self.cursors[pi].key() != val {
                                 ok = false;
                             }
@@ -228,8 +247,8 @@ impl<'g> LftjExec<'g> {
                 let mut all_eq = true;
                 for &(pi, _) in occs {
                     if self.cursors[pi].key() < maxk {
-                        self.op_stats[rank].seeks += 1;
-                        self.cursors[pi].seek(maxk);
+                        let outcome = self.cursors[pi].seek(maxk);
+                        self.op_stats[rank].note_seek(outcome);
                         if self.cursors[pi].at_end() {
                             break 'outer;
                         }
@@ -368,6 +387,10 @@ mod tests {
         // join did real work somewhere.
         assert!(stats.iter().all(|s| s.probes > 0), "{stats:?}");
         assert!(stats.iter().map(|s| s.next_keys).sum::<u64>() > 0, "{stats:?}");
+        // Every seek resolved either on the linear fast path or by gallop.
+        for s in stats {
+            assert_eq!(s.gallops + s.linear_hits, s.seeks, "{stats:?}");
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use kgoa_rdf::{Dictionary, Graph, Triple, VocabIds};
 
 use crate::order::IndexOrder;
 use crate::stats::GraphStats;
-use crate::store::TrieIndex;
+use crate::store::{Layout, TrieIndex};
 
 /// A graph together with its trie indexes and cardinality statistics.
 ///
@@ -31,21 +31,47 @@ const fn slot(order: IndexOrder) -> usize {
 }
 
 impl IndexedGraph {
-    /// Index a graph with the paper-default four orders.
+    /// Index a graph with the paper-default four orders, in the default
+    /// [`Layout`].
     pub fn build(graph: Graph) -> Self {
         Self::build_with_orders(graph, &IndexOrder::PAPER_DEFAULT)
+    }
+
+    /// Index a graph with the paper-default four orders in an explicit
+    /// [`Layout`] (used by the `repro` layout A/B experiments).
+    pub fn build_with_layout(graph: Graph, layout: Layout) -> Self {
+        Self::build_with_orders_in(graph, &IndexOrder::PAPER_DEFAULT, layout)
     }
 
     /// Index a graph with an explicit set of orders. The four paper-default
     /// orders are always included (statistics derivation requires them).
     pub fn build_with_orders(graph: Graph, orders: &[IndexOrder]) -> Self {
-        let mut indexes: [Option<TrieIndex>; 6] = Default::default();
+        Self::build_with_orders_in(graph, orders, Layout::default())
+    }
+
+    /// Index a graph with explicit orders and layout. Each order sorts an
+    /// independent copy of the triples, so the builds run on their own
+    /// scoped threads — index construction parallelizes across orders.
+    pub fn build_with_orders_in(graph: Graph, orders: &[IndexOrder], layout: Layout) -> Self {
+        let mut wanted: Vec<IndexOrder> = Vec::with_capacity(6);
         for order in IndexOrder::PAPER_DEFAULT.iter().chain(orders) {
-            let s = slot(*order);
-            if indexes[s].is_none() {
-                indexes[s] = Some(TrieIndex::build(*order, graph.triples()));
+            if !wanted.contains(order) {
+                wanted.push(*order);
             }
         }
+        let mut indexes: [Option<TrieIndex>; 6] = Default::default();
+        let triples = graph.triples();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = wanted
+                .iter()
+                .map(|&order| {
+                    s.spawn(move || TrieIndex::build_with_layout(order, triples, layout))
+                })
+                .collect();
+            for (order, h) in wanted.iter().zip(handles) {
+                indexes[slot(*order)] = Some(h.join().expect("index build thread panicked"));
+            }
+        });
         let stats = GraphStats::from_indexes(
             indexes[slot(IndexOrder::Spo)].as_ref().expect("spo built"),
             indexes[slot(IndexOrder::Ops)].as_ref().expect("ops built"),
@@ -103,6 +129,11 @@ impl IndexedGraph {
     #[inline]
     pub fn stats(&self) -> &GraphStats {
         &self.stats
+    }
+
+    /// The storage layout of the built indexes.
+    pub fn layout(&self) -> Layout {
+        self.indexes.iter().flatten().next().map(TrieIndex::layout).unwrap_or_default()
     }
 
     /// The index for an order, if built.
@@ -172,6 +203,23 @@ mod tests {
         assert!(ig.index(IndexOrder::Sop).is_some());
         // Paper defaults still present.
         assert!(ig.index(IndexOrder::Pos).is_some());
+    }
+
+    #[test]
+    fn explicit_layout_builds_agree() {
+        use crate::store::Layout;
+        let rows = IndexedGraph::build_with_layout(graph(), Layout::Rows);
+        let csr = IndexedGraph::build_with_layout(graph(), Layout::Csr);
+        assert_eq!(rows.layout(), Layout::Rows);
+        assert_eq!(csr.layout(), Layout::Csr);
+        for order in IndexOrder::PAPER_DEFAULT {
+            assert_eq!(
+                rows.require(order).to_rows(),
+                csr.require(order).to_rows(),
+                "order {order}"
+            );
+        }
+        assert_eq!(rows.stats().triples, csr.stats().triples);
     }
 
     #[test]

@@ -10,14 +10,18 @@
 //! seeks** for the worst-case-optimal trie joins (LFTJ / CTJ).
 //!
 //! Provided here:
-//! - [`TrieIndex`] — one order's sorted rows + prefix hash maps,
-//! - [`TrieCursor`] — the LFTJ `TrieIterator` interface over any prefix range,
+//! - [`TrieIndex`] — one order's sorted trie + prefix hash maps, behind a
+//!   runtime [`Layout`] (row-oriented or columnar CSR),
+//! - [`ColumnarTrie`] — the CSR per-level key/offset arrays,
+//! - [`TrieCursor`] — the LFTJ `TrieIterator` interface over any prefix
+//!   range, with galloping seeks on either layout,
 //! - [`IndexedGraph`] — a graph with all its indexes and statistics,
 //! - [`GraphStats`] — PostgreSQL-style cardinalities for the tipping point,
 //! - [`FxHashMap`]/[`FxHasher`] — the fast integer hasher used throughout.
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod hash;
 pub mod indexed;
 pub mod order;
@@ -26,10 +30,11 @@ pub mod store;
 pub mod trie_iter;
 pub mod update;
 
+pub use columnar::{ColumnarTrie, SeekOutcome};
 pub use hash::{pack2, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use indexed::IndexedGraph;
 pub use order::IndexOrder;
 pub use stats::{GraphStats, PredicateStats};
-pub use store::{RowRange, TrieIndex};
+pub use store::{Layout, RowRange, TrieIndex};
 pub use trie_iter::TrieCursor;
 pub use update::{apply_batch, UpdateBatch};

@@ -1,14 +1,17 @@
-//! A single-order trie index: sorted permuted rows plus hash prefix maps.
+//! A single-order trie index: hash prefix maps over either row-oriented or
+//! columnar CSR storage.
 //!
 //! This is the paper's *hybrid hashtable/trie* structure (§V-A): "the
 //! hashtable indexes point to a sorted array, allowing O(1)-time sampling
-//! for WJ and O(log n)-time search for CTJ". Rows are `[u32; 3]` in the
-//! order's permuted layout, sorted lexicographically; hash maps give O(1)
-//! access to the contiguous range of any 1- or 2-value prefix, and binary
-//! search handles the third level.
+//! for WJ and O(log n)-time search for CTJ". Hash maps give O(1) access to
+//! the contiguous range of any 1- or 2-value prefix; galloping search
+//! handles the third level. Two physical layouts sit behind the same
+//! position space (see [`Layout`]): leaf positions are identical in both,
+//! so ranges, sampling and cache keys carry over unchanged.
 
 use kgoa_rdf::Triple;
 
+use crate::columnar::ColumnarTrie;
 use crate::hash::{pack2, FxHashMap};
 use crate::order::IndexOrder;
 
@@ -60,11 +63,63 @@ impl RowRange {
     }
 }
 
-/// A sorted-array trie over all triples of a graph in one attribute order.
+/// Physical storage layout of a [`TrieIndex`].
+///
+/// Both layouts expose the same leaf position space, so an exact engine or
+/// sampler produces identical results on either — `repro layout-parity`
+/// checks exactly that, and `repro index-bench` A/Bs the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// Sorted `[u32; 3]` rows; seeks compare 12-byte rows.
+    Rows,
+    /// Columnar CSR: per-level key arrays + child offsets (the default).
+    #[default]
+    Csr,
+}
+
+impl Layout {
+    /// Both layouts, for layout-generic tests and A/B benches.
+    pub const ALL: [Layout; 2] = [Layout::Rows, Layout::Csr];
+
+    /// Parse a CLI name ("rows" / "csr").
+    pub fn parse(s: &str) -> Option<Layout> {
+        match s {
+            "rows" => Some(Layout::Rows),
+            "csr" => Some(Layout::Csr),
+            _ => None,
+        }
+    }
+
+    /// The CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Rows => "rows",
+            Layout::Csr => "csr",
+        }
+    }
+}
+
+impl std::fmt::Display for Layout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The physical storage behind a [`TrieIndex`].
+#[derive(Debug, Clone)]
+pub(crate) enum Storage {
+    /// Sorted permuted rows.
+    Rows(Vec<[u32; 3]>),
+    /// Columnar CSR arrays.
+    Csr(ColumnarTrie),
+}
+
+/// A sorted trie over all triples of a graph in one attribute order.
 #[derive(Debug, Clone)]
 pub struct TrieIndex {
     order: IndexOrder,
-    rows: Vec<[u32; 3]>,
+    len: u32,
+    storage: Storage,
     l1: FxHashMap<u32, RowRange>,
     l2: FxHashMap<u64, RowRange>,
     /// Number of distinct level-1 values under each level-0 value
@@ -74,18 +129,30 @@ pub struct TrieIndex {
 }
 
 impl TrieIndex {
-    /// Build the index for `order` over a set of triples.
+    /// Build the index for `order` over a set of triples, in the default
+    /// layout.
     pub fn build(order: IndexOrder, triples: &[Triple]) -> Self {
+        Self::build_with_layout(order, triples, Layout::default())
+    }
+
+    /// Build the index for `order` in an explicit [`Layout`].
+    pub fn build_with_layout(order: IndexOrder, triples: &[Triple], layout: Layout) -> Self {
         let mut rows: Vec<[u32; 3]> = triples.iter().map(|t| order.permute(*t)).collect();
         rows.sort_unstable();
         // Input triples are deduplicated, and permutation is injective, so
         // rows are distinct; no dedup needed.
-        Self::from_sorted_rows(order, rows)
+        Self::from_sorted_rows_in(order, rows, layout)
     }
 
     /// Build from rows already sorted in this order's layout (used by the
-    /// incremental merge path). Debug-asserts sortedness.
+    /// incremental merge path), in the default layout.
     pub fn from_sorted_rows(order: IndexOrder, rows: Vec<[u32; 3]>) -> Self {
+        Self::from_sorted_rows_in(order, rows, Layout::default())
+    }
+
+    /// Build from sorted rows in an explicit [`Layout`]. Debug-asserts
+    /// sortedness.
+    pub fn from_sorted_rows_in(order: IndexOrder, rows: Vec<[u32; 3]>, layout: Layout) -> Self {
         debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted+distinct");
         let mut l1 = FxHashMap::default();
         let mut l2 = FxHashMap::default();
@@ -110,7 +177,11 @@ impl TrieIndex {
             l1_children.insert(a, children);
             i = j;
         }
-        TrieIndex { order, rows, l1, l2, l1_children }
+        let storage = match layout {
+            Layout::Csr => Storage::Csr(ColumnarTrie::from_sorted_rows(&rows)),
+            Layout::Rows => Storage::Rows(rows),
+        };
+        TrieIndex { order, len: n as u32, storage, l1, l2, l1_children }
     }
 
     /// The attribute order of this index.
@@ -119,28 +190,46 @@ impl TrieIndex {
         self.order
     }
 
-    /// All rows (sorted, permuted layout).
+    /// The physical storage layout.
     #[inline]
-    pub fn rows(&self) -> &[[u32; 3]] {
-        &self.rows
+    pub fn layout(&self) -> Layout {
+        match self.storage {
+            Storage::Rows(_) => Layout::Rows,
+            Storage::Csr(_) => Layout::Csr,
+        }
+    }
+
+    /// Crate-internal storage access for cursors.
+    #[inline]
+    pub(crate) fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Materialize all rows in the sorted, permuted layout (used by the
+    /// incremental merge path and tests; O(n) for the CSR layout).
+    pub fn to_rows(&self) -> Vec<[u32; 3]> {
+        match &self.storage {
+            Storage::Rows(rows) => rows.clone(),
+            Storage::Csr(c) => (0..self.len).map(|pos| c.row(pos)).collect(),
+        }
     }
 
     /// Total number of triples.
     #[inline]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len as usize
     }
 
     /// True if the index is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
     /// The range of all rows.
     #[inline]
     pub fn full_range(&self) -> RowRange {
-        RowRange { start: 0, end: self.rows.len() as u32 }
+        RowRange { start: 0, end: self.len }
     }
 
     /// O(1): the range of rows whose first attribute equals `a`.
@@ -165,22 +254,51 @@ impl TrieIndex {
         }
     }
 
-    /// O(log n): true if the row `(a, b, c)` (in this order's layout) exists.
-    pub fn contains_row(&self, a: u32, b: u32, c: u32) -> bool {
+    /// Position of the row `(a, b, c)` (in this order's layout), if
+    /// present: O(1) prefix hash + binary search over the contiguous
+    /// level-2 key slice.
+    pub fn locate(&self, a: u32, b: u32, c: u32) -> Option<u32> {
         let r = self.range2(a, b);
-        self.rows[r.as_usize()].binary_search_by_key(&c, |row| row[2]).is_ok()
+        let off = match &self.storage {
+            Storage::Csr(t) => t.l2_slice(r).binary_search(&c).ok()?,
+            Storage::Rows(rows) => {
+                rows[r.as_usize()].binary_search_by_key(&c, |row| row[2]).ok()?
+            }
+        };
+        Some(r.start + off as u32)
+    }
+
+    /// True if the row `(a, b, c)` (in this order's layout) exists.
+    #[inline]
+    pub fn contains_row(&self, a: u32, b: u32, c: u32) -> bool {
+        self.locate(a, b, c).is_some()
     }
 
     /// The row at a given position.
     #[inline]
     pub fn row(&self, pos: u32) -> [u32; 3] {
-        self.rows[pos as usize]
+        match &self.storage {
+            Storage::Rows(rows) => rows[pos as usize],
+            Storage::Csr(t) => t.row(pos),
+        }
+    }
+
+    /// The row at `pos`, with only the attributes at levels `>= from`
+    /// guaranteed valid (earlier slots may be zero). The hot extraction
+    /// path: a caller that resolved a 2-value prefix needs one `u32` load
+    /// on the CSR layout instead of a 12-byte row.
+    #[inline]
+    pub fn row_from(&self, pos: u32, from: usize) -> [u32; 3] {
+        match &self.storage {
+            Storage::Rows(rows) => rows[pos as usize],
+            Storage::Csr(t) => t.row_from(pos, from),
+        }
     }
 
     /// The row at a given position, decoded back into a [`Triple`].
     #[inline]
     pub fn triple(&self, pos: u32) -> Triple {
-        self.order.unpermute(self.rows[pos as usize])
+        self.order.unpermute(self.row(pos))
     }
 
     /// Number of distinct level-0 values.
@@ -198,35 +316,39 @@ impl TrieIndex {
     /// Iterate over all distinct level-0 values with their ranges, in
     /// sorted order of the value.
     pub fn iter_l0(&self) -> impl Iterator<Item = (u32, RowRange)> + '_ {
-        L0Iter { index: self, pos: 0 }
+        let mut node = 0u32;
+        let mut row_pos = 0u32;
+        std::iter::from_fn(move || match &self.storage {
+            Storage::Csr(t) => {
+                if node as usize >= t.l0_len() {
+                    return None;
+                }
+                let item = (t.key0(node), t.l0_leaf_range(node));
+                node += 1;
+                Some(item)
+            }
+            Storage::Rows(rows) => {
+                if row_pos >= self.len {
+                    return None;
+                }
+                let a = rows[row_pos as usize][0];
+                let range = self.range1(a);
+                row_pos = range.end;
+                Some((a, range))
+            }
+        })
     }
 
     /// Approximate heap memory used by this index, in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.rows.len() * std::mem::size_of::<[u32; 3]>()
+        let storage = match &self.storage {
+            Storage::Rows(rows) => rows.len() * std::mem::size_of::<[u32; 3]>(),
+            Storage::Csr(t) => t.memory_bytes(),
+        };
+        storage
             + self.l1.capacity() * (4 + std::mem::size_of::<RowRange>() + 8)
             + self.l2.capacity() * (8 + std::mem::size_of::<RowRange>() + 8)
             + self.l1_children.capacity() * (4 + 4 + 8)
-    }
-}
-
-struct L0Iter<'a> {
-    index: &'a TrieIndex,
-    pos: usize,
-}
-
-impl Iterator for L0Iter<'_> {
-    type Item = (u32, RowRange);
-
-    fn next(&mut self) -> Option<Self::Item> {
-        let rows = &self.index.rows;
-        if self.pos >= rows.len() {
-            return None;
-        }
-        let a = rows[self.pos][0];
-        let range = self.index.range1(a);
-        self.pos = range.end as usize;
-        Some((a, range))
     }
 }
 
@@ -244,20 +366,37 @@ mod tests {
 
     #[test]
     fn build_sorts_rows() {
-        let idx = TrieIndex::build(IndexOrder::Pos, &sample_triples());
-        assert!(idx.rows().windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(idx.len(), 5);
+        for layout in Layout::ALL {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Pos, &sample_triples(), layout);
+            assert!(idx.to_rows().windows(2).all(|w| w[0] < w[1]), "layout {layout}");
+            assert_eq!(idx.len(), 5);
+            assert_eq!(idx.layout(), layout);
+        }
+    }
+
+    #[test]
+    fn layouts_materialize_identical_rows() {
+        for order in IndexOrder::ALL {
+            let a = TrieIndex::build_with_layout(order, &sample_triples(), Layout::Rows);
+            let b = TrieIndex::build_with_layout(order, &sample_triples(), Layout::Csr);
+            assert_eq!(a.to_rows(), b.to_rows(), "order {order}");
+            for pos in 0..a.len() as u32 {
+                assert_eq!(a.row(pos), b.row(pos), "order {order} pos {pos}");
+            }
+        }
     }
 
     #[test]
     fn range1_and_range2() {
-        let idx = TrieIndex::build(IndexOrder::Spo, &sample_triples());
-        assert_eq!(idx.range1(1).len(), 3);
-        assert_eq!(idx.range1(2).len(), 1);
-        assert_eq!(idx.range1(99).len(), 0);
-        assert_eq!(idx.range2(1, 10).len(), 2);
-        assert_eq!(idx.range2(1, 11).len(), 1);
-        assert_eq!(idx.range2(1, 99).len(), 0);
+        for layout in Layout::ALL {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &sample_triples(), layout);
+            assert_eq!(idx.range1(1).len(), 3);
+            assert_eq!(idx.range1(2).len(), 1);
+            assert_eq!(idx.range1(99).len(), 0);
+            assert_eq!(idx.range2(1, 10).len(), 2);
+            assert_eq!(idx.range2(1, 11).len(), 1);
+            assert_eq!(idx.range2(1, 99).len(), 0);
+        }
     }
 
     #[test]
@@ -270,21 +409,54 @@ mod tests {
 
     #[test]
     fn contains_row_checks_third_level() {
-        let idx = TrieIndex::build(IndexOrder::Spo, &sample_triples());
-        assert!(idx.contains_row(1, 10, 101));
-        assert!(!idx.contains_row(1, 10, 102));
-        assert!(!idx.contains_row(9, 9, 9));
+        for layout in Layout::ALL {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &sample_triples(), layout);
+            assert!(idx.contains_row(1, 10, 101), "layout {layout}");
+            assert!(!idx.contains_row(1, 10, 102), "layout {layout}");
+            assert!(!idx.contains_row(9, 9, 9), "layout {layout}");
+        }
+    }
+
+    #[test]
+    fn contains_row_agrees_with_naive_scan() {
+        // Regression for the satellite fix: `contains` must agree with a
+        // naive scan over every probe in a dense id cube, on both layouts.
+        let triples = sample_triples();
+        for layout in Layout::ALL {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &triples, layout);
+            let rows = idx.to_rows();
+            for a in 0..5u32 {
+                for b in 9..13u32 {
+                    for c in 99..106u32 {
+                        let naive = rows.contains(&[a, b, c]);
+                        assert_eq!(
+                            idx.contains_row(a, b, c),
+                            naive,
+                            "layout {layout} probe ({a},{b},{c})"
+                        );
+                        let located = idx.locate(a, b, c);
+                        assert_eq!(located.is_some(), naive);
+                        if let Some(pos) = located {
+                            assert_eq!(idx.row(pos), [a, b, c]);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]
     fn triple_decoding_roundtrips() {
         for order in IndexOrder::ALL {
-            let idx = TrieIndex::build(order, &sample_triples());
-            let mut decoded: Vec<Triple> = (0..idx.len() as u32).map(|i| idx.triple(i)).collect();
-            decoded.sort_unstable();
-            let mut expected = sample_triples();
-            expected.sort_unstable();
-            assert_eq!(decoded, expected, "order {order}");
+            for layout in Layout::ALL {
+                let idx = TrieIndex::build_with_layout(order, &sample_triples(), layout);
+                let mut decoded: Vec<Triple> =
+                    (0..idx.len() as u32).map(|i| idx.triple(i)).collect();
+                decoded.sort_unstable();
+                let mut expected = sample_triples();
+                expected.sort_unstable();
+                assert_eq!(decoded, expected, "order {order} layout {layout}");
+            }
         }
     }
 
@@ -299,20 +471,33 @@ mod tests {
 
     #[test]
     fn l0_iteration_in_sorted_order() {
-        let idx = TrieIndex::build(IndexOrder::Pso, &sample_triples());
-        let keys: Vec<u32> = idx.iter_l0().map(|(k, _)| k).collect();
-        assert_eq!(keys, vec![10, 11, 12]);
-        let total: usize = idx.iter_l0().map(|(_, r)| r.len()).sum();
-        assert_eq!(total, idx.len());
+        for layout in Layout::ALL {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Pso, &sample_triples(), layout);
+            let keys: Vec<u32> = idx.iter_l0().map(|(k, _)| k).collect();
+            assert_eq!(keys, vec![10, 11, 12], "layout {layout}");
+            let total: usize = idx.iter_l0().map(|(_, r)| r.len()).sum();
+            assert_eq!(total, idx.len());
+        }
     }
 
     #[test]
     fn empty_index() {
-        let idx = TrieIndex::build(IndexOrder::Spo, &[]);
-        assert!(idx.is_empty());
-        assert_eq!(idx.full_range().len(), 0);
-        assert_eq!(idx.distinct_l0(), 0);
-        assert!(idx.iter_l0().next().is_none());
+        for layout in Layout::ALL {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &[], layout);
+            assert!(idx.is_empty());
+            assert_eq!(idx.full_range().len(), 0);
+            assert_eq!(idx.distinct_l0(), 0);
+            assert!(idx.iter_l0().next().is_none());
+        }
+    }
+
+    #[test]
+    fn layout_names_roundtrip() {
+        for layout in Layout::ALL {
+            assert_eq!(Layout::parse(layout.name()), Some(layout));
+        }
+        assert_eq!(Layout::parse("btree"), None);
+        assert_eq!(Layout::default(), Layout::Csr);
     }
 
     #[test]

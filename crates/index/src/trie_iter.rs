@@ -1,13 +1,24 @@
 //! Trie iterators over [`TrieIndex`] ranges — the access interface required
-//! by LeapFrog Trie Join (Veldhuizen 2014), backed by binary search over the
-//! sorted row arrays (the paper implements "B-tree like" sorted indexes with
-//! O(log n) search, §IV-B/§V-A).
+//! by LeapFrog Trie Join (Veldhuizen 2014).
+//!
+//! One public cursor type fronts both physical layouts. On
+//! [`Layout::Rows`](crate::Layout) levels are row windows and a key's run
+//! must be recomputed after each move; on [`Layout::Csr`](crate::Layout)
+//! levels are node windows over the contiguous per-level key arrays, so
+//! `next_key` is `node + 1` and a run is an `offsets[i]..offsets[i+1]`
+//! lookup. Seeks gallop: a short linear scan (LFTJ seeks usually land
+//! nearby), then exponential probing, then binary search — see
+//! [`gallop_lower_bound`].
 
-use crate::store::{RowRange, TrieIndex};
+use crate::columnar::{gallop_lower_bound, ColumnarTrie};
+pub use crate::columnar::SeekOutcome;
+use crate::store::{RowRange, Storage, TrieIndex};
 
-/// One opened trie level: the run of rows sharing the current key.
+/// One opened trie level of a row-layout cursor: the cached window of the
+/// current key's run. Seeks and run lookups reuse this window instead of
+/// re-deriving bounds from the parent level.
 #[derive(Debug, Clone, Copy)]
-struct Level {
+struct RowLevel {
     /// Upper bound of the parent's range: the level is exhausted once
     /// `run_lo` reaches it.
     parent_hi: u32,
@@ -15,6 +26,16 @@ struct Level {
     run_lo: u32,
     /// One past the end of the current key's run.
     run_hi: u32,
+}
+
+/// One opened trie level of a CSR cursor: a cached window of node ids in
+/// the level's key array. Distinct keys per node, so no run tracking.
+#[derive(Debug, Clone, Copy)]
+struct CsrLevel {
+    /// Current node id (== `hi` when exhausted).
+    cur: u32,
+    /// One past the last node id of the parent's window.
+    hi: u32,
 }
 
 /// A cursor implementing the LFTJ `TrieIterator` interface (`open`, `up`,
@@ -27,10 +48,14 @@ struct Level {
 /// the number of attributes already fixed by that prefix.
 #[derive(Debug, Clone)]
 pub struct TrieCursor<'a> {
-    rows: &'a [[u32; 3]],
-    base: RowRange,
+    repr: Repr<'a>,
     prefix_len: usize,
-    levels: Vec<Level>,
+}
+
+#[derive(Debug, Clone)]
+enum Repr<'a> {
+    Rows(RowsCursor<'a>),
+    Csr(CsrCursor<'a>),
 }
 
 impl<'a> TrieCursor<'a> {
@@ -39,7 +64,21 @@ impl<'a> TrieCursor<'a> {
     /// attribute remains).
     pub fn new(index: &'a TrieIndex, base: RowRange, prefix_len: usize) -> Self {
         assert!(prefix_len <= 2, "prefix_len {prefix_len} out of range");
-        TrieCursor { rows: index.rows(), base, prefix_len, levels: Vec::with_capacity(3) }
+        let repr = match index.storage() {
+            Storage::Rows(rows) => Repr::Rows(RowsCursor {
+                rows,
+                base,
+                prefix_len,
+                levels: Vec::with_capacity(3),
+            }),
+            Storage::Csr(csr) => Repr::Csr(CsrCursor {
+                csr,
+                base,
+                prefix_len,
+                levels: Vec::with_capacity(3),
+            }),
+        };
+        TrieCursor { repr, prefix_len }
     }
 
     /// Cursor over the full index.
@@ -56,13 +95,10 @@ impl<'a> TrieCursor<'a> {
     /// Current depth (number of opened levels).
     #[inline]
     pub fn depth(&self) -> usize {
-        self.levels.len()
-    }
-
-    /// The row-attribute index addressed by the top level.
-    #[inline]
-    fn attr(&self) -> usize {
-        self.prefix_len + self.levels.len() - 1
+        match &self.repr {
+            Repr::Rows(c) => c.levels.len(),
+            Repr::Csr(c) => c.levels.len(),
+        }
     }
 
     /// Descend one level, positioning at the first key of the child range.
@@ -70,7 +106,89 @@ impl<'a> TrieCursor<'a> {
     /// Panics if already at maximum depth or if the current level is at its
     /// end (there is no child range to descend into).
     pub fn open(&mut self) {
-        assert!(self.levels.len() < self.max_depth(), "open() past leaf level");
+        assert!(self.depth() < self.max_depth(), "open() past leaf level");
+        match &mut self.repr {
+            Repr::Rows(c) => c.open(),
+            Repr::Csr(c) => c.open(),
+        }
+    }
+
+    /// Ascend one level.
+    pub fn up(&mut self) {
+        match &mut self.repr {
+            Repr::Rows(c) => c.up(),
+            Repr::Csr(c) => c.up(),
+        }
+    }
+
+    /// True if the current level has no further keys.
+    #[inline]
+    pub fn at_end(&self) -> bool {
+        match &self.repr {
+            Repr::Rows(c) => c.at_end(),
+            Repr::Csr(c) => c.at_end(),
+        }
+    }
+
+    /// The current key. Only valid when `!at_end()`.
+    #[inline]
+    pub fn key(&self) -> u32 {
+        match &self.repr {
+            Repr::Rows(c) => c.key(),
+            Repr::Csr(c) => c.key(),
+        }
+    }
+
+    /// The run of rows carrying the current key (used for fan-out counts).
+    #[inline]
+    pub fn run(&self) -> RowRange {
+        match &self.repr {
+            Repr::Rows(c) => c.run(),
+            Repr::Csr(c) => c.run(),
+        }
+    }
+
+    /// Advance to the next distinct key at this level.
+    pub fn next_key(&mut self) {
+        match &mut self.repr {
+            Repr::Rows(c) => c.next_key(),
+            Repr::Csr(c) => c.next_key(),
+        }
+    }
+
+    /// Position at the first key `>= v` (a no-op if already there).
+    /// Returns how the seek was resolved, for operator attribution.
+    pub fn seek(&mut self, v: u32) -> SeekOutcome {
+        kgoa_obs::metrics::TRIE_SEEKS.inc();
+        let outcome = match &mut self.repr {
+            Repr::Rows(c) => c.seek(v),
+            Repr::Csr(c) => c.seek(v),
+        };
+        match outcome {
+            SeekOutcome::Linear => kgoa_obs::metrics::TRIE_SEEK_LINEAR.inc(),
+            SeekOutcome::Gallop => kgoa_obs::metrics::TRIE_SEEK_GALLOPS.inc(),
+        }
+        outcome
+    }
+}
+
+/// Row-layout cursor: binary/galloping search over `[u32; 3]` row slices.
+#[derive(Debug, Clone)]
+struct RowsCursor<'a> {
+    rows: &'a [[u32; 3]],
+    base: RowRange,
+    prefix_len: usize,
+    levels: Vec<RowLevel>,
+}
+
+impl RowsCursor<'_> {
+    /// The row-attribute index addressed by the top level.
+    #[inline]
+    fn attr(&self) -> usize {
+        self.prefix_len + self.levels.len() - 1
+    }
+
+    fn open(&mut self) {
         let (parent_lo, parent_hi) = match self.levels.last() {
             None => (self.base.start, self.base.end),
             Some(top) => {
@@ -78,85 +196,194 @@ impl<'a> TrieCursor<'a> {
                 (top.run_lo, top.run_hi)
             }
         };
-        self.levels.push(Level { parent_hi, run_lo: parent_lo, run_hi: parent_lo });
+        self.levels.push(RowLevel { parent_hi, run_lo: parent_lo, run_hi: parent_lo });
         self.recompute_run_hi();
     }
 
-    /// Ascend one level.
-    pub fn up(&mut self) {
+    fn up(&mut self) {
         self.levels.pop().expect("up() at root");
     }
 
-    /// True if the current level has no further keys.
     #[inline]
-    pub fn at_end(&self) -> bool {
+    fn at_end(&self) -> bool {
         let top = self.levels.last().expect("at_end() requires an open level");
         top.run_lo >= top.parent_hi
     }
 
-    /// The current key. Only valid when `!at_end()`.
     #[inline]
-    pub fn key(&self) -> u32 {
+    fn key(&self) -> u32 {
         let top = self.levels.last().expect("key() requires an open level");
         debug_assert!(top.run_lo < top.parent_hi, "key() at end");
         self.rows[top.run_lo as usize][self.attr()]
     }
 
-    /// The run of rows carrying the current key (used for fan-out counts).
     #[inline]
-    pub fn run(&self) -> RowRange {
+    fn run(&self) -> RowRange {
         let top = self.levels.last().expect("run() requires an open level");
         RowRange { start: top.run_lo, end: top.run_hi }
     }
 
-    /// Advance to the next distinct key at this level.
-    pub fn next_key(&mut self) {
+    fn next_key(&mut self) {
         let top = self.levels.last_mut().expect("next_key() requires an open level");
         debug_assert!(top.run_lo < top.parent_hi, "next_key() at end");
         top.run_lo = top.run_hi;
         self.recompute_run_hi();
     }
 
-    /// Position at the first key `>= v` (a no-op if already there).
-    pub fn seek(&mut self, v: u32) {
-        kgoa_obs::metrics::TRIE_SEEKS.inc();
+    fn seek(&mut self, v: u32) -> SeekOutcome {
         let attr = self.attr();
+        let rows = self.rows;
         let top = self.levels.last_mut().expect("seek() requires an open level");
-        if top.run_lo >= top.parent_hi {
-            return;
+        // The level window (run_lo, run_hi, parent_hi) is cached in the
+        // level itself; a seek starts from it rather than re-deriving
+        // bounds from the parent.
+        if top.run_lo >= top.parent_hi || rows[top.run_lo as usize][attr] >= v {
+            return SeekOutcome::Linear;
         }
-        if self.rows[top.run_lo as usize][attr] >= v {
-            return;
-        }
-        let lo = top.run_lo as usize;
-        let hi = top.parent_hi as usize;
-        let off = self.rows[lo..hi].partition_point(|r| r[attr] < v);
-        top.run_lo = (lo + off) as u32;
+        let before = top.run_lo;
+        let (pos, outcome) = gallop_lower_bound(
+            top.run_lo as usize,
+            top.parent_hi as usize,
+            v,
+            |i| rows[i][attr],
+        );
+        top.run_lo = pos as u32;
+        debug_assert!(top.run_lo >= before, "seek must be monotone");
         self.recompute_run_hi();
+        outcome
     }
 
     /// Recompute `run_hi` as the end of the run of the key at `run_lo`.
     fn recompute_run_hi(&mut self) {
         let attr = self.attr();
+        let rows = self.rows;
         let top = self.levels.last_mut().expect("level present");
         if top.run_lo >= top.parent_hi {
             top.run_hi = top.parent_hi;
             return;
         }
-        let key = self.rows[top.run_lo as usize][attr];
-        let lo = top.run_lo as usize;
-        let hi = top.parent_hi as usize;
-        // Galloping search: runs are typically short, so probe exponentially
-        // before falling back to binary search.
-        let mut step = 1usize;
-        let mut probe = lo;
-        while probe + step < hi && self.rows[probe + step][attr] == key {
-            probe += step;
-            step <<= 1;
+        let key = rows[top.run_lo as usize][attr];
+        // First row past the run: gallop for `key + 1` (keys sorted).
+        let (pos, _) = gallop_lower_bound(
+            top.run_lo as usize,
+            top.parent_hi as usize,
+            key + 1,
+            |i| rows[i][attr],
+        );
+        top.run_hi = pos as u32;
+    }
+}
+
+/// CSR cursor: node windows over the contiguous per-level key arrays.
+#[derive(Debug, Clone)]
+struct CsrCursor<'a> {
+    csr: &'a ColumnarTrie,
+    base: RowRange,
+    prefix_len: usize,
+    levels: Vec<CsrLevel>,
+}
+
+impl CsrCursor<'_> {
+    /// The absolute trie level (0=first attr … 2=leaf) of the top level.
+    #[inline]
+    fn abs_level(&self) -> usize {
+        self.prefix_len + self.levels.len() - 1
+    }
+
+    /// Node window at absolute level `prefix_len` covering `base`. Hash
+    /// ranges are node-aligned, so window ends can be derived from the
+    /// last leaf of the base range.
+    fn root_window(&self) -> (u32, u32) {
+        if self.base.is_empty() {
+            return (0, 0);
         }
-        let window_hi = (probe + step).min(hi);
-        let off = self.rows[probe..window_hi].partition_point(|r| r[attr] <= key);
-        top.run_hi = (probe + off) as u32;
+        let last = self.base.end - 1;
+        match self.prefix_len {
+            2 => (self.base.start, self.base.end),
+            1 => (self.csr.l1_node_of(self.base.start), self.csr.l1_node_of(last) + 1),
+            _ => (
+                self.csr.l0_node_of(self.csr.l1_node_of(self.base.start)),
+                self.csr.l0_node_of(self.csr.l1_node_of(last)) + 1,
+            ),
+        }
+    }
+
+    fn open(&mut self) {
+        let opening = self.prefix_len + self.levels.len();
+        let (lo, hi) = match self.levels.last() {
+            None => self.root_window(),
+            Some(top) => {
+                assert!(top.cur < top.hi, "open() on exhausted level");
+                match opening {
+                    1 => self.csr.l0_children(top.cur),
+                    _ => self.csr.l1_children(top.cur),
+                }
+            }
+        };
+        self.levels.push(CsrLevel { cur: lo, hi });
+    }
+
+    fn up(&mut self) {
+        self.levels.pop().expect("up() at root");
+    }
+
+    #[inline]
+    fn at_end(&self) -> bool {
+        let top = self.levels.last().expect("at_end() requires an open level");
+        top.cur >= top.hi
+    }
+
+    #[inline]
+    fn keys(&self) -> &[u32] {
+        match self.abs_level() {
+            0 => self.csr.l0_key_slice(),
+            1 => self.csr.l1_key_slice(),
+            _ => self.csr.l2_key_slice(),
+        }
+    }
+
+    #[inline]
+    fn key(&self) -> u32 {
+        let top = self.levels.last().expect("key() requires an open level");
+        debug_assert!(top.cur < top.hi, "key() at end");
+        self.keys()[top.cur as usize]
+    }
+
+    #[inline]
+    fn run(&self) -> RowRange {
+        let top = self.levels.last().expect("run() requires an open level");
+        debug_assert!(top.cur < top.hi, "run() at end");
+        match self.abs_level() {
+            0 => self.csr.l0_leaf_range(top.cur),
+            1 => self.csr.l1_leaf_range(top.cur),
+            _ => RowRange { start: top.cur, end: top.cur + 1 },
+        }
+    }
+
+    fn next_key(&mut self) {
+        let top = self.levels.last_mut().expect("next_key() requires an open level");
+        debug_assert!(top.cur < top.hi, "next_key() at end");
+        // Keys are distinct within a node window: the next key is simply
+        // the next node — no run recomputation.
+        top.cur += 1;
+    }
+
+    fn seek(&mut self, v: u32) -> SeekOutcome {
+        let keys = match self.abs_level() {
+            0 => self.csr.l0_key_slice(),
+            1 => self.csr.l1_key_slice(),
+            _ => self.csr.l2_key_slice(),
+        };
+        let top = self.levels.last_mut().expect("seek() requires an open level");
+        if top.cur >= top.hi || keys[top.cur as usize] >= v {
+            return SeekOutcome::Linear;
+        }
+        let before = top.cur;
+        let (pos, outcome) =
+            gallop_lower_bound(top.cur as usize, top.hi as usize, v, |i| keys[i]);
+        top.cur = pos as u32;
+        debug_assert!(top.cur >= before, "seek must be monotone");
+        outcome
     }
 }
 
@@ -164,9 +391,10 @@ impl<'a> TrieCursor<'a> {
 mod tests {
     use super::*;
     use crate::order::IndexOrder;
+    use crate::store::Layout;
     use kgoa_rdf::Triple;
 
-    fn index() -> TrieIndex {
+    fn index_in(layout: Layout) -> TrieIndex {
         let triples: Vec<Triple> = vec![
             [1, 10, 100],
             [1, 10, 101],
@@ -178,7 +406,7 @@ mod tests {
         .into_iter()
         .map(Triple::from)
         .collect();
-        TrieIndex::build(IndexOrder::Spo, &triples)
+        TrieIndex::build_with_layout(IndexOrder::Spo, &triples, layout)
     }
 
     /// Collect all keys at the current level.
@@ -193,99 +421,245 @@ mod tests {
 
     #[test]
     fn level0_keys() {
-        let idx = index();
-        let mut c = TrieCursor::over_index(&idx);
-        c.open();
-        assert_eq!(keys_at_level(&mut c), vec![1, 2, 3]);
+        for layout in Layout::ALL {
+            let idx = index_in(layout);
+            let mut c = TrieCursor::over_index(&idx);
+            c.open();
+            assert_eq!(keys_at_level(&mut c), vec![1, 2, 3], "layout {layout}");
+        }
     }
 
     #[test]
     fn descend_and_ascend() {
-        let idx = index();
-        let mut c = TrieCursor::over_index(&idx);
-        c.open(); // subjects
-        assert_eq!(c.key(), 1);
-        c.open(); // predicates of subject 1
-        assert_eq!(keys_at_level(&mut c), vec![10, 11]);
-        c.up();
-        c.next_key(); // subject 2
-        assert_eq!(c.key(), 2);
-        c.open();
-        assert_eq!(keys_at_level(&mut c), vec![10, 12]);
+        for layout in Layout::ALL {
+            let idx = index_in(layout);
+            let mut c = TrieCursor::over_index(&idx);
+            c.open(); // subjects
+            assert_eq!(c.key(), 1);
+            c.open(); // predicates of subject 1
+            assert_eq!(keys_at_level(&mut c), vec![10, 11], "layout {layout}");
+            c.up();
+            c.next_key(); // subject 2
+            assert_eq!(c.key(), 2);
+            c.open();
+            assert_eq!(keys_at_level(&mut c), vec![10, 12], "layout {layout}");
+        }
     }
 
     #[test]
     fn seek_moves_forward_only() {
-        let idx = index();
-        let mut c = TrieCursor::over_index(&idx);
-        c.open();
-        c.seek(2);
-        assert_eq!(c.key(), 2);
-        c.seek(1); // no-op: already past
-        assert_eq!(c.key(), 2);
-        c.seek(4);
-        assert!(c.at_end());
-        c.seek(9); // seek at end is a no-op
-        assert!(c.at_end());
+        for layout in Layout::ALL {
+            let idx = index_in(layout);
+            let mut c = TrieCursor::over_index(&idx);
+            c.open();
+            c.seek(2);
+            assert_eq!(c.key(), 2, "layout {layout}");
+            c.seek(1); // no-op: already past
+            assert_eq!(c.key(), 2, "layout {layout}");
+            c.seek(4);
+            assert!(c.at_end(), "layout {layout}");
+            c.seek(9); // seek at end is a no-op
+            assert!(c.at_end(), "layout {layout}");
+        }
     }
 
     #[test]
     fn seek_to_missing_key_lands_on_next() {
-        let idx = index();
-        let mut c = TrieCursor::over_index(&idx);
-        c.open();
-        c.open(); // predicates of subject 1: {10, 11}
-        c.seek(11);
-        assert_eq!(c.key(), 11);
-        c.up();
-        c.next_key();
-        c.open(); // predicates of subject 2: {10, 12}
-        c.seek(11);
-        assert_eq!(c.key(), 12);
+        for layout in Layout::ALL {
+            let idx = index_in(layout);
+            let mut c = TrieCursor::over_index(&idx);
+            c.open();
+            c.open(); // predicates of subject 1: {10, 11}
+            c.seek(11);
+            assert_eq!(c.key(), 11, "layout {layout}");
+            c.up();
+            c.next_key();
+            c.open(); // predicates of subject 2: {10, 12}
+            c.seek(11);
+            assert_eq!(c.key(), 12, "layout {layout}");
+        }
+    }
+
+    #[test]
+    fn seek_to_exact_max_and_past_last() {
+        for layout in Layout::ALL {
+            let idx = index_in(layout);
+            // Leaf level of (2, 12): single key 105.
+            let mut c = TrieCursor::new(&idx, idx.range2(2, 12), 2);
+            c.open();
+            c.seek(105); // exact max key
+            assert!(!c.at_end(), "layout {layout}");
+            assert_eq!(c.key(), 105, "layout {layout}");
+            c.seek(106); // past the last key
+            assert!(c.at_end(), "layout {layout}");
+            // Level 0: exact max subject is 3.
+            let mut c = TrieCursor::over_index(&idx);
+            c.open();
+            c.seek(3);
+            assert_eq!(c.key(), 3, "layout {layout}");
+            c.seek(u32::MAX);
+            assert!(c.at_end(), "layout {layout}");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_at_level_boundary() {
+        // Key 10 ends subject 1's predicate window and starts subject 2's:
+        // the cursor must not leak across the parent boundary.
+        for layout in Layout::ALL {
+            let idx = index_in(layout);
+            let mut c = TrieCursor::over_index(&idx);
+            c.open();
+            c.open(); // predicates of subject 1: {10, 11}
+            c.seek(10);
+            assert_eq!(c.key(), 10, "layout {layout}");
+            assert_eq!(c.run().len(), 2, "layout {layout}: (1,10) has 2 objects");
+            c.next_key();
+            assert_eq!(c.key(), 11, "layout {layout}");
+            c.next_key();
+            assert!(c.at_end(), "layout {layout}: must stop at subject 1's boundary");
+            c.up();
+            c.next_key(); // subject 2
+            c.open();
+            assert_eq!(c.key(), 10, "layout {layout}: subject 2 restarts at key 10");
+            assert_eq!(c.run().len(), 1, "layout {layout}: (2,10) has 1 object");
+        }
+    }
+
+    #[test]
+    fn seek_reports_linear_and_gallop_outcomes() {
+        // A long leaf run: nearby seeks stay linear, distant seeks gallop.
+        let triples: Vec<Triple> =
+            (0..64u32).map(|i| Triple::from([1, 10, 1000 + 2 * i])).collect();
+        for layout in Layout::ALL {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &triples, layout);
+            let mut c = TrieCursor::new(&idx, idx.range2(1, 10), 2);
+            c.open();
+            assert_eq!(c.seek(1002), SeekOutcome::Linear, "layout {layout}");
+            assert_eq!(c.key(), 1002);
+            assert_eq!(c.seek(1111), SeekOutcome::Gallop, "layout {layout}");
+            assert_eq!(c.key(), 1112, "layout {layout}: lands on next key");
+            assert_eq!(c.seek(1000), SeekOutcome::Linear, "layout {layout}: no-op seek");
+        }
     }
 
     #[test]
     fn run_counts_fanout() {
-        let idx = index();
-        let mut c = TrieCursor::over_index(&idx);
-        c.open();
-        assert_eq!(c.run().len(), 3); // subject 1 has 3 triples
-        c.open();
-        assert_eq!(c.run().len(), 2); // (1, 10) has 2 objects
+        for layout in Layout::ALL {
+            let idx = index_in(layout);
+            let mut c = TrieCursor::over_index(&idx);
+            c.open();
+            assert_eq!(c.run().len(), 3, "layout {layout}"); // subject 1 has 3 triples
+            c.open();
+            assert_eq!(c.run().len(), 2, "layout {layout}"); // (1, 10) has 2 objects
+        }
     }
 
     #[test]
     fn prefixed_cursor_exposes_remaining_levels() {
-        let idx = index();
-        let base = idx.range2(1, 10); // objects of (1, 10)
-        let mut c = TrieCursor::new(&idx, base, 2);
-        assert_eq!(c.max_depth(), 1);
-        c.open();
-        assert_eq!(keys_at_level(&mut c), vec![100, 101]);
+        for layout in Layout::ALL {
+            let idx = index_in(layout);
+            let base = idx.range2(1, 10); // objects of (1, 10)
+            let mut c = TrieCursor::new(&idx, base, 2);
+            assert_eq!(c.max_depth(), 1);
+            c.open();
+            assert_eq!(keys_at_level(&mut c), vec![100, 101], "layout {layout}");
+        }
+    }
+
+    #[test]
+    fn prefixed_cursor_with_one_fixed_attribute() {
+        for layout in Layout::ALL {
+            let idx = index_in(layout);
+            let base = idx.range1(2); // subject 2
+            let mut c = TrieCursor::new(&idx, base, 1);
+            assert_eq!(c.max_depth(), 2);
+            c.open();
+            assert_eq!(c.key(), 10, "layout {layout}");
+            c.open();
+            assert_eq!(keys_at_level(&mut c), vec![100], "layout {layout}");
+            c.up();
+            c.next_key();
+            assert_eq!(c.key(), 12, "layout {layout}");
+        }
     }
 
     #[test]
     fn leaf_level_iteration() {
-        let idx = index();
-        let mut c = TrieCursor::over_index(&idx);
-        c.open();
-        c.open();
-        c.open(); // objects of (1, 10)
-        assert_eq!(keys_at_level(&mut c), vec![100, 101]);
+        for layout in Layout::ALL {
+            let idx = index_in(layout);
+            let mut c = TrieCursor::over_index(&idx);
+            c.open();
+            c.open();
+            c.open(); // objects of (1, 10)
+            assert_eq!(keys_at_level(&mut c), vec![100, 101], "layout {layout}");
+        }
     }
 
     #[test]
     fn empty_base_is_immediately_at_end() {
-        let idx = index();
-        let mut c = TrieCursor::new(&idx, RowRange::EMPTY, 2);
-        c.open();
-        assert!(c.at_end());
+        for layout in Layout::ALL {
+            let idx = index_in(layout);
+            let mut c = TrieCursor::new(&idx, RowRange::EMPTY, 2);
+            c.open();
+            assert!(c.at_end(), "layout {layout}");
+            c.seek(5); // seek on an empty level is a no-op
+            assert!(c.at_end(), "layout {layout}");
+        }
+    }
+
+    #[test]
+    fn layouts_agree_on_full_walk() {
+        // Walk both layouts through an identical open/seek/next script and
+        // require identical keys and runs at every point.
+        let triples: Vec<Triple> = (0..40u32)
+            .map(|i| Triple::from([i % 5, 10 + (i % 3), 100 + i]))
+            .collect();
+        let rows_idx = TrieIndex::build_with_layout(IndexOrder::Spo, &triples, Layout::Rows);
+        let csr_idx = TrieIndex::build_with_layout(IndexOrder::Spo, &triples, Layout::Csr);
+        let mut a = TrieCursor::over_index(&rows_idx);
+        let mut b = TrieCursor::over_index(&csr_idx);
+        a.open();
+        b.open();
+        while !a.at_end() {
+            assert!(!b.at_end());
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.run(), b.run());
+            a.open();
+            b.open();
+            a.seek(11);
+            b.seek(11);
+            while !a.at_end() {
+                assert!(!b.at_end());
+                assert_eq!(a.key(), b.key());
+                assert_eq!(a.run(), b.run());
+                a.next_key();
+                b.next_key();
+            }
+            assert!(b.at_end());
+            a.up();
+            b.up();
+            a.next_key();
+            b.next_key();
+        }
+        assert!(b.at_end());
     }
 
     #[test]
     #[should_panic(expected = "open() past leaf level")]
     fn open_past_leaf_panics() {
-        let idx = index();
+        let idx = index_in(Layout::Csr);
+        let mut c = TrieCursor::over_index(&idx);
+        c.open();
+        c.open();
+        c.open();
+        c.open();
+    }
+
+    #[test]
+    #[should_panic(expected = "open() past leaf level")]
+    fn open_past_leaf_panics_rows() {
+        let idx = index_in(Layout::Rows);
         let mut c = TrieCursor::over_index(&idx);
         c.open();
         c.open();

@@ -82,8 +82,8 @@ impl TrieIndex {
         };
         let adds = permute_sorted(&batch.insert);
         let dels = permute_sorted(&batch.delete);
-        let rows = merge_rows(self.rows(), &adds, &dels);
-        TrieIndex::from_sorted_rows(order, rows)
+        let rows = merge_rows(&self.to_rows(), &adds, &dels);
+        TrieIndex::from_sorted_rows_in(order, rows, self.layout())
     }
 }
 
@@ -129,7 +129,7 @@ mod tests {
             full.extend_from_slice(&batch.insert);
             full.sort_unstable();
             let rebuilt = TrieIndex::build(order, &full);
-            assert_eq!(merged.rows(), rebuilt.rows(), "order {order}");
+            assert_eq!(merged.to_rows(), rebuilt.to_rows(), "order {order}");
             assert_eq!(merged.range1(2).len(), rebuilt.range1(2).len());
         }
     }
@@ -142,7 +142,7 @@ mod tests {
             let merged = idx.merged(&batch);
             let remaining = vec![t(1, 10, 100), t(2, 11, 100)];
             let rebuilt = TrieIndex::build(order, &remaining);
-            assert_eq!(merged.rows(), rebuilt.rows(), "order {order}");
+            assert_eq!(merged.to_rows(), rebuilt.to_rows(), "order {order}");
         }
     }
 
@@ -154,7 +154,7 @@ mod tests {
             delete: vec![t(7, 7, 7)],                   // absent
         };
         let merged = idx.merged(&batch);
-        assert_eq!(merged.rows(), idx.rows());
+        assert_eq!(merged.to_rows(), idx.to_rows());
     }
 
     #[test]
@@ -200,8 +200,8 @@ mod tests {
         assert_eq!(updated.len(), rebuilt.len());
         for order in updated.built_orders() {
             assert_eq!(
-                updated.require(order).rows(),
-                rebuilt.require(order).rows(),
+                updated.require(order).to_rows(),
+                rebuilt.require(order).to_rows(),
                 "order {order}"
             );
         }
@@ -218,7 +218,7 @@ mod tests {
     fn empty_batch_is_identity() {
         let idx = TrieIndex::build(IndexOrder::Pos, &base());
         let merged = idx.merged(&UpdateBatch::default());
-        assert_eq!(merged.rows(), idx.rows());
+        assert_eq!(merged.to_rows(), idx.to_rows());
         assert!(UpdateBatch::default().is_empty());
     }
 }

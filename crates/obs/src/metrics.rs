@@ -258,6 +258,10 @@ well_known! {
             "Walk/join plans constructed.",
         TRIE_SEEKS => "index.trie.seeks":
             "Binary-search seeks on trie cursors (LFTJ hot path).",
+        TRIE_SEEK_LINEAR => "index.trie.seek_linear":
+            "Cursor seeks resolved by the small-range linear fast path.",
+        TRIE_SEEK_GALLOPS => "index.trie.seek_gallops":
+            "Cursor seeks that fell through to the exponential-then-binary gallop.",
         SAMPLE_DRAWS => "index.sample.draws":
             "Uniform row draws from index ranges (walk hot path).",
         LFTJ_PROBES => "engine.lftj.probes":

@@ -111,14 +111,9 @@ impl WalkAccess {
             2 => index.range2(vals[0], vals[1]),
             _ => {
                 // Existence check: locate the single matching row.
-                let r2 = index.range2(vals[0], vals[1]);
-                let rows = &index.rows()[r2.as_usize()];
-                match rows.binary_search_by_key(&vals[2], |row| row[2]) {
-                    Ok(off) => {
-                        let pos = r2.start + off as u32;
-                        RowRange { start: pos, end: pos + 1 }
-                    }
-                    Err(_) => RowRange::EMPTY,
+                match index.locate(vals[0], vals[1], vals[2]) {
+                    Some(pos) => RowRange { start: pos, end: pos + 1 },
+                    None => RowRange::EMPTY,
                 }
             }
         }
@@ -253,6 +248,24 @@ impl WalkPlan {
     pub fn extract(&self, step: usize, row: [u32; 3], assignment: &mut [u32]) {
         let s = &self.steps[step];
         let k = s.access.prefix_len();
+        for (j, v) in s.out_vars.iter().enumerate() {
+            assignment[v.index()] = row[k + j];
+        }
+    }
+
+    /// Extract a step's out-variable bindings directly from a row position
+    /// in `index` (which must be the step's access order). The hot-path
+    /// variant of [`WalkPlan::extract`]: only the suffix levels the step
+    /// actually binds are reconstructed — on the CSR layout a step with a
+    /// 2-value prefix loads a single `u32` instead of a full row.
+    #[inline]
+    pub fn extract_at(&self, index: &TrieIndex, step: usize, pos: u32, assignment: &mut [u32]) {
+        let s = &self.steps[step];
+        if s.out_vars.is_empty() {
+            return;
+        }
+        let k = s.access.prefix_len();
+        let row = index.row_from(pos, k);
         for (j, v) in s.out_vars.iter().enumerate() {
             assignment[v.index()] = row[k + j];
         }
@@ -488,5 +501,49 @@ mod tests {
         plan.extract(1, idx1.row(r1.start), &mut assignment);
         let n4 = ig.dict().lookup_iri("u:4").unwrap();
         assert_eq!(assignment[v(2).index()], n4.raw());
+
+        // The position-based hot path must produce the same bindings.
+        let mut at_assignment = vec![0u32; q.var_count()];
+        plan.extract_at(idx1, 1, r1.start, &mut at_assignment);
+        assert_eq!(at_assignment, assignment);
+    }
+
+    #[test]
+    fn extract_at_agrees_with_extract_on_both_layouts() {
+        use kgoa_index::Layout;
+        let mut b = GraphBuilder::new();
+        for (s, p, o) in [(1, 10, 2), (1, 10, 3), (2, 10, 4), (2, 11, 4), (3, 11, 1)] {
+            let s = b.dict_mut().intern_iri(format!("u:{s}"));
+            let p = b.dict_mut().intern_iri(format!("u:p{p}"));
+            let o = b.dict_mut().intern_iri(format!("u:{o}"));
+            b.add(Triple::new(s, p, o));
+        }
+        let g = b.build();
+        let p10 = g.dict().lookup_iri("u:p10").unwrap();
+        let p11 = g.dict().lookup_iri("u:p11").unwrap();
+        let q = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(v(0), p10, v(1)),
+                TriplePattern::new(v(1), p11, v(2)),
+            ],
+            v(2),
+            v(1),
+            true,
+        )
+        .unwrap();
+        for layout in Layout::ALL {
+            let ig = kgoa_index::IndexedGraph::build_with_layout(g.clone(), layout);
+            let plan = WalkPlan::canonical(&q, &IndexOrder::PAPER_DEFAULT).unwrap();
+            for step in 0..plan.len() {
+                let idx = plan.index_for(&ig, step);
+                for pos in 0..idx.len() as u32 {
+                    let mut a = vec![0u32; q.var_count()];
+                    let mut b = vec![0u32; q.var_count()];
+                    plan.extract(step, idx.row(pos), &mut a);
+                    plan.extract_at(idx, step, pos, &mut b);
+                    assert_eq!(a, b, "layout {layout} step {step} pos {pos}");
+                }
+            }
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! from `SmallRng::seed_from_u64(BASE + i)`, so a failure report's case
 //! number reproduces exactly.
 
-use kgoa_index::{IndexOrder, IndexedGraph, TrieCursor, TrieIndex};
+use kgoa_index::{IndexOrder, IndexedGraph, Layout, TrieCursor, TrieIndex};
 use kgoa_rdf::{subclass_closure, GraphBuilder, TermId, Triple};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -38,7 +38,8 @@ fn ranges_agree_with_scan() {
         let mut rng = SmallRng::seed_from_u64(0x1DE_0000 + case);
         let triples = build(&raw_triples(&mut rng));
         let order = IndexOrder::ALL[rng.gen_range(0usize..6)];
-        let idx = TrieIndex::build(order, &triples);
+        let layout = Layout::ALL[(case % 2) as usize];
+        let idx = TrieIndex::build_with_layout(order, &triples, layout);
         assert_eq!(idx.len(), triples.len(), "case {case}");
         let [a_pos, b_pos, _] = order.positions();
         // Every 1-prefix range matches a scan count.
@@ -81,7 +82,8 @@ fn cursor_enumerates_distinct_sorted_keys() {
             continue;
         }
         let order = IndexOrder::ALL[rng.gen_range(0usize..6)];
-        let idx = TrieIndex::build(order, &triples);
+        let layout = Layout::ALL[(case % 2) as usize];
+        let idx = TrieIndex::build_with_layout(order, &triples, layout);
         let [a_pos, b_pos, c_pos] = order.positions();
         let mut cur = TrieCursor::over_index(&idx);
         cur.open();
@@ -128,7 +130,8 @@ fn seek_is_lower_bound() {
             continue;
         }
         let target = rng.gen_range(0u32..20);
-        let idx = TrieIndex::build(IndexOrder::Spo, &triples);
+        let layout = Layout::ALL[(case % 2) as usize];
+        let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &triples, layout);
         let mut cur = TrieCursor::over_index(&idx);
         cur.open();
         cur.seek(target);
@@ -262,7 +265,7 @@ fn update_merge_equals_rebuild_prop() {
             expected.sort_unstable();
             expected.dedup();
             let rebuilt = TrieIndex::build(order, &expected);
-            assert_eq!(merged.rows(), rebuilt.rows(), "case {case}: order {order}");
+            assert_eq!(merged.to_rows(), rebuilt.to_rows(), "case {case}: order {order}");
         }
     }
 }
