@@ -15,10 +15,11 @@
 //!   --steps N                         max exploration depth (default 4)
 //!   --seed N                          workload seed
 //!   --tipping X                       AJ tipping threshold (default 1024)
+//!   --threads N                       cap on the scale thread sweep (default 8)
 //!   --layout rows|csr                 index storage layout (default csr)
 //!   --out PATH                        JSON output path (trace, bench-json, profile)
 //!   --baseline PATH                   baseline bench JSON (regress)
-//!   --candidate PATH                  candidate bench JSON (regress; default BENCH_PR4.json)
+//!   --candidate PATH                  candidate bench JSON (regress; default BENCH_PR5.json)
 //!   --tolerance X                     regression tolerance factor (default 1.25)
 //!   --paper                           paper protocol: 9 ticks × 1 s
 //! ```
@@ -29,8 +30,8 @@ use std::time::{Duration, Instant};
 use kgoa_bench::{
     ablate_cache, ablate_order, ablate_tipping, bench_json, deadline_sweep, fig11, fig8,
     fig9_10, index_bench, layout_parity, load_datasets_in, obs_overhead, parallel_scaling,
-    prepare_workload, profile_report, regress, sample_time, table1, trace_report,
-    verify_engines, BenchConfig, Dataset, PreparedQuery,
+    prepare_workload, profile_report, regress, sample_time, scale_bench, table1,
+    trace_report, verify_engines, BenchConfig, Dataset, PreparedQuery,
 };
 use kgoa_datagen::Scale;
 use kgoa_index::Layout;
@@ -153,6 +154,13 @@ const EXPERIMENTS: &[Experiment] = &[
         needs_workload: true,
     },
     Experiment {
+        name: "scale",
+        help: "pool scaling: streaming estimates + partitioned exact (PR 5)",
+        run: |c| ok(scale_bench(c.datasets, c.workload, c.cfg)),
+        in_all: true,
+        needs_workload: true,
+    },
+    Experiment {
         name: "deadlines",
         help: "supervised execution under a deadline sweep",
         run: |c| ok(deadline_sweep(c.datasets, c.workload, c.cfg)),
@@ -201,7 +209,7 @@ const EXPERIMENTS: &[Experiment] = &[
             let Some(baseline) = c.opts.baseline.as_deref() else {
                 return ("regress requires --baseline PATH".into(), false);
             };
-            let candidate = c.opts.candidate.as_deref().unwrap_or("BENCH_PR4.json");
+            let candidate = c.opts.candidate.as_deref().unwrap_or("BENCH_PR5.json");
             regress(baseline, candidate, c.opts.tolerance.unwrap_or(1.25))
         },
         in_all: false,
@@ -232,10 +240,11 @@ fn usage() -> ExitCode {
          --steps N                         max exploration depth (default 4)\n  \
          --seed N                          workload seed\n  \
          --tipping X                       AJ tipping threshold (default 1024)\n  \
+         --threads N                       cap on the scale thread sweep (default 8)\n  \
          --layout rows|csr                 index storage layout (default csr)\n  \
          --out PATH                        JSON output path (trace, bench-json, profile)\n  \
          --baseline PATH                   baseline bench JSON (regress)\n  \
-         --candidate PATH                  candidate bench JSON (regress; default BENCH_PR4.json)\n  \
+         --candidate PATH                  candidate bench JSON (regress; default BENCH_PR5.json)\n  \
          --tolerance X                     regression tolerance factor (default 1.25)\n  \
          --paper                           paper protocol: 9 ticks × 1 s"
     );
@@ -288,6 +297,10 @@ fn main() -> ExitCode {
             },
             "--tipping" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
                 Some(v) => cfg.tipping_threshold = v,
+                None => return usage(),
+            },
+            "--threads" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.threads = v,
                 None => return usage(),
             },
             "--layout" => match take_value(&mut i).and_then(|v| Layout::parse(&v)) {

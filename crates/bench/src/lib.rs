@@ -24,7 +24,7 @@ pub use experiments::{
 pub use layouts::{index_bench, layout_parity};
 pub use metrics::{fmt_duration, fmt_pct, selectivity, tukey, Tukey};
 pub use profiler::{folded_path_for, profile_report, regress};
-pub use telemetry::{bench_json, obs_overhead, trace_report, BENCH_SCHEMA, TRACE_SCHEMA};
+pub use telemetry::{bench_json, obs_overhead, scale_bench, trace_report, BENCH_SCHEMA, TRACE_SCHEMA};
 pub use workload::{
     load_datasets, load_datasets_in, prepare_workload, run_fixed_walks, run_series,
     select_walk_plan, Algo, BenchConfig, Dataset, PreparedQuery, SeriesPoint,

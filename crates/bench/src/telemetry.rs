@@ -10,10 +10,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use kgoa_core::{
-    run_traced, supervise, AuditJoin, AuditJoinConfig, SupervisedResult, SupervisorConfig,
-    WanderJoin,
+    partitioned_count, run_parallel_streaming, run_traced, supervise, AuditJoin, AuditJoinConfig,
+    Budget, ExactAlgo, ParallelAlgo, StreamConfig, SupervisedResult, SupervisorConfig, WanderJoin,
 };
-use kgoa_engine::{CountEngine, CtjEngine};
+use kgoa_engine::{CountEngine, CtjEngine, ExecBudget};
 use kgoa_obs::Json;
 
 use crate::metrics::fmt_duration;
@@ -247,10 +247,19 @@ pub fn bench_json(
         ]));
     }
 
+    // The pool scaling sweep rides along in the same document, so
+    // `BENCH_PR5.json` records walks/sec scaling and partitioned exact
+    // wall-clock next to the single-thread numbers the regression gate
+    // compares (the gate ignores keys it does not know).
+    let scale = scale_points(datasets, workload, cfg).map(|(q, points)| {
+        writeln!(report, "scale: {} thread points on {}", points.len(), q.id).unwrap();
+        scale_json(q, cfg.tick, &points)
+    });
+
     let snap = kgoa_obs::snapshot();
     kgoa_obs::set_enabled(false);
 
-    let doc = Json::Obj(vec![
+    let mut fields = vec![
         ("schema".into(), Json::str(BENCH_SCHEMA)),
         (
             "config".into(),
@@ -265,8 +274,12 @@ pub fn bench_json(
             ]),
         ),
         ("experiments".into(), Json::Arr(experiments)),
-        ("telemetry".into(), snap.to_json()),
-    ]);
+    ];
+    if let Some(scale) = scale {
+        fields.push(("scale".into(), scale));
+    }
+    fields.push(("telemetry".into(), snap.to_json()));
+    let doc = Json::Obj(fields);
     let text = doc.pretty(2);
     let reparsed = Json::parse(&text).expect("bench JSON must be well-formed");
     assert_eq!(reparsed, doc, "bench JSON must round-trip");
@@ -274,6 +287,171 @@ pub fn bench_json(
     let path = out.unwrap_or("BENCH_PR2.json");
     std::fs::write(path, &text).expect("write bench JSON");
     writeln!(report, "\nwrote {path} ({} bytes)", text.len()).unwrap();
+    report
+}
+
+/// One row of the `repro scale` thread sweep.
+struct ScalePoint {
+    threads: usize,
+    wj_walks_per_sec: f64,
+    aj_walks_per_sec: f64,
+    aj_mae: f64,
+    /// Mid-run merged snapshots the streaming observer saw before the
+    /// run completed — the evidence that parallel estimates are online.
+    aj_snapshots: u64,
+    ctj_ms: f64,
+    lftj_ms: f64,
+}
+
+/// Run the pool scaling sweep on the deepest workload query: streaming
+/// parallel WJ/AJ throughput and partitioned exact CTJ/LFTJ wall-clock
+/// at each thread count in {1, 2, 4, 8} capped by `cfg.threads`.
+fn scale_points<'a>(
+    datasets: &[Dataset],
+    workload: &'a [PreparedQuery],
+    cfg: &BenchConfig,
+) -> Option<(&'a PreparedQuery, Vec<ScalePoint>)> {
+    let q = workload.iter().max_by_key(|q| q.generated.step)?;
+    let ig = &datasets[q.dataset].ig;
+    let plan = select_walk_plan(ig, &q.generated.query, cfg);
+    let aj_cfg = AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: cfg.seed };
+    let mut points = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        if threads > cfg.threads.max(1) {
+            break;
+        }
+        let run = |algo: ParallelAlgo| {
+            let mut snapshots = 0u64;
+            let t0 = Instant::now();
+            let outcome = run_parallel_streaming(
+                ig,
+                &q.generated.query,
+                &plan,
+                algo,
+                threads,
+                Budget::Time(cfg.tick),
+                cfg.seed,
+                StreamConfig::default(),
+                |snap| {
+                    if snap.batches_merged > 0 {
+                        snapshots += 1;
+                    }
+                },
+            )
+            .expect("streaming parallel run");
+            let wall = t0.elapsed().as_secs_f64().max(1e-9);
+            let mae =
+                kgoa_engine::mean_absolute_error(&q.exact_distinct, &outcome.estimates);
+            (outcome.stats.walks as f64 / wall, mae, snapshots)
+        };
+        let (wj_walks_per_sec, _, _) = run(ParallelAlgo::WanderJoin);
+        let (aj_walks_per_sec, aj_mae, aj_snapshots) = run(ParallelAlgo::AuditJoin(aj_cfg));
+        let exact = |algo: ExactAlgo| {
+            let t0 = Instant::now();
+            let counts = partitioned_count(
+                ig,
+                &q.generated.query,
+                algo,
+                threads,
+                &ExecBudget::unlimited(),
+            )
+            .expect("partitioned exact");
+            assert_eq!(counts, q.exact_distinct, "partitioned exact must match ground truth");
+            t0.elapsed().as_secs_f64() * 1e3
+        };
+        let ctj_ms = exact(ExactAlgo::Ctj);
+        let lftj_ms = exact(ExactAlgo::Lftj);
+        points.push(ScalePoint {
+            threads,
+            wj_walks_per_sec,
+            aj_walks_per_sec,
+            aj_mae,
+            aj_snapshots,
+            ctj_ms,
+            lftj_ms,
+        });
+    }
+    Some((q, points))
+}
+
+fn scale_json(q: &PreparedQuery, budget: std::time::Duration, points: &[ScalePoint]) -> Json {
+    Json::Obj(vec![
+        ("query".into(), Json::str(&q.id)),
+        ("budget_ms".into(), Json::Num(budget.as_secs_f64() * 1e3)),
+        (
+            "points".into(),
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("threads".into(), Json::Num(p.threads as f64)),
+                            ("wj_walks_per_sec".into(), Json::Num(p.wj_walks_per_sec)),
+                            ("aj_walks_per_sec".into(), Json::Num(p.aj_walks_per_sec)),
+                            ("aj_mae".into(), Json::Num(p.aj_mae)),
+                            ("aj_snapshots".into(), Json::Num(p.aj_snapshots as f64)),
+                            ("ctj_ms".into(), Json::Num(p.ctj_ms)),
+                            ("lftj_ms".into(), Json::Num(p.lftj_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `repro scale`: the pool scaling sweep as a human-readable report —
+/// walks/sec for streaming parallel Wander/Audit Join and wall-clock for
+/// partitioned exact CTJ/LFTJ at thread counts {1, 2, 4, 8} (capped by
+/// `--threads`). The same measurements land in the `scale` section of
+/// the `repro bench-json` export (`BENCH_PR5.json`).
+pub fn scale_bench(
+    datasets: &[Dataset],
+    workload: &[PreparedQuery],
+    cfg: &BenchConfig,
+) -> String {
+    let mut report = String::new();
+    writeln!(report, "## Scale — worker pool: streaming estimates + partitioned exact joins\n")
+        .unwrap();
+    let Some((q, points)) = scale_points(datasets, workload, cfg) else {
+        return report;
+    };
+    writeln!(report, "query: {} ({:?} per online run)", q.id, cfg.tick).unwrap();
+    writeln!(
+        report,
+        "{:>8} {:>12} {:>12} {:>10} {:>6} {:>10} {:>10}",
+        "threads", "wj walks/s", "aj walks/s", "aj MAE", "snaps", "ctj", "lftj"
+    )
+    .unwrap();
+    for p in &points {
+        writeln!(
+            report,
+            "{:>8} {:>12.0} {:>12.0} {:>10} {:>6} {:>9.2}ms {:>9.2}ms",
+            p.threads,
+            p.wj_walks_per_sec,
+            p.aj_walks_per_sec,
+            crate::metrics::fmt_pct(p.aj_mae),
+            p.aj_snapshots,
+            p.ctj_ms,
+            p.lftj_ms,
+        )
+        .unwrap();
+    }
+    if let (Some(one), Some(best)) = (points.first(), points.last()) {
+        if best.threads > 1 {
+            writeln!(
+                report,
+                "\nat {} threads vs 1: wj ×{:.2}, aj ×{:.2} walks/s; ctj ×{:.2}, lftj ×{:.2} \
+                 wall-clock",
+                best.threads,
+                best.wj_walks_per_sec / one.wj_walks_per_sec.max(1e-9),
+                best.aj_walks_per_sec / one.aj_walks_per_sec.max(1e-9),
+                one.ctj_ms / best.ctj_ms.max(1e-9),
+                one.lftj_ms / best.lftj_ms.max(1e-9),
+            )
+            .unwrap();
+        }
+    }
     report
 }
 
@@ -300,6 +478,9 @@ pub fn obs_overhead(
     writeln!(report, "query: {} (CTJ evaluation, {samples} samples per arm)", q.id).unwrap();
 
     let was_enabled = kgoa_obs::enabled();
+    // Two workloads share the gate: the sequential CTJ evaluation (the
+    // original arm) and a 2-way pool-partitioned CTJ, so the pool's
+    // dispatch counters are also held to the near-zero-when-disabled bar.
     let measure = |enable: bool| -> f64 {
         kgoa_obs::set_enabled(enable);
         let t = Instant::now();
@@ -307,33 +488,54 @@ pub fn obs_overhead(
         assert_eq!(counts, q.exact_distinct, "CTJ must match ground truth");
         t.elapsed().as_nanos() as f64
     };
-    // Warm both arms (page cache, branch predictors) before sampling.
-    measure(false);
-    measure(true);
-    let mut disabled = Vec::with_capacity(samples);
-    let mut enabled = Vec::with_capacity(samples);
-    for _ in 0..samples.max(3) {
-        disabled.push(measure(false));
-        enabled.push(measure(true));
+    let measure_pool = |enable: bool| -> f64 {
+        kgoa_obs::set_enabled(enable);
+        let t = Instant::now();
+        let counts = partitioned_count(
+            ig,
+            &q.generated.query,
+            ExactAlgo::Ctj,
+            2,
+            &ExecBudget::unlimited(),
+        )
+        .expect("partitioned ctj");
+        assert_eq!(counts, q.exact_distinct, "partitioned CTJ must match ground truth");
+        t.elapsed().as_nanos() as f64
+    };
+    let mut all_ok = true;
+    for (label, measure) in
+        [("ctj", &measure as &dyn Fn(bool) -> f64), ("pool-ctj×2", &measure_pool)]
+    {
+        // Warm both arms (page cache, branch predictors) before sampling.
+        measure(false);
+        measure(true);
+        let mut disabled = Vec::with_capacity(samples);
+        let mut enabled = Vec::with_capacity(samples);
+        for _ in 0..samples.max(3) {
+            disabled.push(measure(false));
+            enabled.push(measure(true));
+        }
+        disabled.sort_by(f64::total_cmp);
+        enabled.sort_by(f64::total_cmp);
+        let d = disabled[disabled.len() / 2];
+        let e = enabled[enabled.len() / 2];
+        let ratio = d / e;
+        let ok = d <= e * TOLERANCE;
+        all_ok &= ok;
+        writeln!(
+            report,
+            "{label}: disabled median {:.3}ms, enabled median {:.3}ms, ratio {:.3} \
+             (gate ≤ {TOLERANCE})",
+            d / 1e6,
+            e / 1e6,
+            ratio
+        )
+        .unwrap();
     }
     kgoa_obs::set_enabled(was_enabled);
-
-    disabled.sort_by(f64::total_cmp);
-    enabled.sort_by(f64::total_cmp);
-    let d = disabled[disabled.len() / 2];
-    let e = enabled[enabled.len() / 2];
-    let ratio = d / e;
-    let ok = d <= e * TOLERANCE;
-    writeln!(
-        report,
-        "disabled median {:.3}ms, enabled median {:.3}ms, ratio {:.3} (gate ≤ {TOLERANCE})",
-        d / 1e6,
-        e / 1e6,
-        ratio
-    )
-    .unwrap();
-    writeln!(report, "{}", if ok { "PASS" } else { "FAIL: disabled path regressed" }).unwrap();
-    (report, ok)
+    writeln!(report, "{}", if all_ok { "PASS" } else { "FAIL: disabled path regressed" })
+        .unwrap();
+    (report, all_ok)
 }
 
 #[cfg(test)]

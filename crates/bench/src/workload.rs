@@ -38,6 +38,9 @@ pub struct BenchConfig {
     /// Physical index layout to build datasets with (CSR by default; the
     /// `--layout rows` flag A/Bs the legacy row-oriented storage).
     pub layout: Layout,
+    /// Cap on the `repro scale` thread sweep (the sweep visits
+    /// {1, 2, 4, 8} ∩ [1, threads]; `--threads 2` makes a CI smoke run).
+    pub threads: usize,
 }
 
 impl Default for BenchConfig {
@@ -52,6 +55,7 @@ impl Default for BenchConfig {
             tipping_threshold: 1024.0,
             wj_order_trials: 1024,
             layout: Layout::default(),
+            threads: 8,
         }
     }
 }

@@ -46,7 +46,8 @@ impl Default for AuditJoinConfig {
 /// An Audit Join run over one query.
 pub struct AuditJoin<'g> {
     ig: &'g IndexedGraph,
-    plan: WalkPlan,
+    /// Shared so parallel workers reuse one plan instead of deep-cloning.
+    plan: std::sync::Arc<WalkPlan>,
     /// Per-step index, resolved once at construction (hoists the order
     /// lookup out of the walk loop).
     step_index: Vec<&'g TrieIndex>,
@@ -95,12 +96,13 @@ impl<'g> AuditJoin<'g> {
     pub fn with_plan(
         ig: &'g IndexedGraph,
         query: &ExplorationQuery,
-        plan: WalkPlan,
+        plan: impl Into<std::sync::Arc<WalkPlan>>,
         config: AuditJoinConfig,
     ) -> Result<Self, QueryError> {
+        let plan = plan.into();
         let est = SuffixEstimator::new(ig, query, &plan);
-        let counter = CtjCounter::new(ig, plan.clone());
-        let prab = PrAb::new(ig, query.clone(), plan.clone());
+        let counter = CtjCounter::new(ig, std::sync::Arc::clone(&plan));
+        let prab = PrAb::new(ig, query.clone(), std::sync::Arc::clone(&plan));
         let n = plan.len();
         let step_index: Vec<&TrieIndex> =
             plan.steps().iter().map(|s| ig.require(s.access.order)).collect();

@@ -31,6 +31,8 @@ pub mod aggregate;
 pub mod audit;
 pub mod online;
 pub mod parallel;
+pub mod partitioned;
+pub mod pool;
 pub mod order;
 pub mod pinned;
 pub mod supervisor;
@@ -43,7 +45,12 @@ pub use audit::{
     AuditJoinConfig,
 };
 pub use online::{run_governed, run_timed, run_traced, run_walks, OnlineAggregator, Snapshot};
-pub use parallel::{run_parallel, Budget, ParallelAlgo, ParallelError, ParallelOutcome};
+pub use parallel::{
+    run_parallel, run_parallel_streaming, Budget, ParallelAlgo, ParallelError, ParallelOutcome,
+    ParallelSnapshot, StreamConfig,
+};
+pub use partitioned::{partitioned_count, ExactAlgo};
+pub use pool::WorkerPool;
 pub use supervisor::{
     supervise, DegradeReason, Degraded, SupervisedResult, SupervisorConfig, SupervisorError,
 };

@@ -1,30 +1,46 @@
-//! Parallel online aggregation.
+//! Parallel online aggregation on the persistent worker pool — with
+//! *streaming* merged estimates.
 //!
 //! The paper's related work (§II) surveys parallel online aggregation
 //! (PF-OLA and friends) and its conclusion lists scaling the approach as a
 //! natural direction. Because every random walk is an independent sample,
 //! parallelization is embarrassingly simple *statistically*: run one
-//! aggregator per thread with independent RNG streams and merge the
-//! per-group `Σx`/`Σx²` sums and walk counts at the end. The merged
-//! estimator is the same unbiased estimator with the union of the samples;
-//! confidence intervals tighten accordingly.
+//! aggregator per logical worker with independent RNG streams and merge
+//! the per-group `Σx`/`Σx²` sums and walk counts. The merged estimator is
+//! the same unbiased estimator with the union of the samples; confidence
+//! intervals tighten accordingly.
 //!
-//! Each worker owns its own Audit Join caches (sharing them under a lock
-//! would serialize the hot path); the cost is some duplicated exact
-//! computation, which the per-walk measurements in the benchmark harness
-//! show to be minor.
+//! **Execution model.** Workers are jobs on the process-wide
+//! [`WorkerPool`] (spawned once, reused across runs) rather than per-call
+//! scoped threads. Each logical worker owns its aggregator for the whole
+//! run — RNG setup, walk buffers and per-step index references are paid
+//! once — and steps it in *batches* of [`StreamConfig::batch`] walks.
+//! After every batch it publishes a snapshot of its accumulator prefix
+//! into its per-worker slot; the caller's thread folds the latest slots
+//! (in worker order, so merges are deterministic) into a live
+//! [`ParallelSnapshot`] on the [`StreamConfig::refresh`] cadence and hands
+//! it to the observer. Parallel runs are therefore *online*: estimates
+//! with valid CIs are observable mid-run, not only after the budget
+//! expires.
 //!
-//! **Fault isolation.** Every worker runs inside `catch_unwind`: a worker
-//! that panics is logged and its partial accumulator discarded, while the
-//! merged estimator remains the unbiased estimator over the union of the
-//! *surviving* workers' independent samples (dropping a whole worker
-//! discards complete, independently-seeded sample sets, so no bias is
-//! introduced — only variance). Only when every worker fails does the run
-//! return [`ParallelError::AllWorkersFailed`].
+//! **Fault isolation.** Every worker runs inside `catch_unwind`. A panic
+//! loses only the walks of the batch that was in flight: the worker's
+//! previously *published* batches are complete, independently-seeded
+//! sample sets whose retention does not depend on their sampled values, so
+//! the merged estimator over the union of all published batches remains
+//! unbiased. Only when every worker panics does the run return
+//! [`ParallelError::AllWorkersFailed`].
+//!
+//! **Bounded overshoot.** A shared [`ExecBudget`] walk cap is charged per
+//! walk inside the batch loop, so *completed* walks never exceed the cap;
+//! each worker discovers the trip at its next walk, so walks *started*
+//! past the cap are bounded by `workers × batch` (see `pool.rs` module
+//! docs and the `shared_walk_cap_overshoot_is_bounded` test).
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use kgoa_engine::{ExecBudget, GroupedEstimates};
 use kgoa_index::IndexedGraph;
@@ -32,7 +48,8 @@ use kgoa_query::{ExplorationQuery, QueryError, WalkPlan};
 
 use crate::accum::{GroupAccumulator, WalkStats};
 use crate::audit::{AuditJoin, AuditJoinConfig};
-use crate::online::{run_governed, run_timed, run_walks, OnlineAggregator};
+use crate::online::{run_walks, OnlineAggregator};
+use crate::pool::WorkerPool;
 use crate::wander::WanderJoin;
 
 /// Which algorithm a parallel run executes.
@@ -49,15 +66,17 @@ pub enum ParallelAlgo {
 #[derive(Debug, Clone)]
 pub struct ParallelOutcome {
     /// Merged per-group estimates with confidence intervals over the union
-    /// of all surviving workers' walks.
+    /// of all published batches.
     pub estimates: GroupedEstimates,
-    /// Merged walk counters (surviving workers only).
+    /// Merged walk counters (published batches only).
     pub stats: WalkStats,
-    /// Number of worker threads that ran.
+    /// Number of logical workers that ran.
     pub threads: usize,
-    /// Workers whose panic was isolated and whose partial accumulator was
-    /// discarded. `0` on a healthy run.
+    /// Workers whose panic was isolated; each lost only its in-flight
+    /// batch (published batches were merged). `0` on a healthy run.
     pub workers_panicked: usize,
+    /// Total walk batches folded into the final estimate.
+    pub batches: u64,
 }
 
 /// How long the workers run.
@@ -70,6 +89,40 @@ pub enum Budget {
     /// A shared [`ExecBudget`]: all workers step under the same deadline /
     /// cancellation flag / walk counters and stop when it trips.
     Exec(ExecBudget),
+}
+
+/// Batching and refresh cadence for a streaming parallel run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Walks per batch: the unit of publication, budget accounting and
+    /// panic loss. Larger batches amortize slot locking; smaller batches
+    /// refresh the live estimate more often (256 balances the two — see
+    /// DESIGN.md §4f).
+    pub batch: u64,
+    /// How often the caller folds worker slots into a merged snapshot for
+    /// the observer. Sub-millisecond values are clamped to 1ms.
+    pub refresh: Duration,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { batch: 256, refresh: Duration::from_millis(25) }
+    }
+}
+
+/// One live merged view of an in-progress parallel run.
+#[derive(Debug, Clone)]
+pub struct ParallelSnapshot {
+    /// Merged per-group estimates with CIs over all published batches.
+    pub estimates: GroupedEstimates,
+    /// Merged walk counters over all published batches.
+    pub stats: WalkStats,
+    /// Workers that have published at least one batch.
+    pub workers_reporting: usize,
+    /// Total batches folded into this snapshot.
+    pub batches_merged: u64,
+    /// Wall-clock time since the run started.
+    pub elapsed: Duration,
 }
 
 /// Errors from [`run_parallel`].
@@ -114,9 +167,79 @@ impl From<QueryError> for ParallelError {
     }
 }
 
-/// Run `threads` independent aggregators over the same query and merge
-/// their estimators. Worker panics are isolated (see the module docs);
-/// query errors and a zero thread count are reported as typed errors.
+/// A worker's latest published prefix: accumulator, counters, batches.
+type Published = (GroupAccumulator, WalkStats, u64);
+
+/// Per-worker publication slots plus a progress counter the merger waits
+/// on. Slots only ever move forward (each publication supersedes the
+/// previous prefix), so folds taken later dominate folds taken earlier —
+/// that is what makes streamed snapshots monotone in walk count.
+struct Board {
+    slots: Vec<Mutex<Option<Published>>>,
+    progress: Mutex<Progress>,
+    bump: Condvar,
+}
+
+#[derive(Default)]
+struct Progress {
+    publications: u64,
+    finished: usize,
+}
+
+impl Board {
+    fn new(workers: usize) -> Self {
+        Board {
+            slots: (0..workers).map(|_| Mutex::new(None)).collect(),
+            progress: Mutex::new(Progress::default()),
+            bump: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, worker: usize, published: Published) {
+        *self.slots[worker].lock().unwrap() = Some(published);
+        self.progress.lock().unwrap().publications += 1;
+        self.bump.notify_all();
+    }
+
+    fn finish_worker(&self) {
+        self.progress.lock().unwrap().finished += 1;
+        self.bump.notify_all();
+    }
+
+    /// Merge the latest published prefix of every worker, in worker order.
+    fn fold(&self) -> (GroupAccumulator, WalkStats, u64, usize) {
+        let mut accum = GroupAccumulator::new();
+        let mut stats = WalkStats::default();
+        let mut batches = 0u64;
+        let mut reporting = 0usize;
+        for slot in &self.slots {
+            if let Some((a, s, b)) = &*slot.lock().unwrap() {
+                accum.merge_from(a);
+                stats.merge_from(s);
+                batches += *b;
+                reporting += 1;
+            }
+        }
+        (accum, stats, batches, reporting)
+    }
+
+    /// Walk counters of one worker's latest publication (0 if none).
+    fn worker_walks(&self, worker: usize) -> u64 {
+        self.slots[worker].lock().unwrap().as_ref().map_or(0, |(_, s, _)| s.walks)
+    }
+}
+
+/// How one worker's job ended.
+enum WorkerEnd {
+    Done,
+    Failed(QueryError),
+    Panicked,
+}
+
+/// Run `threads` independent aggregators over the same query on the
+/// persistent pool and merge their estimators (module docs). Equivalent to
+/// [`run_parallel_streaming`] with the default [`StreamConfig`] and no
+/// observer.
 pub fn run_parallel(
     ig: &IndexedGraph,
     query: &ExplorationQuery,
@@ -126,112 +249,265 @@ pub fn run_parallel(
     budget: Budget,
     seed: u64,
 ) -> Result<ParallelOutcome, ParallelError> {
+    run_parallel_streaming(
+        ig,
+        query,
+        plan,
+        algo,
+        threads,
+        budget,
+        seed,
+        StreamConfig::default(),
+        |_| {},
+    )
+}
+
+/// [`run_parallel`] with live merged snapshots: `observer` is called on
+/// the caller's thread with a fresh [`ParallelSnapshot`] whenever new
+/// batches have been published since the last refresh, and once more with
+/// the final merged state. Workers never wait on the observer.
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_streaming(
+    ig: &IndexedGraph,
+    query: &ExplorationQuery,
+    plan: &WalkPlan,
+    algo: ParallelAlgo,
+    threads: usize,
+    budget: Budget,
+    seed: u64,
+    config: StreamConfig,
+    mut observer: impl FnMut(&ParallelSnapshot),
+) -> Result<ParallelOutcome, ParallelError> {
     if threads == 0 {
         return Err(ParallelError::NoThreads);
     }
     kgoa_obs::metrics::PARALLEL_WORKERS.add(threads as u64);
+    let start = Instant::now();
+    let batch = config.batch.max(1);
+    let refresh = config.refresh.max(Duration::from_millis(1));
+    // One Arc'd plan shared by all workers; query and budget are borrowed
+    // straight from the caller's frame — nothing is deep-cloned per worker.
+    let plan = Arc::new(plan.clone());
+    let budget = &budget;
+    let board = Board::new(threads);
+    let outcomes: Vec<Mutex<Option<WorkerEnd>>> =
+        (0..threads).map(|_| Mutex::new(None)).collect();
     // If the calling thread is attached to a query profile, hand each
     // worker a handle *captured before spawning* so their spans land in
     // the caller's tree (labelled per worker) instead of vanishing.
     let profile = kgoa_obs::profile::current_handle();
-    type WorkerResult = Result<Result<(GroupAccumulator, WalkStats), QueryError>, ()>;
-    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
+
+    let merged_batches = WorkerPool::global().scope(|scope| {
         for t in 0..threads {
-            let plan = plan.clone();
-            let query = query.clone();
-            let budget = budget.clone();
+            let plan = Arc::clone(&plan);
             let profile = profile.clone();
+            let board = &board;
+            let outcomes = &outcomes;
             let worker_seed =
                 seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1));
-            handles.push(scope.spawn(move || -> WorkerResult {
+            scope.spawn(move || {
                 kgoa_obs::metrics::PARALLEL_ACTIVE_WORKERS.add(1);
-                let out = catch_unwind(AssertUnwindSafe(
-                    || -> Result<(GroupAccumulator, WalkStats), QueryError> {
-                        let _attach =
-                            profile.as_ref().map(|h| h.attach(format!("worker-{t}")));
-                        let _span = kgoa_obs::profile::span("parallel.worker");
-                        if let Budget::Exec(b) = &budget {
-                            b.fault_worker_delay(t);
+                let end = match catch_unwind(AssertUnwindSafe(|| -> Result<(), QueryError> {
+                    let _attach = profile.as_ref().map(|h| h.attach(format!("worker-{t}")));
+                    let _span = kgoa_obs::profile::span("parallel.worker");
+                    if let Budget::Exec(b) = budget {
+                        b.fault_worker_delay(t);
+                    }
+                    match algo {
+                        ParallelAlgo::WanderJoin => {
+                            let mut wj =
+                                WanderJoin::with_plan(ig, query, Arc::clone(&plan), worker_seed)?;
+                            drive_batched(&mut wj, budget, batch, board, t, |a| {
+                                (a.accumulator().clone(), a.stats())
+                            });
+                            wj.profile_emit();
                         }
-                        match algo {
-                            ParallelAlgo::WanderJoin => {
-                                let mut wj = WanderJoin::with_plan(ig, &query, plan, worker_seed)?;
-                                drive(&mut wj, &budget);
-                                wj.profile_emit();
-                                Ok((wj.accumulator().clone(), wj.stats()))
-                            }
-                            ParallelAlgo::AuditJoin(cfg) => {
-                                let cfg = AuditJoinConfig { seed: worker_seed, ..cfg };
-                                let mut aj = AuditJoin::with_plan(ig, &query, plan, cfg)?;
-                                drive(&mut aj, &budget);
-                                aj.profile_emit();
-                                Ok((aj.accumulator().clone(), aj.stats()))
-                            }
+                        ParallelAlgo::AuditJoin(cfg) => {
+                            let cfg = AuditJoinConfig { seed: worker_seed, ..cfg };
+                            let mut aj =
+                                AuditJoin::with_plan(ig, query, Arc::clone(&plan), cfg)?;
+                            drive_batched(&mut aj, budget, batch, board, t, |a| {
+                                (a.accumulator().clone(), a.stats())
+                            });
+                            aj.profile_emit();
                         }
-                    },
-                ))
-                .map_err(|_| ());
+                    }
+                    Ok(())
+                })) {
+                    Ok(Ok(())) => WorkerEnd::Done,
+                    Ok(Err(e)) => WorkerEnd::Failed(e),
+                    Err(_) => WorkerEnd::Panicked,
+                };
                 kgoa_obs::metrics::PARALLEL_ACTIVE_WORKERS.add(-1);
-                out
-            }));
+                *outcomes[t].lock().unwrap() = Some(end);
+                board.finish_worker();
+            });
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or(Err(())))
-            .collect()
+
+        // Merge loop: fold the latest worker slots whenever new batches
+        // arrived, on the refresh cadence, until every worker finished.
+        let mut last_pubs = 0u64;
+        let mut last_batches = 0u64;
+        loop {
+            let (pubs, finished) = {
+                let mut p = board.progress.lock().unwrap();
+                if p.publications == last_pubs && p.finished < threads {
+                    p = board.bump.wait_timeout(p, refresh).unwrap().0;
+                }
+                (p.publications, p.finished)
+            };
+            if pubs > last_pubs {
+                last_pubs = pubs;
+                let (accum, stats, batches, reporting) = board.fold();
+                kgoa_obs::metrics::POOL_BATCHES_MERGED
+                    .add(batches.saturating_sub(last_batches));
+                last_batches = batches;
+                observer(&ParallelSnapshot {
+                    estimates: accum.estimates(stats.walks),
+                    stats,
+                    workers_reporting: reporting,
+                    batches_merged: batches,
+                    elapsed: start.elapsed(),
+                });
+            }
+            if finished == threads {
+                break;
+            }
+        }
+        last_batches
     });
 
-    let mut accum = GroupAccumulator::new();
-    let mut stats = WalkStats::default();
     let mut workers_panicked = 0usize;
-    for (t, r) in results.into_iter().enumerate() {
-        match r {
-            Ok(worker) => {
-                let (a, s) = worker?;
-                kgoa_obs::metrics::PARALLEL_WORKER_WALKS.record(s.walks);
+    let mut first_error: Option<QueryError> = None;
+    for (t, cell) in outcomes.into_iter().enumerate() {
+        match cell.into_inner().unwrap().expect("every worker records an outcome") {
+            WorkerEnd::Done => {
+                let walks = board.worker_walks(t);
+                kgoa_obs::metrics::PARALLEL_WORKER_WALKS.record(walks);
                 kgoa_obs::events::emit_with(
                     kgoa_obs::Level::Debug,
                     "parallel",
                     "worker finished",
-                    vec![("worker", t.to_string()), ("walks", s.walks.to_string())],
+                    vec![("worker", t.to_string()), ("walks", walks.to_string())],
                 );
-                accum.merge_from(&a);
-                stats.merge_from(&s);
             }
-            Err(()) => {
-                // The worker panicked: its partial accumulator died with it.
-                // The merged estimator over the survivors is still unbiased.
+            WorkerEnd::Failed(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+            WorkerEnd::Panicked => {
+                // Only the in-flight batch died with the worker; its
+                // published batches stay merged (module docs).
                 kgoa_obs::metrics::PARALLEL_WORKER_PANICS.inc();
                 kgoa_obs::events::emit_with(
                     kgoa_obs::Level::Warn,
                     "parallel",
-                    "worker panicked; discarding its partial estimator",
+                    "worker panicked; discarding its in-flight batch",
                     vec![("worker", t.to_string())],
                 );
                 workers_panicked += 1;
             }
         }
     }
+    if let Some(e) = first_error {
+        return Err(ParallelError::Query(e));
+    }
     if workers_panicked == threads {
         return Err(ParallelError::AllWorkersFailed { workers: threads });
     }
-    Ok(ParallelOutcome {
+
+    // Final fold: the merge loop may have exited before the last batches
+    // were folded; this is also the snapshot the observer saw last.
+    let (accum, stats, batches, reporting) = board.fold();
+    kgoa_obs::metrics::POOL_BATCHES_MERGED.add(batches.saturating_sub(merged_batches));
+    let final_snapshot = ParallelSnapshot {
         estimates: accum.estimates(stats.walks),
+        stats,
+        workers_reporting: reporting,
+        batches_merged: batches,
+        elapsed: start.elapsed(),
+    };
+    observer(&final_snapshot);
+    Ok(ParallelOutcome {
+        estimates: final_snapshot.estimates,
         stats,
         threads,
         workers_panicked,
+        batches,
     })
 }
 
-fn drive<A: OnlineAggregator>(agg: &mut A, budget: &Budget) {
+/// Step `agg` under `budget` in batches, publishing the accumulator
+/// prefix after every batch. `snap` clones the concrete aggregator's
+/// accumulator (the [`OnlineAggregator`] trait deliberately does not
+/// expose raw sums).
+fn drive_batched<A: OnlineAggregator>(
+    agg: &mut A,
+    budget: &Budget,
+    batch: u64,
+    board: &Board,
+    worker: usize,
+    snap: impl Fn(&A) -> (GroupAccumulator, WalkStats),
+) {
+    let mut batches = 0u64;
+    let publish = |agg: &A, batches: u64, walks_in_batch: u64| {
+        kgoa_obs::profile::leaf(
+            "pool.batch",
+            &[("batch", batches), ("walks", walks_in_batch)],
+        );
+        let (accum, stats) = snap(agg);
+        board.publish(worker, (accum, stats, batches));
+    };
     match budget {
-        Budget::WalksPerWorker(n) => run_walks(agg, *n),
+        Budget::WalksPerWorker(n) => {
+            let mut done = 0u64;
+            while done < *n {
+                let step = batch.min(*n - done);
+                run_walks(agg, step);
+                done += step;
+                batches += 1;
+                publish(agg, batches, step);
+            }
+        }
         Budget::Time(d) => {
-            run_timed(agg, 1, *d);
+            let start = Instant::now();
+            while start.elapsed() < *d {
+                let mut in_batch = 0u64;
+                // Check the clock every 64 walks (like `run_timed`) so the
+                // deadline is never overshot by more than a mini-batch.
+                while in_batch < batch && start.elapsed() < *d {
+                    let step = 64.min(batch - in_batch);
+                    run_walks(agg, step);
+                    in_batch += step;
+                }
+                batches += 1;
+                publish(agg, batches, in_batch);
+            }
         }
         Budget::Exec(b) => {
-            run_governed(agg, b);
+            if b.is_unlimited() {
+                // Mirrors `run_governed`: an unbounded budget would spin
+                // forever, so it does no work at all.
+                return;
+            }
+            'run: loop {
+                let mut in_batch = 0u64;
+                while in_batch < batch {
+                    if agg.step_governed(b).is_err() {
+                        // Walks completed before the trip are real samples:
+                        // publish the partial batch, then stop.
+                        if in_batch > 0 {
+                            batches += 1;
+                            publish(agg, batches, in_batch);
+                        }
+                        break 'run;
+                    }
+                    in_batch += 1;
+                }
+                batches += 1;
+                publish(agg, batches, in_batch);
+            }
         }
     }
 }
@@ -316,6 +592,8 @@ mod tests {
         .unwrap();
         assert_eq!(out.stats.walks, 3_000);
         assert!(!out.estimates.is_empty());
+        // 1000 walks in 256-walk batches = 4 batches per worker.
+        assert_eq!(out.batches, 12);
     }
 
     #[test]
@@ -369,5 +647,131 @@ mod tests {
         // 4x the samples ⇒ roughly half the CI width.
         let (one, four) = (hw(1), hw(4));
         assert!(four < one * 0.75, "CI should tighten: 1 thread {one}, 4 threads {four}");
+    }
+
+    /// Satellite: the bounded-overshoot contract. Completed walks never
+    /// exceed the shared cap (per-walk charging); walks *started* past the
+    /// cap are at most `workers × batch`.
+    #[test]
+    fn shared_walk_cap_overshoot_is_bounded() {
+        let (ig, p, q) = graph();
+        let query = query(p, q, false);
+        let plan = WalkPlan::canonical(&query, &IndexOrder::PAPER_DEFAULT).unwrap();
+        let threads = 4usize;
+        let cap = 1_000u64;
+        let config = StreamConfig { batch: 128, ..StreamConfig::default() };
+        let budget = ExecBudget::builder().walk_limit(cap).build();
+        let out = run_parallel_streaming(
+            &ig,
+            &query,
+            &plan,
+            ParallelAlgo::WanderJoin,
+            threads,
+            Budget::Exec(budget.clone()),
+            11,
+            config,
+            |_| {},
+        )
+        .unwrap();
+        assert!(out.stats.walks <= cap, "completed walks {} > cap {cap}", out.stats.walks);
+        assert!(budget.walks() >= cap, "the fleet must reach the cap");
+        let bound = cap + threads as u64 * config.batch;
+        assert!(
+            budget.walks() <= bound,
+            "started walks {} exceed cap {cap} + workers×batch {bound}",
+            budget.walks()
+        );
+    }
+
+    /// Satellite: mid-run merged snapshots are monotone in walk count and
+    /// the final streamed state is bit-identical to the old end-of-run
+    /// merge (per-worker aggregators merged in worker order).
+    #[test]
+    fn streaming_snapshots_monotone_and_final_matches_end_of_run_merge() {
+        let (ig, p, q) = graph();
+        let query = query(p, q, false);
+        let plan = WalkPlan::canonical(&query, &IndexOrder::PAPER_DEFAULT).unwrap();
+        let (threads, walks, seed) = (2usize, 1_000u64, 42u64);
+        let mut snapshots: Vec<ParallelSnapshot> = Vec::new();
+        let out = run_parallel_streaming(
+            &ig,
+            &query,
+            &plan,
+            ParallelAlgo::WanderJoin,
+            threads,
+            Budget::WalksPerWorker(walks),
+            seed,
+            StreamConfig { batch: 128, refresh: Duration::from_millis(1) },
+            |s| snapshots.push(s.clone()),
+        )
+        .unwrap();
+        assert!(!snapshots.is_empty());
+        for w in snapshots.windows(2) {
+            assert!(w[1].stats.walks >= w[0].stats.walks, "walks must be monotone");
+            assert!(w[1].batches_merged >= w[0].batches_merged);
+        }
+        let last = snapshots.last().unwrap();
+        assert_eq!(last.stats.walks, out.stats.walks);
+
+        // The old end-of-run merge, replayed by hand: one sequential
+        // aggregator per worker seed, merged in worker order.
+        let mut accum = GroupAccumulator::new();
+        let mut stats = WalkStats::default();
+        for t in 0..threads {
+            let worker_seed =
+                seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1));
+            let mut wj =
+                WanderJoin::with_plan(&ig, &query, plan.clone(), worker_seed).unwrap();
+            run_walks(&mut wj, walks);
+            accum.merge_from(wj.accumulator());
+            stats.merge_from(&wj.stats());
+        }
+        let expected = accum.estimates(stats.walks);
+        assert_eq!(out.stats.walks, stats.walks);
+        assert_eq!(out.estimates.estimates.len(), expected.estimates.len());
+        for (g, x) in expected.estimates.iter() {
+            // Bit-identical, not approximately equal.
+            assert_eq!(out.estimates.estimates.get(g), Some(x), "group {g}");
+            assert_eq!(
+                out.estimates.half_widths.get(g),
+                expected.half_widths.get(g),
+                "group {g} half-width"
+            );
+        }
+    }
+
+    /// Acceptance: at least one merged snapshot is observable *before*
+    /// the run completes. The observer itself cancels the shared budget
+    /// after the first non-empty snapshot — the walk cap is far beyond
+    /// reach, so the run could only have ended through that mid-run
+    /// observation.
+    #[test]
+    fn streaming_exposes_mid_run_snapshot_before_completion() {
+        let (ig, p, q) = graph();
+        let query = query(p, q, false);
+        let plan = WalkPlan::canonical(&query, &IndexOrder::PAPER_DEFAULT).unwrap();
+        let budget = ExecBudget::builder().walk_limit(u64::MAX / 2).build();
+        let cancel = budget.clone();
+        let mut mid_run_walks = 0u64;
+        let out = run_parallel_streaming(
+            &ig,
+            &query,
+            &plan,
+            ParallelAlgo::WanderJoin,
+            2,
+            Budget::Exec(budget),
+            13,
+            StreamConfig { batch: 64, refresh: Duration::from_millis(1) },
+            |snap| {
+                if snap.stats.walks > 0 && mid_run_walks == 0 {
+                    mid_run_walks = snap.stats.walks;
+                    cancel.cancel();
+                }
+            },
+        )
+        .unwrap();
+        assert!(mid_run_walks > 0, "a mid-run snapshot must have been observed");
+        assert!(out.stats.walks >= mid_run_walks);
+        assert!(!out.estimates.is_empty());
     }
 }

@@ -1,0 +1,204 @@
+//! Parallel exact evaluation on the persistent worker pool.
+//!
+//! `kgoa-engine::partition` supplies the per-partition drivers (CTJ over
+//! step-0 row chunks, LFTJ over rank-0 key windows) and the merge rules;
+//! this module fans the partitions out on [`WorkerPool::global`] and folds
+//! the results, so the supervisor's exact rungs scale with cores.
+//!
+//! Failure semantics mirror the sequential engines: a budget trip in any
+//! partition aborts the whole evaluation with that error (exact results
+//! are all-or-nothing), and a panicking partition is *re-raised* on the
+//! calling thread after the scope drains — the supervisor's existing
+//! rung-level `catch_unwind` then degrades to the estimate rungs exactly
+//! as it does for a sequential panic.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use kgoa_engine::{
+    ctj_count_partition, ctj_distinct_partition, key_windows, lftj_count_partition,
+    lftj_distinct_partition, lftj_rank0_keys, merge_counts, merge_distinct_pairs, CountEngine,
+    CtjEngine, EngineError, ExecBudget, GroupedCounts, LftjEngine,
+};
+use kgoa_index::{IndexOrder, IndexedGraph};
+use kgoa_query::{ExplorationQuery, WalkPlan};
+
+use crate::pool::WorkerPool;
+
+/// Which exact engine a partitioned evaluation drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactAlgo {
+    /// Cached Trie Join, partitioned over the first walk step's row range.
+    Ctj,
+    /// LeapFrog Trie Join, partitioned over the first variable's keys.
+    Lftj,
+}
+
+/// Evaluate `query` exactly with `parts`-way partitioned parallelism on
+/// the persistent pool. `parts <= 1` is the sequential engine unchanged.
+/// All partitions share `budget` (deadline, cancellation, caps).
+pub fn partitioned_count(
+    ig: &IndexedGraph,
+    query: &ExplorationQuery,
+    algo: ExactAlgo,
+    parts: usize,
+    budget: &ExecBudget,
+) -> Result<GroupedCounts, EngineError> {
+    let parts = parts.max(1);
+    if parts == 1 {
+        return match algo {
+            ExactAlgo::Ctj => CtjEngine.evaluate_governed(ig, query, budget),
+            ExactAlgo::Lftj => LftjEngine.evaluate_governed(ig, query, budget),
+        };
+    }
+    let _span = kgoa_obs::profile::span(match algo {
+        ExactAlgo::Ctj => "exact.partitioned.ctj",
+        ExactAlgo::Lftj => "exact.partitioned.lftj",
+    });
+    match algo {
+        ExactAlgo::Ctj => {
+            let plan = Arc::new(WalkPlan::canonical(query, &IndexOrder::PAPER_DEFAULT)?);
+            if query.distinct() {
+                let sets = run_partitions(parts, |i| {
+                    ctj_distinct_partition(ig, query, Arc::clone(&plan), i, parts, budget)
+                })?;
+                Ok(merge_distinct_pairs(sets))
+            } else {
+                let counts = run_partitions(parts, |i| {
+                    ctj_count_partition(ig, query, Arc::clone(&plan), i, parts, budget)
+                })?;
+                Ok(merge_counts(counts))
+            }
+        }
+        ExactAlgo::Lftj => {
+            // Cheap pre-pass: the rank-0 intersection is the partition
+            // domain. Fewer keys than partitions just means fewer windows.
+            let keys = lftj_rank0_keys(ig, query, budget)?;
+            let windows = key_windows(&keys, parts);
+            if windows.is_empty() {
+                return Ok(GroupedCounts::new());
+            }
+            if query.distinct() {
+                let sets = run_partitions(windows.len(), |i| {
+                    lftj_distinct_partition(ig, query, windows[i], budget)
+                })?;
+                Ok(merge_distinct_pairs(sets))
+            } else {
+                let counts = run_partitions(windows.len(), |i| {
+                    lftj_count_partition(ig, query, windows[i], budget)
+                })?;
+                Ok(merge_counts(counts))
+            }
+        }
+    }
+}
+
+/// Run `f(0..parts)` on the pool, collecting results in partition order.
+/// First engine error wins; a partition panic is re-raised here.
+fn run_partitions<T, F>(parts: usize, f: F) -> Result<Vec<T>, EngineError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, EngineError> + Sync,
+{
+    type Slot<T> = Mutex<Option<std::thread::Result<Result<T, EngineError>>>>;
+    let slots: Vec<Slot<T>> = (0..parts).map(|_| Mutex::new(None)).collect();
+    WorkerPool::global().scope(|scope| {
+        for (i, slot) in slots.iter().enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| f(i)));
+                *slot.lock().unwrap() = Some(result);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(parts);
+    for slot in slots {
+        match slot.into_inner().unwrap().expect("every partition records a result") {
+            Ok(Ok(v)) => out.push(v),
+            Ok(Err(e)) => return Err(e),
+            // Surface the partition's panic on the caller, where the
+            // supervisor's rung-level catch_unwind can degrade gracefully.
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgoa_engine::BudgetReason;
+    use kgoa_query::{TriplePattern, Var};
+    use kgoa_rdf::{GraphBuilder, TermId, Triple};
+
+    fn graph() -> (IndexedGraph, TermId, TermId) {
+        let mut b = GraphBuilder::new();
+        let p = b.dict_mut().intern_iri("u:p");
+        let q = b.dict_mut().intern_iri("u:q");
+        let classes: Vec<TermId> =
+            (0..4).map(|i| b.dict_mut().intern_iri(format!("u:c{i}"))).collect();
+        for si in 0..40u32 {
+            let s = b.dict_mut().intern_iri(format!("u:s{si}"));
+            for oi in 0..3u32 {
+                let o = b.dict_mut().intern_iri(format!("u:o{}", (si + oi * 5) % 15));
+                b.add(Triple::new(s, p, o));
+            }
+        }
+        for oi in 0..15u32 {
+            let o = b.dict_mut().intern_iri(format!("u:o{oi}"));
+            b.add(Triple::new(o, q, classes[(oi % 4) as usize]));
+        }
+        (IndexedGraph::build(b.build()), p, q)
+    }
+
+    fn query(p: TermId, q: TermId, distinct: bool) -> ExplorationQuery {
+        ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+            ],
+            Var(2),
+            Var(1),
+            distinct,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partitioned_matches_sequential_engines() {
+        let (ig, p, q) = graph();
+        for distinct in [false, true] {
+            let query = query(p, q, distinct);
+            for algo in [ExactAlgo::Ctj, ExactAlgo::Lftj] {
+                let sequential =
+                    partitioned_count(&ig, &query, algo, 1, &ExecBudget::unlimited()).unwrap();
+                for parts in [2usize, 4, 8] {
+                    let parallel =
+                        partitioned_count(&ig, &query, algo, parts, &ExecBudget::unlimited())
+                            .unwrap();
+                    assert_eq!(
+                        sequential, parallel,
+                        "{algo:?} distinct={distinct} parts={parts}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_budget_trip_aborts_the_whole_evaluation() {
+        let (ig, p, q) = graph();
+        let query = query(p, q, false);
+        let budget = ExecBudget::builder().tuple_limit(5).build();
+        for algo in [ExactAlgo::Ctj, ExactAlgo::Lftj] {
+            let err = partitioned_count(&ig, &query, algo, 4, &budget)
+                .expect_err("a 5-tuple budget cannot finish this join");
+            match err {
+                EngineError::BudgetExceeded(b) => {
+                    assert!(matches!(b.reason, BudgetReason::TupleLimit { .. }), "{algo:?}")
+                }
+                other => panic!("{algo:?}: unexpected error {other:?}"),
+            }
+        }
+    }
+}

@@ -41,14 +41,19 @@ struct PinStep {
 pub struct PrAb<'g> {
     ig: &'g IndexedGraph,
     query: ExplorationQuery,
-    plan: WalkPlan,
+    /// Shared so parallel workers reuse one plan instead of deep-cloning.
+    plan: std::sync::Arc<WalkPlan>,
     cache: FxHashMap<u64, f64>,
 }
 
 impl<'g> PrAb<'g> {
     /// Create a computer for a query whose walks follow `plan`.
-    pub fn new(ig: &'g IndexedGraph, query: ExplorationQuery, plan: WalkPlan) -> Self {
-        PrAb { ig, query, plan, cache: FxHashMap::default() }
+    pub fn new(
+        ig: &'g IndexedGraph,
+        query: ExplorationQuery,
+        plan: impl Into<std::sync::Arc<WalkPlan>>,
+    ) -> Self {
+        PrAb { ig, query, plan: plan.into(), cache: FxHashMap::default() }
     }
 
     /// Number of cached pairs.

@@ -53,6 +53,11 @@ pub struct SupervisorConfig {
     /// Optional work cap (budget-meter ticks ≈ enumerated rows) for the
     /// exact attempt, independent of the deadline.
     pub exact_work_limit: Option<u64>,
+    /// Partitions for the exact rung: `> 1` splits CTJ over the first walk
+    /// step's row range and runs the slices on the persistent worker pool
+    /// ([`crate::partitioned`]); `0`/`1` is the sequential engine. A
+    /// partition panic still degrades through the ladder.
+    pub exact_threads: usize,
     /// Audit Join configuration for the degraded path (the seed also
     /// derives the Wander Join fallback's seed).
     pub audit: AuditJoinConfig,
@@ -69,6 +74,7 @@ impl Default for SupervisorConfig {
             deadline: Duration::from_secs(1),
             exact_fraction: 0.5,
             exact_work_limit: None,
+            exact_threads: 1,
             audit: AuditJoinConfig::default(),
             #[cfg(feature = "fault-inject")]
             faults: None,
@@ -227,7 +233,17 @@ pub fn supervise(
     let exact_budget = builder.build();
     let exact_span = kgoa_obs::Span::timed(&kgoa_obs::metrics::EXACT_RUNG_NS);
     let attempt = catch_unwind(AssertUnwindSafe(|| {
-        CtjEngine.evaluate_governed(ig, query, &exact_budget)
+        if config.exact_threads > 1 {
+            crate::partitioned::partitioned_count(
+                ig,
+                query,
+                crate::partitioned::ExactAlgo::Ctj,
+                config.exact_threads,
+                &exact_budget,
+            )
+        } else {
+            CtjEngine.evaluate_governed(ig, query, &exact_budget)
+        }
     }));
     drop(exact_span);
     let reason = match attempt {
@@ -411,6 +427,22 @@ mod tests {
         )
         .unwrap();
         match out {
+            SupervisedResult::Exact { counts, .. } => assert_eq!(counts, exact),
+            other => panic!("expected exact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partitioned_exact_rung_matches_sequential() {
+        let (ig, p, q) = graph();
+        let query = query(p, q);
+        let exact = YannakakisEngine.evaluate(&ig, &query).unwrap();
+        let config = SupervisorConfig {
+            deadline: Duration::from_secs(30),
+            exact_threads: 4,
+            ..SupervisorConfig::default()
+        };
+        match supervise(&ig, &query, &config).unwrap() {
             SupervisedResult::Exact { counts, .. } => assert_eq!(counts, exact),
             other => panic!("expected exact, got {other:?}"),
         }

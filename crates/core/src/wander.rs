@@ -25,7 +25,8 @@ use crate::online::OnlineAggregator;
 
 /// A Wander Join run over one query.
 pub struct WanderJoin<'g> {
-    plan: WalkPlan,
+    /// Shared so parallel workers reuse one plan instead of deep-cloning.
+    plan: std::sync::Arc<WalkPlan>,
     /// Per-step index, resolved once at construction (hoists the order
     /// lookup out of the walk loop).
     step_index: Vec<&'g TrieIndex>,
@@ -63,9 +64,10 @@ impl<'g> WanderJoin<'g> {
     pub fn with_plan(
         ig: &'g IndexedGraph,
         query: &ExplorationQuery,
-        plan: WalkPlan,
+        plan: impl Into<std::sync::Arc<WalkPlan>>,
         seed: u64,
     ) -> Result<Self, QueryError> {
+        let plan = plan.into();
         let n = plan.len();
         let step_index: Vec<&TrieIndex> =
             plan.steps().iter().map(|s| ig.require(s.access.order)).collect();
@@ -137,7 +139,10 @@ impl<'g> WanderJoin<'g> {
         budget.fault_walk();
         budget.charge_walk()?;
         let mut weight = 1.0f64;
-        for (si, step) in self.plan.steps().iter().enumerate() {
+        // Hoist the shared-plan deref out of the hot loop (the plan sits
+        // behind an `Arc` so parallel workers can share it without clones).
+        let plan: &WalkPlan = &self.plan;
+        for (si, step) in plan.steps().iter().enumerate() {
             budget.check()?;
             self.step_visits[si] += 1;
             let index = self.step_index[si];
@@ -157,7 +162,7 @@ impl<'g> WanderJoin<'g> {
                 return Ok(());
             };
             weight *= range.len() as f64;
-            self.plan.extract_at(index, si, pos, &mut self.assignment);
+            plan.extract_at(index, si, pos, &mut self.assignment);
         }
         self.stats.walks += 1;
         self.stats.full += 1;

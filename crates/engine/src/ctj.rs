@@ -83,7 +83,9 @@ impl DepKey {
 /// later random walks", §IV-D).
 pub struct CtjCounter<'g> {
     ig: &'g IndexedGraph,
-    plan: WalkPlan,
+    /// Shared so co-operating executors (Audit Join's estimator, pinned
+    /// `Pr(a,b)` computations, parallel partitions) reuse one plan.
+    plan: std::sync::Arc<WalkPlan>,
     deps: Vec<DepKey>,
     /// Raw dependency sets behind [`CtjCounter::suffix_dep_vars`] (sorted).
     dep_vars: Vec<Vec<Var>>,
@@ -100,7 +102,8 @@ pub struct CtjCounter<'g> {
 
 impl<'g> CtjCounter<'g> {
     /// Create an evaluator for a query under a given walk plan.
-    pub fn new(ig: &'g IndexedGraph, plan: WalkPlan) -> Self {
+    pub fn new(ig: &'g IndexedGraph, plan: impl Into<std::sync::Arc<WalkPlan>>) -> Self {
+        let plan = plan.into();
         let n = plan.len();
         let dep_vars = compute_deps(&plan);
         let deps: Vec<DepKey> = dep_vars

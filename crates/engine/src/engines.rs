@@ -119,7 +119,10 @@ impl CountEngine for CtjEngine {
 /// at the same step with equal values for these variables insert the same
 /// (α, β) pairs, so the second one can be skipped ([`ctj_distinct_rec`]).
 /// `None` disables the dedup at a step (key too wide for a `u128`).
-fn distinct_skip_vars(query: &ExplorationQuery, counter: &CtjCounter) -> Vec<Option<Vec<usize>>> {
+pub(crate) fn distinct_skip_vars(
+    query: &ExplorationQuery,
+    counter: &CtjCounter,
+) -> Vec<Option<Vec<usize>>> {
     let plan = counter.plan();
     (0..plan.len())
         .map(|step| {
@@ -153,7 +156,7 @@ fn skip_key(vars: &[usize], assignment: &[u32]) -> u128 {
 /// Steps where the key never repeats (e.g. a unique-per-row join column)
 /// turn their dedup off after a probation window: the map would only burn
 /// memory and a lookup per row.
-struct DedupState {
+pub(crate) struct DedupState {
     vars: Vec<Option<Vec<usize>>>,
     done: Vec<FxHashSet<u128>>,
     hits: Vec<u64>,
@@ -163,7 +166,7 @@ struct DedupState {
 const DEDUP_PROBATION: usize = 8192;
 
 impl DedupState {
-    fn new(query: &ExplorationQuery, counter: &CtjCounter) -> Self {
+    pub(crate) fn new(query: &ExplorationQuery, counter: &CtjCounter) -> Self {
         let vars = distinct_skip_vars(query, counter);
         let n = vars.len();
         DedupState { vars, done: vec![FxHashSet::default(); n], hits: vec![0; n] }
@@ -171,7 +174,7 @@ impl DedupState {
 
     /// True ⇒ an identical subtree already ran at this step; skip it.
     #[inline]
-    fn is_duplicate(&mut self, step: usize, assignment: &[u32]) -> bool {
+    pub(crate) fn is_duplicate(&mut self, step: usize, assignment: &[u32]) -> bool {
         let Some(vars) = &self.vars[step] else { return false };
         let key = skip_key(vars, assignment);
         if self.done[step].insert(key) {
@@ -191,7 +194,7 @@ impl DedupState {
 
 /// Enumerate until α is bound, then finish each branch with a cached
 /// suffix count.
-fn ctj_count_rec(
+pub(crate) fn ctj_count_rec(
     query: &ExplorationQuery,
     counter: &mut CtjCounter<'_>,
     step: usize,
@@ -253,7 +256,7 @@ fn ctj_count_rec(
 /// Enumerate until both α and β are bound, then a cached existence check
 /// decides whether the pair contributes.
 #[allow(clippy::too_many_arguments)]
-fn ctj_distinct_rec(
+pub(crate) fn ctj_distinct_rec(
     query: &ExplorationQuery,
     counter: &mut CtjCounter<'_>,
     step: usize,

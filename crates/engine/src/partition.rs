@@ -1,0 +1,421 @@
+//! Partitioned exact evaluation: split a join over the first variable's
+//! key range and evaluate the slices independently, so the supervisor's
+//! exact rungs scale with cores.
+//!
+//! Both engines partition on the *first* binding of the plan:
+//!
+//! - **CTJ** enumerates step 0's row range (the first walk step has no
+//!   in-binding, so the range is a single contiguous slice of the CSR
+//!   level-0 column); [`ctj_count_partition`] restricts the enumeration to
+//!   one contiguous chunk of that range. Every full assignment extends
+//!   exactly one step-0 row, so per-partition group counts merge by
+//!   addition ([`merge_counts`]).
+//! - **LFTJ** intersects cursors on the first plan variable;
+//!   [`lftj_rank0_keys`] harvests that intersection cheaply (rank-0
+//!   leapfrog only) and [`key_windows`] splits the ascending key list into
+//!   contiguous inclusive windows that [`lftj_count_partition`] enforces
+//!   during the rank-0 leapfrog.
+//!
+//! Distinct counts cannot add across partitions — the same (α, β) pair can
+//! be witnessed from several partitions — so the distinct flavours return
+//! the raw *pair sets* and [`merge_distinct_pairs`] counts over their
+//! union. The union is idempotent, which also makes the step-0
+//! suffix-collapse shortcut safe: when every step-0 row reaches the same
+//! pair set, each partition reports that same set and the union collapses
+//! the duplication.
+//!
+//! Each partition owns its engine state (CTJ memo caches are not shared),
+//! so partitions are embarrassingly parallel; thread orchestration lives
+//! in `kgoa-core::partitioned`, which runs these functions on the
+//! persistent worker pool.
+
+use std::sync::Arc;
+
+use kgoa_index::{pack2, FxHashSet, IndexOrder, IndexedGraph};
+use kgoa_query::{ExplorationQuery, JoinPlan, WalkPlan};
+
+use crate::budget::ExecBudget;
+use crate::ctj::CtjCounter;
+use crate::engines::{ctj_count_rec, ctj_distinct_rec, DedupState};
+use crate::error::EngineError;
+use crate::lftj::LftjExec;
+use crate::result::GroupedCounts;
+
+/// Bounds of chunk `part` when `len` items are split into `parts`
+/// near-equal contiguous chunks (half-open, sizes differ by at most one).
+pub fn chunk_bounds(len: usize, part: usize, parts: usize) -> (usize, usize) {
+    let parts = parts.max(1);
+    let part = part.min(parts - 1);
+    (len * part / parts, len * (part + 1) / parts)
+}
+
+/// Inclusive key windows covering `keys` (ascending) in at most `parts`
+/// contiguous chunks. Fewer windows come back when there are fewer keys
+/// than partitions; no window is empty.
+pub fn key_windows(keys: &[u32], parts: usize) -> Vec<(u32, u32)> {
+    if keys.is_empty() {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, keys.len());
+    (0..parts)
+        .filter_map(|part| {
+            let (lo, hi) = chunk_bounds(keys.len(), part, parts);
+            (lo < hi).then(|| (keys[lo], keys[hi - 1]))
+        })
+        .collect()
+}
+
+/// One partition of a CTJ grouped count: the step-0 enumeration restricted
+/// to chunk `part` of `parts` over the first step's row range. The plan is
+/// shared ([`Arc`]) but each partition owns its counter (memo caches).
+pub fn ctj_count_partition(
+    ig: &IndexedGraph,
+    query: &ExplorationQuery,
+    plan: Arc<WalkPlan>,
+    part: usize,
+    parts: usize,
+    budget: &ExecBudget,
+) -> Result<GroupedCounts, EngineError> {
+    let mut counter = CtjCounter::new(ig, plan);
+    let mut assignment = vec![0u32; query.var_count()];
+    let mut out = GroupedCounts::new();
+    let mut meter = budget.meter();
+    let alpha = query.alpha();
+    let plan_len = counter.plan().len();
+    let s = &counter.plan().steps()[0];
+    let index = counter.graph().require(s.access.order);
+    let range = s.access.resolve(index, None);
+    let alpha_in_step0 = s.out_vars.contains(&alpha);
+    let (lo, hi) = chunk_bounds(range.len(), part, parts);
+    let (lo, hi) = (range.start + lo as u32, range.start + hi as u32);
+    if lo >= hi {
+        return Ok(out);
+    }
+    if counter.suffix_collapses(0) && !alpha_in_step0 {
+        // Same shortcut as the sequential driver: every step-0 row leads
+        // to an identical suffix, so this slice scales by its own length.
+        meter.tick()?;
+        counter.note_row(0);
+        let mult = u64::from(hi - lo);
+        ctj_count_rec(query, &mut counter, 1, &mut assignment, &mut out, &mut meter, mult)?;
+        return Ok(out);
+    }
+    if plan_len == 1 {
+        let a_idx = alpha.index();
+        for pos in lo..hi {
+            meter.tick()?;
+            counter.note_row(0);
+            counter.plan().extract_at(index, 0, pos, &mut assignment);
+            out.add(assignment[a_idx], 1);
+        }
+        return Ok(out);
+    }
+    for pos in lo..hi {
+        meter.tick()?;
+        counter.note_row(0);
+        counter.plan().extract_at(index, 0, pos, &mut assignment);
+        ctj_count_rec(query, &mut counter, 1, &mut assignment, &mut out, &mut meter, 1)?;
+    }
+    Ok(out)
+}
+
+/// One partition of a distinct CTJ count: returns the (α, β) pairs this
+/// slice witnesses (packed with [`pack2`], α in the high half). Merge with
+/// [`merge_distinct_pairs`].
+pub fn ctj_distinct_partition(
+    ig: &IndexedGraph,
+    query: &ExplorationQuery,
+    plan: Arc<WalkPlan>,
+    part: usize,
+    parts: usize,
+    budget: &ExecBudget,
+) -> Result<FxHashSet<u64>, EngineError> {
+    let mut counter = CtjCounter::new(ig, plan);
+    let mut assignment = vec![0u32; query.var_count()];
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    let mut out = GroupedCounts::new();
+    let mut dedup = DedupState::new(query, &counter);
+    let mut meter = budget.meter();
+    let (alpha, beta) = (query.alpha(), query.beta());
+    let plan_len = counter.plan().len();
+    let s = &counter.plan().steps()[0];
+    let index = counter.graph().require(s.access.order);
+    let range = s.access.resolve(index, None);
+    let heads_in_step0 = s.out_vars.contains(&alpha) || s.out_vars.contains(&beta);
+    let (lo, hi) = chunk_bounds(range.len(), part, parts);
+    let (lo, hi) = (range.start + lo as u32, range.start + hi as u32);
+    if lo >= hi {
+        return Ok(seen);
+    }
+    if counter.suffix_collapses(0) && !heads_in_step0 {
+        // Every step-0 row reaches the same pair set; each partition
+        // reports it and the caller's union collapses the duplication.
+        meter.tick()?;
+        counter.note_row(0);
+        ctj_distinct_rec(
+            query,
+            &mut counter,
+            1,
+            &mut assignment,
+            &mut seen,
+            &mut out,
+            &mut meter,
+            &mut dedup,
+        )?;
+        return Ok(seen);
+    }
+    if plan_len == 1 {
+        let (a_idx, b_idx) = (alpha.index(), beta.index());
+        for pos in lo..hi {
+            meter.tick()?;
+            counter.note_row(0);
+            counter.plan().extract_at(index, 0, pos, &mut assignment);
+            seen.insert(pack2(assignment[a_idx], assignment[b_idx]));
+        }
+        return Ok(seen);
+    }
+    for pos in lo..hi {
+        meter.tick()?;
+        counter.note_row(0);
+        counter.plan().extract_at(index, 0, pos, &mut assignment);
+        if dedup.is_duplicate(0, &assignment) {
+            continue;
+        }
+        ctj_distinct_rec(
+            query,
+            &mut counter,
+            1,
+            &mut assignment,
+            &mut seen,
+            &mut out,
+            &mut meter,
+            &mut dedup,
+        )?;
+    }
+    Ok(seen)
+}
+
+/// The first plan variable's surviving keys for `query` — the LFTJ
+/// partition domain (ascending). A cheap pre-pass: rank-0 leapfrog only.
+pub fn lftj_rank0_keys(
+    ig: &IndexedGraph,
+    query: &ExplorationQuery,
+    budget: &ExecBudget,
+) -> Result<Vec<u32>, EngineError> {
+    let plan = JoinPlan::canonical(query, &IndexOrder::PAPER_DEFAULT)?;
+    let mut exec = LftjExec::new(ig, query, plan)?;
+    Ok(exec.rank0_keys(budget)?)
+}
+
+/// One partition of an LFTJ grouped count: a full evaluation with the
+/// first plan variable restricted to the inclusive key `window`.
+pub fn lftj_count_partition(
+    ig: &IndexedGraph,
+    query: &ExplorationQuery,
+    window: (u32, u32),
+    budget: &ExecBudget,
+) -> Result<GroupedCounts, EngineError> {
+    let plan = JoinPlan::canonical(query, &IndexOrder::PAPER_DEFAULT)?;
+    let mut exec = LftjExec::new(ig, query, plan)?;
+    exec.set_rank0_window(window.0, window.1);
+    let alpha = query.alpha().index();
+    let mut out = GroupedCounts::new();
+    exec.run_governed(budget, |asg| out.add(asg[alpha], 1))?;
+    Ok(out)
+}
+
+/// One partition of a distinct LFTJ count: the (α, β) pairs witnessed in
+/// the window. Merge with [`merge_distinct_pairs`].
+pub fn lftj_distinct_partition(
+    ig: &IndexedGraph,
+    query: &ExplorationQuery,
+    window: (u32, u32),
+    budget: &ExecBudget,
+) -> Result<FxHashSet<u64>, EngineError> {
+    let plan = JoinPlan::canonical(query, &IndexOrder::PAPER_DEFAULT)?;
+    let mut exec = LftjExec::new(ig, query, plan)?;
+    exec.set_rank0_window(window.0, window.1);
+    let (a_idx, b_idx) = (query.alpha().index(), query.beta().index());
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    exec.run_governed(budget, |asg| {
+        seen.insert(pack2(asg[a_idx], asg[b_idx]));
+    })?;
+    Ok(seen)
+}
+
+/// Merge per-partition grouped counts (non-distinct: disjoint partitions,
+/// counts are additive).
+pub fn merge_counts(parts: impl IntoIterator<Item = GroupedCounts>) -> GroupedCounts {
+    let mut out = GroupedCounts::new();
+    for p in parts {
+        for (g, c) in p.iter() {
+            out.add(g.raw(), c);
+        }
+    }
+    out
+}
+
+/// Merge per-partition distinct pair sets: union (dedups pairs witnessed
+/// by several partitions), then each unique pair contributes 1 to its α
+/// group.
+pub fn merge_distinct_pairs(parts: impl IntoIterator<Item = FxHashSet<u64>>) -> GroupedCounts {
+    let mut union: FxHashSet<u64> = FxHashSet::default();
+    for p in parts {
+        union.extend(p);
+    }
+    let mut out = GroupedCounts::new();
+    for k in union {
+        out.add((k >> 32) as u32, 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::{CountEngine, CtjEngine, LftjEngine};
+    use kgoa_query::{TriplePattern, Var};
+    use kgoa_rdf::{GraphBuilder, TermId, Triple};
+
+    fn graph() -> (IndexedGraph, TermId, TermId) {
+        let mut b = GraphBuilder::new();
+        let p = b.dict_mut().intern_iri("u:p");
+        let q = b.dict_mut().intern_iri("u:q");
+        let classes: Vec<TermId> =
+            (0..3).map(|i| b.dict_mut().intern_iri(format!("u:c{i}"))).collect();
+        for si in 0..25u32 {
+            let s = b.dict_mut().intern_iri(format!("u:s{si}"));
+            for oi in 0..3u32 {
+                let o = b.dict_mut().intern_iri(format!("u:o{}", (si * 2 + oi) % 10));
+                b.add(Triple::new(s, p, o));
+            }
+        }
+        for oi in 0..10u32 {
+            let o = b.dict_mut().intern_iri(format!("u:o{oi}"));
+            b.add(Triple::new(o, q, classes[(oi % 3) as usize]));
+        }
+        (IndexedGraph::build(b.build()), p, q)
+    }
+
+    fn query(p: TermId, q: TermId, distinct: bool) -> ExplorationQuery {
+        ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+            ],
+            Var(2),
+            Var(1),
+            distinct,
+        )
+        .unwrap()
+    }
+
+    fn assert_same(a: &GroupedCounts, b: &GroupedCounts, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: group cardinality");
+        for (g, c) in a.iter() {
+            assert_eq!(b.get(g), c, "{what}: group {g:?}");
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_cover_and_are_disjoint() {
+        for len in [0usize, 1, 7, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let mut next = 0usize;
+                for part in 0..parts {
+                    let (lo, hi) = chunk_bounds(len, part, parts);
+                    assert_eq!(lo, next, "len={len} parts={parts} part={part}");
+                    assert!(hi >= lo);
+                    next = hi;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn key_windows_cover_all_keys() {
+        let keys: Vec<u32> = (0..17).map(|i| i * 3).collect();
+        for parts in [1usize, 2, 4, 17, 40] {
+            let windows = key_windows(&keys, parts);
+            assert!(windows.len() <= parts.min(keys.len()));
+            // Windows tile the key list: ascending, disjoint, covering.
+            let mut covered = 0usize;
+            for (i, (lo, hi)) in windows.iter().enumerate() {
+                assert!(lo <= hi);
+                if i > 0 {
+                    assert!(windows[i - 1].1 < *lo, "windows must be disjoint");
+                }
+                covered += keys.iter().filter(|k| *lo <= **k && **k <= *hi).count();
+            }
+            assert_eq!(covered, keys.len(), "parts={parts}");
+        }
+        assert!(key_windows(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn partitioned_ctj_count_matches_sequential() {
+        let (ig, p, q) = graph();
+        let query = query(p, q, false);
+        let exact = CtjEngine.evaluate(&ig, &query).unwrap();
+        let plan = Arc::new(
+            WalkPlan::canonical(&query, &IndexOrder::PAPER_DEFAULT).unwrap(),
+        );
+        for parts in [1usize, 2, 3, 7] {
+            let budget = ExecBudget::unlimited();
+            let merged = merge_counts((0..parts).map(|part| {
+                ctj_count_partition(&ig, &query, Arc::clone(&plan), part, parts, &budget)
+                    .unwrap()
+            }));
+            assert_same(&exact, &merged, &format!("ctj count, {parts} parts"));
+        }
+    }
+
+    #[test]
+    fn partitioned_ctj_distinct_matches_sequential() {
+        let (ig, p, q) = graph();
+        let query = query(p, q, true);
+        let exact = CtjEngine.evaluate(&ig, &query).unwrap();
+        let plan = Arc::new(
+            WalkPlan::canonical(&query, &IndexOrder::PAPER_DEFAULT).unwrap(),
+        );
+        for parts in [1usize, 2, 4] {
+            let budget = ExecBudget::unlimited();
+            let merged = merge_distinct_pairs((0..parts).map(|part| {
+                ctj_distinct_partition(&ig, &query, Arc::clone(&plan), part, parts, &budget)
+                    .unwrap()
+            }));
+            assert_same(&exact, &merged, &format!("ctj distinct, {parts} parts"));
+        }
+    }
+
+    #[test]
+    fn partitioned_lftj_matches_sequential() {
+        let (ig, p, q) = graph();
+        for distinct in [false, true] {
+            let query = query(p, q, distinct);
+            let exact = LftjEngine.evaluate(&ig, &query).unwrap();
+            let budget = ExecBudget::unlimited();
+            let keys = lftj_rank0_keys(&ig, &query, &budget).unwrap();
+            assert!(!keys.is_empty());
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys ascend: {keys:?}");
+            for parts in [1usize, 2, 4] {
+                let windows = key_windows(&keys, parts);
+                let merged = if distinct {
+                    merge_distinct_pairs(windows.iter().map(|w| {
+                        lftj_distinct_partition(&ig, &query, *w, &budget).unwrap()
+                    }))
+                } else {
+                    merge_counts(windows.iter().map(|w| {
+                        lftj_count_partition(&ig, &query, *w, &budget).unwrap()
+                    }))
+                };
+                assert_same(
+                    &exact,
+                    &merged,
+                    &format!("lftj distinct={distinct}, {parts} parts"),
+                );
+            }
+        }
+    }
+}

@@ -268,7 +268,10 @@ impl<'g> Session<'g> {
     /// provenance record otherwise. A chart is *always* rendered — even
     /// when every execution rung fails, the session gets an empty chart
     /// with the failure recorded in [`GovernedChart::error`] rather than
-    /// losing its interaction state.
+    /// losing its interaction state. Setting
+    /// [`SupervisorConfig::exact_threads`] above 1 partitions the exact
+    /// rung across the persistent worker pool, so interactive sessions
+    /// get exact charts within tighter deadlines on multi-core machines.
     pub fn expand_governed(
         &mut self,
         exp: Expansion,
@@ -474,6 +477,30 @@ mod tests {
         assert!(out.is_exact());
         assert_eq!(out.chart.bars.len(), exact.bars.len());
         // The session can keep interacting off a governed chart.
+        s.select(out.chart.bars[0].category).unwrap();
+    }
+
+    #[test]
+    fn governed_expansion_with_pooled_exact_rung_matches_sequential() {
+        let ig = ig();
+        let sequential = {
+            let mut s = Session::root(&ig);
+            let config = SupervisorConfig::with_deadline(std::time::Duration::from_secs(30));
+            s.expand_governed(Expansion::Subclass, &config).unwrap()
+        };
+        let mut s = Session::root(&ig);
+        let config = SupervisorConfig {
+            deadline: std::time::Duration::from_secs(30),
+            exact_threads: 4,
+            ..SupervisorConfig::default()
+        };
+        let out = s.expand_governed(Expansion::Subclass, &config).unwrap();
+        assert!(out.is_exact(), "pooled exact rung must finish within a generous deadline");
+        assert_eq!(out.chart.bars.len(), sequential.chart.bars.len());
+        for (a, b) in out.chart.bars.iter().zip(sequential.chart.bars.iter()) {
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.count, b.count);
+        }
         s.select(out.chart.bars[0].category).unwrap();
     }
 

@@ -292,6 +292,10 @@ well_known! {
             "Worker threads spawned by `run_parallel`.",
         PARALLEL_WORKER_PANICS => "core.parallel.workers_panicked":
             "Worker threads that panicked and were discarded.",
+        POOL_TASKS_DISPATCHED => "core.pool.tasks_dispatched":
+            "Jobs queued on the persistent worker pool.",
+        POOL_BATCHES_MERGED => "core.pool.batches_merged":
+            "Walk batches folded into live merged estimates.",
         EXPLORE_EXPANSIONS => "explore.expansions":
             "Session chart expansions evaluated.",
         DATAGEN_GRAPHS => "datagen.graphs_generated":
@@ -300,6 +304,8 @@ well_known! {
     gauges {
         PARALLEL_ACTIVE_WORKERS => "core.parallel.active_workers":
             "Worker threads currently running.",
+        POOL_QUEUE_DEPTH => "core.pool.queue_depth":
+            "Jobs currently queued on the persistent worker pool.",
         DATAGEN_LAST_TRIPLES => "datagen.last_graph_triples":
             "Triple count of the most recently generated graph.",
     }

@@ -75,6 +75,18 @@ pub use kgoa_datagen as datagen;
 /// Disabled by default; flip on with `kgoa::obs::set_enabled(true)`.
 pub use kgoa_obs as obs;
 
+/// Parallel execution: the persistent worker pool, streaming parallel
+/// online aggregation, and partitioned exact joins (a thin facade over
+/// `kgoa-core`'s `pool`, `parallel` and `partitioned` modules).
+pub mod exec {
+    pub use kgoa_core::parallel::{
+        run_parallel, run_parallel_streaming, Budget, ParallelAlgo, ParallelError,
+        ParallelOutcome, ParallelSnapshot, StreamConfig,
+    };
+    pub use kgoa_core::partitioned::{partitioned_count, ExactAlgo};
+    pub use kgoa_core::pool::{Scope, WorkerPool};
+}
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use kgoa_core::{
