@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod experiments;
 pub mod layouts;
 pub mod metrics;
@@ -17,6 +18,7 @@ pub mod profiler;
 pub mod telemetry;
 pub mod workload;
 
+pub use churn::churn_bench;
 pub use experiments::{
     ablate_cache, ablate_order, ablate_tipping, deadline_sweep, fig11, fig8, fig8_queries,
     fig9_10, parallel_scaling, sample_time, table1, verify_engines,

@@ -157,15 +157,15 @@ impl<'g> SumAuditJoin<'g> {
         let mut prob_inv = 1.0f64;
         let mut i = 0usize;
         let step0 = &self.plan.steps()[0];
-        let mut range = step0.access.resolve(self.ig.require(step0.access.order), None);
+        let mut range = step0.access.resolve_live(self.ig.require(step0.access.order), None);
         loop {
+            let index = self.ig.require(self.plan.steps()[i].access.order);
             let d = range.len();
-            let Some(pos) = range.pick(&mut self.rng) else {
+            let Some(pos) = index.pick_live(range, &mut self.rng) else {
                 self.stats.rejected += 1;
                 return;
             };
             prob_inv *= d as f64;
-            let index = self.ig.require(self.plan.steps()[i].access.order);
             self.plan.extract_at(index, i, pos, &mut self.assignment);
             if i + 1 == n {
                 let a = self.assignment[self.alpha.index()];
@@ -178,7 +178,7 @@ impl<'g> SumAuditJoin<'g> {
             let next_step = &self.plan.steps()[i + 1];
             let next_index = self.ig.require(next_step.access.order);
             let in_value = next_step.in_var.map(|(v, _)| self.assignment[v.index()]);
-            let next = next_step.access.resolve(next_index, in_value);
+            let next = next_step.access.resolve_live(next_index, in_value);
             if self.est.remaining(i + 1, next.len() as u64) < self.threshold {
                 if self.finish_tipped(i + 1, prob_inv) {
                     self.stats.tipped += 1;
@@ -246,8 +246,8 @@ fn suffix_group_values(
     let s = &plan.steps()[step];
     let index = ig.require(s.access.order);
     let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
-    let range = s.access.resolve(index, in_value);
-    for pos in range.start..range.end {
+    let range = s.access.resolve_live(index, in_value);
+    for pos in index.positions(range) {
         plan.extract_at(index, step, pos, assignment);
         suffix_group_values(ig, plan, counter, values, alpha, beta, step + 1, assignment, out);
     }

@@ -17,7 +17,7 @@
 //! unbiased.
 
 use kgoa_engine::{BudgetExceeded, BudgetMeter, CtjCounter, ExecBudget};
-use kgoa_index::{pack2, FxHashMap, IndexedGraph, RowRange, TrieIndex};
+use kgoa_index::{pack2, FxHashMap, IndexedGraph, LiveRange, TrieIndex};
 use kgoa_query::{ExplorationQuery, QueryError, SuffixEstimator, Var, WalkPlan};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -52,9 +52,9 @@ pub struct AuditJoin<'g> {
     /// lookup out of the walk loop).
     step_index: Vec<&'g TrieIndex>,
     /// Per-step constant range for steps with no in-variable.
-    fixed_ranges: Vec<Option<RowRange>>,
+    fixed_ranges: Vec<Option<LiveRange>>,
     /// The first step's range, resolved once (step 0 has no in-binding).
-    first_range: RowRange,
+    first_range: LiveRange,
     est: SuffixEstimator,
     counter: CtjCounter<'g>,
     prab: PrAb<'g>,
@@ -106,13 +106,13 @@ impl<'g> AuditJoin<'g> {
         let n = plan.len();
         let step_index: Vec<&TrieIndex> =
             plan.steps().iter().map(|s| ig.require(s.access.order)).collect();
-        let fixed_ranges: Vec<Option<RowRange>> = plan
+        let fixed_ranges: Vec<Option<LiveRange>> = plan
             .steps()
             .iter()
             .zip(&step_index)
-            .map(|(s, idx)| s.in_var.is_none().then(|| s.access.resolve(idx, None)))
+            .map(|(s, idx)| s.in_var.is_none().then(|| s.access.resolve_live(idx, None)))
             .collect();
-        let first_range = plan.steps()[0].access.resolve(step_index[0], None);
+        let first_range = plan.steps()[0].access.resolve_live(step_index[0], None);
         Ok(AuditJoin {
             ig,
             step_index,
@@ -217,7 +217,7 @@ impl<'g> AuditJoin<'g> {
             budget.check()?;
             self.step_visits[i] += 1;
             let d = range.len();
-            let Some(pos) = range.pick(&mut self.rng) else {
+            let Some(pos) = self.step_index[i].pick_live(range, &mut self.rng) else {
                 self.stats.walks += 1;
                 self.stats.rejected += 1;
                 self.step_rejects[i] += 1;
@@ -240,7 +240,7 @@ impl<'g> AuditJoin<'g> {
                 Some(r) => r,
                 None => {
                     let in_value = next_step.in_var.map(|(v, _)| self.assignment[v.index()]);
-                    next_step.access.resolve(self.step_index[i + 1], in_value)
+                    next_step.access.resolve_live(self.step_index[i + 1], in_value)
                 }
             };
             // Tipping point (Fig. 7 line 11): estimated completions of the
@@ -425,12 +425,12 @@ pub fn try_suffix_masses(
     let s = &plan.steps()[step];
     let index = ig.require(s.access.order);
     let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
-    let range = s.access.resolve(index, in_value);
+    let range = s.access.resolve_live(index, in_value);
     if range.is_empty() {
         return Ok(());
     }
     let w = weight / range.len() as f64;
-    for pos in range.start..range.end {
+    for pos in index.positions(range) {
         meter.tick()?;
         plan.extract_at(index, step, pos, assignment);
         try_suffix_masses(
@@ -491,8 +491,8 @@ pub fn try_suffix_group_counts(
     let s = &plan.steps()[step];
     let index = ig.require(s.access.order);
     let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
-    let range = s.access.resolve(index, in_value);
-    for pos in range.start..range.end {
+    let range = s.access.resolve_live(index, in_value);
+    for pos in index.positions(range) {
         meter.tick()?;
         plan.extract_at(index, step, pos, assignment);
         try_suffix_group_counts(ig, plan, counter, alpha, step + 1, assignment, out, meter)?;

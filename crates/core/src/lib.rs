@@ -29,6 +29,7 @@
 pub mod accum;
 pub mod aggregate;
 pub mod audit;
+pub mod epoch;
 pub mod online;
 pub mod parallel;
 pub mod partitioned;
@@ -44,6 +45,9 @@ pub use audit::{
     suffix_group_counts, suffix_masses, try_suffix_group_counts, try_suffix_masses, AuditJoin,
     AuditJoinConfig,
 };
+pub use epoch::{EpochConfig, EpochGuard, EpochManager, EpochSnapshot};
+#[cfg(feature = "fault-inject")]
+pub use epoch::MergeCrashPoint;
 pub use online::{run_governed, run_timed, run_traced, run_walks, OnlineAggregator, Snapshot};
 pub use parallel::{
     run_parallel, run_parallel_streaming, Budget, ParallelAlgo, ParallelError, ParallelOutcome,

@@ -189,9 +189,9 @@ impl<'g> PrAb<'g> {
         let s = &steps[i];
         let index = self.ig.require(s.access.order);
         let in_value = s.in_var.map(|v| assignment[v.index()]);
-        let range = s.access.resolve(index, in_value);
+        let range = s.access.resolve_live(index, in_value);
         let k = s.access.prefix_len();
-        for pos in range.start..range.end {
+        for pos in index.positions(range) {
             meter.tick()?;
             let row = index.row_from(pos, k);
             for (j, v) in s.out_vars.iter().enumerate() {
@@ -209,7 +209,7 @@ impl<'g> PrAb<'g> {
         for step in self.plan.steps() {
             let index = self.ig.require(step.access.order);
             let in_value = step.in_var.map(|(v, _)| assignment[v.index()]);
-            let d = step.access.resolve(index, in_value).len();
+            let d = step.access.resolve_live(index, in_value).len();
             debug_assert!(d > 0, "enumerated assignment must be walkable");
             p /= d as f64;
         }

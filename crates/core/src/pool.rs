@@ -170,6 +170,19 @@ impl WorkerPool {
         f(&scope)
     }
 
+    /// Queue a fire-and-forget job on the pool. Unlike [`WorkerPool::scope`]
+    /// the caller does not wait: the job must own its data (`'static`) and
+    /// its panics are swallowed by the worker's `catch_unwind` (callers that
+    /// care wrap their own). Used for background maintenance work — e.g. the
+    /// epoch manager's delta→main merge — that must not block the submitting
+    /// writer.
+    pub fn spawn_detached<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared.push(Box::new(f));
+    }
+
     /// Block until `latch` clears, running queued jobs while waiting.
     fn wait_latch(&self, latch: &Latch) {
         loop {

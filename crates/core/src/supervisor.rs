@@ -58,6 +58,13 @@ pub struct SupervisorConfig {
     /// ([`crate::partitioned`]); `0`/`1` is the sequential engine. A
     /// partition panic still degrades through the ladder.
     pub exact_threads: usize,
+    /// Shed the exact rung entirely and go straight to online estimates.
+    /// Set from [`crate::EpochManager::under_pressure`]: when a sustained
+    /// ingest stream has outgrown the background merge, the exact rung's
+    /// full-range scans over a large delta overlay would burn the whole
+    /// deadline, so the ladder starts at Audit Join instead of blocking
+    /// writers (or readers) on a merge.
+    pub ingest_pressure: bool,
     /// Audit Join configuration for the degraded path (the seed also
     /// derives the Wander Join fallback's seed).
     pub audit: AuditJoinConfig,
@@ -75,6 +82,7 @@ impl Default for SupervisorConfig {
             exact_fraction: 0.5,
             exact_work_limit: None,
             exact_threads: 1,
+            ingest_pressure: false,
             audit: AuditJoinConfig::default(),
             #[cfg(feature = "fault-inject")]
             faults: None,
@@ -113,6 +121,10 @@ pub enum DegradeReason {
     ExactFailed(String),
     /// The exact engine panicked; the panic was isolated.
     ExactPanicked,
+    /// The exact rung was shed before running: the caller reported
+    /// sustained ingest pressure (delta overlay outgrew the background
+    /// merge), so the deadline went straight to online estimates.
+    IngestPressure,
 }
 
 impl std::fmt::Display for DegradeReason {
@@ -121,6 +133,9 @@ impl std::fmt::Display for DegradeReason {
             DegradeReason::Budget(r) => write!(f, "exact attempt stopped: {r}"),
             DegradeReason::ExactFailed(e) => write!(f, "exact attempt failed: {e}"),
             DegradeReason::ExactPanicked => write!(f, "exact attempt panicked"),
+            DegradeReason::IngestPressure => {
+                write!(f, "exact rung shed under ingest pressure")
+            }
         }
     }
 }
@@ -224,46 +239,53 @@ pub fn supervise(
     let _span = kgoa_obs::Span::timed(&kgoa_obs::metrics::SUPERVISE_NS);
     let start = Instant::now();
 
-    // Rung 1: exact CTJ under its slice of the deadline.
-    let exact_slice = config.deadline.mul_f64(config.exact_fraction.clamp(0.0, 1.0));
-    let mut builder = config.budget_builder().deadline(exact_slice);
-    if let Some(limit) = config.exact_work_limit {
-        builder = builder.tuple_limit(limit);
-    }
-    let exact_budget = builder.build();
-    let exact_span = kgoa_obs::Span::timed(&kgoa_obs::metrics::EXACT_RUNG_NS);
-    let attempt = catch_unwind(AssertUnwindSafe(|| {
-        if config.exact_threads > 1 {
-            crate::partitioned::partitioned_count(
-                ig,
-                query,
-                crate::partitioned::ExactAlgo::Ctj,
-                config.exact_threads,
-                &exact_budget,
-            )
-        } else {
-            CtjEngine.evaluate_governed(ig, query, &exact_budget)
+    // Rung 1: exact CTJ under its slice of the deadline — shed outright
+    // when the caller reports ingest pressure (a large delta overlay makes
+    // the exact scans pointless; the whole deadline goes to estimates).
+    let reason = 'exact: {
+        if config.ingest_pressure {
+            break 'exact DegradeReason::IngestPressure;
         }
-    }));
-    drop(exact_span);
-    let reason = match attempt {
-        Ok(Ok(counts)) => {
-            kgoa_obs::metrics::SUPERVISOR_EXACT.inc();
-            kgoa_obs::events::emit_with(
-                kgoa_obs::Level::Info,
-                "supervisor",
-                "served exact",
-                vec![
-                    ("rung", "exact".into()),
-                    ("elapsed_us", start.elapsed().as_micros().to_string()),
-                ],
-            );
-            return Ok(SupervisedResult::Exact { counts, elapsed: start.elapsed() });
+        let exact_slice = config.deadline.mul_f64(config.exact_fraction.clamp(0.0, 1.0));
+        let mut builder = config.budget_builder().deadline(exact_slice);
+        if let Some(limit) = config.exact_work_limit {
+            builder = builder.tuple_limit(limit);
         }
-        Ok(Err(EngineError::BudgetExceeded(b))) => DegradeReason::Budget(b.reason),
-        Ok(Err(EngineError::Query(e))) => return Err(SupervisorError::Query(e)),
-        Ok(Err(e)) => DegradeReason::ExactFailed(e.to_string()),
-        Err(_) => DegradeReason::ExactPanicked,
+        let exact_budget = builder.build();
+        let exact_span = kgoa_obs::Span::timed(&kgoa_obs::metrics::EXACT_RUNG_NS);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            if config.exact_threads > 1 {
+                crate::partitioned::partitioned_count(
+                    ig,
+                    query,
+                    crate::partitioned::ExactAlgo::Ctj,
+                    config.exact_threads,
+                    &exact_budget,
+                )
+            } else {
+                CtjEngine.evaluate_governed(ig, query, &exact_budget)
+            }
+        }));
+        drop(exact_span);
+        match attempt {
+            Ok(Ok(counts)) => {
+                kgoa_obs::metrics::SUPERVISOR_EXACT.inc();
+                kgoa_obs::events::emit_with(
+                    kgoa_obs::Level::Info,
+                    "supervisor",
+                    "served exact",
+                    vec![
+                        ("rung", "exact".into()),
+                        ("elapsed_us", start.elapsed().as_micros().to_string()),
+                    ],
+                );
+                return Ok(SupervisedResult::Exact { counts, elapsed: start.elapsed() });
+            }
+            Ok(Err(EngineError::BudgetExceeded(b))) => DegradeReason::Budget(b.reason),
+            Ok(Err(EngineError::Query(e))) => return Err(SupervisorError::Query(e)),
+            Ok(Err(e)) => DegradeReason::ExactFailed(e.to_string()),
+            Err(_) => DegradeReason::ExactPanicked,
+        }
     };
     kgoa_obs::events::emit_with(
         kgoa_obs::Level::Info,
@@ -491,6 +513,22 @@ mod tests {
             provenance.reason,
             DegradeReason::Budget(BudgetReason::TupleLimit { limit: 0 })
         );
+    }
+
+    #[test]
+    fn ingest_pressure_sheds_exact_rung() {
+        let (ig, p, q) = graph();
+        let query = query(p, q);
+        let config = SupervisorConfig {
+            deadline: Duration::from_millis(50),
+            ingest_pressure: true,
+            ..SupervisorConfig::default()
+        };
+        let out = supervise(&ig, &query, &config).unwrap();
+        let provenance = out.provenance().expect("pressure must degrade");
+        assert_eq!(provenance.reason, DegradeReason::IngestPressure);
+        assert_eq!(provenance.estimator, "aj");
+        assert!(provenance.walks > 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! that bias is one of the paper's experimental points.
 
 use kgoa_engine::{BudgetExceeded, ExecBudget};
-use kgoa_index::{pack2, FxHashSet, IndexOrder, IndexedGraph, RowRange, TrieIndex};
+use kgoa_index::{pack2, FxHashSet, IndexOrder, IndexedGraph, LiveRange, TrieIndex};
 use kgoa_query::{ExplorationQuery, QueryError, WalkPlan};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -32,7 +32,7 @@ pub struct WanderJoin<'g> {
     step_index: Vec<&'g TrieIndex>,
     /// Per-step constant range for steps with no in-variable (their access
     /// prefix is fully ground, so the hash lookup happens once here).
-    fixed_ranges: Vec<Option<RowRange>>,
+    fixed_ranges: Vec<Option<LiveRange>>,
     distinct: bool,
     alpha: usize,
     beta: usize,
@@ -71,11 +71,11 @@ impl<'g> WanderJoin<'g> {
         let n = plan.len();
         let step_index: Vec<&TrieIndex> =
             plan.steps().iter().map(|s| ig.require(s.access.order)).collect();
-        let fixed_ranges: Vec<Option<RowRange>> = plan
+        let fixed_ranges: Vec<Option<LiveRange>> = plan
             .steps()
             .iter()
             .zip(&step_index)
-            .map(|(s, idx)| s.in_var.is_none().then(|| s.access.resolve(idx, None)))
+            .map(|(s, idx)| s.in_var.is_none().then(|| s.access.resolve_live(idx, None)))
             .collect();
         Ok(WanderJoin {
             step_index,
@@ -150,10 +150,10 @@ impl<'g> WanderJoin<'g> {
                 Some(r) => r,
                 None => {
                     let in_value = step.in_var.map(|(v, _)| self.assignment[v.index()]);
-                    step.access.resolve(index, in_value)
+                    step.access.resolve_live(index, in_value)
                 }
             };
-            let Some(pos) = range.pick(&mut self.rng) else {
+            let Some(pos) = index.pick_live(range, &mut self.rng) else {
                 self.stats.walks += 1;
                 self.stats.rejected += 1;
                 self.step_rejects[si] += 1;

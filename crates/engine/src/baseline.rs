@@ -54,13 +54,13 @@ pub fn baseline_grouped_governed(
     for (si, step) in plan.steps().iter().enumerate() {
         let index = ig.require(step.access.order);
         if si == 0 {
-            let range = step.access.resolve(index, None);
+            let range = step.access.resolve_live(index, None);
             if range.len() > tuple_limit {
                 return Err(EngineError::IntermediateResultLimit { limit: tuple_limit });
             }
             budget.charge_tuples(range.len() as u64)?;
             tuples.reserve(range.len());
-            for pos in range.start..range.end {
+            for pos in index.positions(range) {
                 meter.tick()?;
                 let mut t = vec![0u32; width];
                 plan.extract_at(index, si, pos, &mut t);
@@ -70,12 +70,12 @@ pub fn baseline_grouped_governed(
             let mut next: Vec<Vec<u32>> = Vec::new();
             for t in &tuples {
                 let in_value = step.in_var.map(|(v, _)| t[v.index()]);
-                let range = step.access.resolve(index, in_value);
+                let range = step.access.resolve_live(index, in_value);
                 if next.len() + range.len() > tuple_limit {
                     return Err(EngineError::IntermediateResultLimit { limit: tuple_limit });
                 }
                 budget.charge_tuples(range.len() as u64)?;
-                for pos in range.start..range.end {
+                for pos in index.positions(range) {
                     meter.tick()?;
                     let mut ext = t.clone();
                     plan.extract_at(index, si, pos, &mut ext);

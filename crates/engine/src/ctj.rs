@@ -239,7 +239,7 @@ impl<'g> CtjCounter<'g> {
         let s = &self.plan.steps()[step];
         let index = self.ig.require(s.access.order);
         let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
-        let range = s.access.resolve(index, in_value);
+        let range = s.access.resolve_live(index, in_value);
         let total = if s.out_vars.is_empty() || self.collapse[step] {
             // No new bindings — or bindings nothing downstream reads:
             // every candidate row leads to the same suffix, so multiply by
@@ -254,7 +254,7 @@ impl<'g> CtjCounter<'g> {
             }
         } else {
             let mut total = 0u64;
-            for pos in range.start..range.end {
+            for pos in index.positions(range) {
                 meter.tick()?;
                 self.step_stats[step].rows += 1;
                 self.plan.extract_at(index, step, pos, assignment);
@@ -300,7 +300,7 @@ impl<'g> CtjCounter<'g> {
         let s = &self.plan.steps()[step];
         let index = self.ig.require(s.access.order);
         let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
-        let range = s.access.resolve(index, in_value);
+        let range = s.access.resolve_live(index, in_value);
         let mut found = false;
         if s.out_vars.is_empty() || self.collapse[step] {
             // Suffix is independent of this step's bindings: one
@@ -310,7 +310,7 @@ impl<'g> CtjCounter<'g> {
                 found = self.try_exists_from(step + 1, assignment, meter)?;
             }
         } else {
-            for pos in range.start..range.end {
+            for pos in index.positions(range) {
                 meter.tick()?;
                 self.step_stats[step].rows += 1;
                 self.plan.extract_at(index, step, pos, assignment);
@@ -359,7 +359,7 @@ impl<'g> CtjCounter<'g> {
         let s = &self.plan.steps()[step];
         let index = self.ig.require(s.access.order);
         let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
-        let range = s.access.resolve(index, in_value);
+        let range = s.access.resolve_live(index, in_value);
         let mass = if range.is_empty() {
             0.0
         } else if s.out_vars.is_empty() || self.collapse[step] {
@@ -370,7 +370,7 @@ impl<'g> CtjCounter<'g> {
         } else {
             let d = range.len() as f64;
             let mut sum = 0.0;
-            for pos in range.start..range.end {
+            for pos in index.positions(range) {
                 meter.tick()?;
                 self.step_stats[step].rows += 1;
                 self.plan.extract_at(index, step, pos, assignment);

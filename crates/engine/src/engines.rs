@@ -220,7 +220,7 @@ pub(crate) fn ctj_count_rec(
     let s = &counter.plan().steps()[step];
     let index = counter.graph().require(s.access.order);
     let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
-    let range = s.access.resolve(index, in_value);
+    let range = s.access.resolve_live(index, in_value);
     if counter.suffix_collapses(step) && !s.out_vars.contains(&alpha) {
         // Nothing after this step (α included) reads its bindings: every
         // row leads to the same recursion, so scale instead of looping.
@@ -236,7 +236,7 @@ pub(crate) fn ctj_count_rec(
         // Last step: the recursion would hit the trivial base case (suffix
         // count 1) per row — inline it to skip the call overhead.
         let a_idx = alpha.index();
-        for pos in range.start..range.end {
+        for pos in index.positions(range) {
             meter.tick()?;
             counter.note_row(step);
             counter.plan().extract_at(index, step, pos, assignment);
@@ -244,7 +244,7 @@ pub(crate) fn ctj_count_rec(
         }
         return Ok(());
     }
-    for pos in range.start..range.end {
+    for pos in index.positions(range) {
         meter.tick()?;
         counter.note_row(step);
         counter.plan().extract_at(index, step, pos, assignment);
@@ -283,7 +283,7 @@ pub(crate) fn ctj_distinct_rec(
     let s = &counter.plan().steps()[step];
     let index = counter.graph().require(s.access.order);
     let in_value = s.in_var.map(|(v, _)| assignment[v.index()]);
-    let range = s.access.resolve(index, in_value);
+    let range = s.access.resolve_live(index, in_value);
     if counter.suffix_collapses(step)
         && !s.out_vars.contains(&alpha)
         && !s.out_vars.contains(&beta)
@@ -301,7 +301,7 @@ pub(crate) fn ctj_distinct_rec(
         // Last step: all variables are bound after it and the suffix
         // existence check is trivially true — inline the base case.
         let (a_idx, b_idx) = (alpha.index(), beta.index());
-        for pos in range.start..range.end {
+        for pos in index.positions(range) {
             meter.tick()?;
             counter.note_row(step);
             counter.plan().extract_at(index, step, pos, assignment);
@@ -312,7 +312,7 @@ pub(crate) fn ctj_distinct_rec(
         }
         return Ok(());
     }
-    for pos in range.start..range.end {
+    for pos in index.positions(range) {
         meter.tick()?;
         counter.note_row(step);
         counter.plan().extract_at(index, step, pos, assignment);

@@ -84,10 +84,12 @@ pub fn ctj_count_partition(
     let plan_len = counter.plan().len();
     let s = &counter.plan().steps()[0];
     let index = counter.graph().require(s.access.order);
-    let range = s.access.resolve(index, None);
+    let range = s.access.resolve_live(index, None);
     let alpha_in_step0 = s.out_vars.contains(&alpha);
+    // Chunk the *live* position sequence: `positions_from` seeks to the
+    // `lo`-th live row by rank-select instead of scanning the skipped
+    // prefix, so per-partition startup stays O(log |tomb|).
     let (lo, hi) = chunk_bounds(range.len(), part, parts);
-    let (lo, hi) = (range.start + lo as u32, range.start + hi as u32);
     if lo >= hi {
         return Ok(out);
     }
@@ -96,13 +98,13 @@ pub fn ctj_count_partition(
         // to an identical suffix, so this slice scales by its own length.
         meter.tick()?;
         counter.note_row(0);
-        let mult = u64::from(hi - lo);
+        let mult = (hi - lo) as u64;
         ctj_count_rec(query, &mut counter, 1, &mut assignment, &mut out, &mut meter, mult)?;
         return Ok(out);
     }
     if plan_len == 1 {
         let a_idx = alpha.index();
-        for pos in lo..hi {
+        for pos in index.positions_from(range, lo as u32).take(hi - lo) {
             meter.tick()?;
             counter.note_row(0);
             counter.plan().extract_at(index, 0, pos, &mut assignment);
@@ -110,7 +112,7 @@ pub fn ctj_count_partition(
         }
         return Ok(out);
     }
-    for pos in lo..hi {
+    for pos in index.positions_from(range, lo as u32).take(hi - lo) {
         meter.tick()?;
         counter.note_row(0);
         counter.plan().extract_at(index, 0, pos, &mut assignment);
@@ -140,10 +142,9 @@ pub fn ctj_distinct_partition(
     let plan_len = counter.plan().len();
     let s = &counter.plan().steps()[0];
     let index = counter.graph().require(s.access.order);
-    let range = s.access.resolve(index, None);
+    let range = s.access.resolve_live(index, None);
     let heads_in_step0 = s.out_vars.contains(&alpha) || s.out_vars.contains(&beta);
     let (lo, hi) = chunk_bounds(range.len(), part, parts);
-    let (lo, hi) = (range.start + lo as u32, range.start + hi as u32);
     if lo >= hi {
         return Ok(seen);
     }
@@ -166,7 +167,7 @@ pub fn ctj_distinct_partition(
     }
     if plan_len == 1 {
         let (a_idx, b_idx) = (alpha.index(), beta.index());
-        for pos in lo..hi {
+        for pos in index.positions_from(range, lo as u32).take(hi - lo) {
             meter.tick()?;
             counter.note_row(0);
             counter.plan().extract_at(index, 0, pos, &mut assignment);
@@ -174,7 +175,7 @@ pub fn ctj_distinct_partition(
         }
         return Ok(seen);
     }
-    for pos in lo..hi {
+    for pos in index.positions_from(range, lo as u32).take(hi - lo) {
         meter.tick()?;
         counter.note_row(0);
         counter.plan().extract_at(index, 0, pos, &mut assignment);

@@ -8,7 +8,7 @@
 //! join results. This serves as the fast, independently-implemented ground
 //! truth for the benchmark harness's error measurements.
 
-use kgoa_index::{FxHashMap, FxHashSet, IndexOrder, IndexedGraph, RowRange, TrieIndex};
+use kgoa_index::{FxHashMap, FxHashSet, IndexOrder, IndexedGraph, LiveRange, TrieIndex};
 use kgoa_query::{ExplorationQuery, Var, WalkAccess};
 
 use crate::budget::{BudgetMeter, ExecBudget};
@@ -19,7 +19,7 @@ use crate::result::GroupedCounts;
 /// lives within a row.
 struct Rel<'g> {
     index: &'g TrieIndex,
-    range: RowRange,
+    range: LiveRange,
     /// (variable, row slot) pairs; the slot is the level index in the
     /// access's order (prefix slots hold constants/none).
     var_slots: Vec<(Var, usize)>,
@@ -60,7 +60,7 @@ impl<'g> Reduction<'g> {
         for (pi, pattern) in patterns.iter().enumerate() {
             let access = WalkAccess::plan(pattern, None, &IndexOrder::PAPER_DEFAULT, pi)?;
             let index = ig.require(access.order);
-            let range = access.resolve(index, None);
+            let range = access.resolve_live(index, None);
             let k = access.prefix_len();
             let var_slots = access
                 .free
@@ -124,7 +124,7 @@ impl<'g> Reduction<'g> {
                 children.iter().map(|(c, v)| (*c, rels[pi].slot_of(*v))).collect();
             let rel = &rels[pi];
             let mut live: FxHashSet<u32> = FxHashSet::default();
-            for pos in rel.range.start..rel.range.end {
+            for pos in rel.index.positions(rel.range) {
                 meter.tick()?;
                 let row = rel.index.row(pos);
                 let alive =
@@ -169,7 +169,7 @@ pub fn count_distinct_values(
     let slot = red.rels[root].slot_of(var);
     let rel = &red.rels[root];
     let mut values: FxHashSet<u32> = FxHashSet::default();
-    for pos in rel.range.start..rel.range.end {
+    for pos in rel.index.positions(rel.range) {
         let row = rel.index.row(pos);
         if child_slots.iter().all(|(c, s)| red.support[*c].contains(&row[*s])) {
             values.insert(row[slot]);
@@ -216,7 +216,7 @@ pub fn yannakakis_grouped_distinct_governed(
     let mut out = GroupedCounts::new();
     if query.distinct() {
         let mut seen: FxHashSet<u64> = FxHashSet::default();
-        for pos in rel.range.start..rel.range.end {
+        for pos in rel.index.positions(rel.range) {
             meter.tick()?;
             let row = rel.index.row(pos);
             if child_slots.iter().all(|(c, slot)| support[*c].contains(&row[*slot]))
@@ -243,7 +243,7 @@ pub fn yannakakis_grouped_distinct_governed(
                 kids.iter().map(|(c, v)| (*c, rels[pi].slot_of(*v))).collect();
             let rel = &rels[pi];
             let mut acc: FxHashMap<u32, u64> = FxHashMap::default();
-            for pos in rel.range.start..rel.range.end {
+            for pos in rel.index.positions(rel.range) {
                 meter.tick()?;
                 let row = rel.index.row(pos);
                 let mut m = 1u64;
@@ -263,7 +263,7 @@ pub fn yannakakis_grouped_distinct_governed(
             }
             counts[pi] = acc;
         }
-        for pos in rel.range.start..rel.range.end {
+        for pos in rel.index.positions(rel.range) {
             meter.tick()?;
             let row = rel.index.row(pos);
             let mut m = 1u64;

@@ -9,7 +9,10 @@
 //! remark); selecting a bar of the resulting chart folds the chosen
 //! category back into the pattern set.
 
-use kgoa_core::{supervise, Degraded, SupervisedResult, SupervisorConfig, SupervisorError};
+use kgoa_core::{
+    supervise, Degraded, EpochGuard, EpochManager, SupervisedResult, SupervisorConfig,
+    SupervisorError,
+};
 use kgoa_engine::{CountEngine, EngineError};
 use kgoa_index::IndexedGraph;
 use kgoa_query::{ExplorationQuery, TriplePattern, Var};
@@ -99,9 +102,26 @@ enum Pending {
     Subject { subj_var: Var },
 }
 
+/// The graph a session reads: either a caller-owned borrow (static
+/// graphs, the historical mode) or a pinned MVCC epoch (live graphs
+/// under concurrent updates).
+enum GraphRef<'g> {
+    Borrowed(&'g IndexedGraph),
+    Pinned(EpochGuard),
+}
+
+impl GraphRef<'_> {
+    fn get(&self) -> &IndexedGraph {
+        match self {
+            GraphRef::Borrowed(ig) => ig,
+            GraphRef::Pinned(guard) => guard,
+        }
+    }
+}
+
 /// An interactive exploration session over an indexed graph.
 pub struct Session<'g> {
-    ig: &'g IndexedGraph,
+    graph: GraphRef<'g>,
     patterns: Vec<TriplePattern>,
     focus: Var,
     next_var: u16,
@@ -122,7 +142,21 @@ impl<'g> Session<'g> {
 
     /// Start a session focused on the (closure) instances of a class.
     pub fn at_class(ig: &'g IndexedGraph, class: TermId) -> Self {
-        let vocab = ig.vocab();
+        Self::with_graph(GraphRef::Borrowed(ig), class)
+    }
+
+    /// Start a root session pinned to the manager's current epoch: every
+    /// expansion and selection reads that one consistent snapshot while
+    /// writers keep appending. Call [`Session::repin`] between
+    /// interactions to observe newer epochs.
+    pub fn root_pinned(mgr: &EpochManager) -> Session<'static> {
+        let guard = mgr.pin();
+        let class = guard.vocab().owl_thing;
+        Session::with_graph(GraphRef::Pinned(guard), class)
+    }
+
+    fn with_graph(graph: GraphRef<'g>, class: TermId) -> Session<'g> {
+        let vocab = graph.get().vocab();
         let focus = Var(0);
         let tvar = Var(1);
         let patterns = vec![
@@ -130,7 +164,7 @@ impl<'g> Session<'g> {
             TriplePattern::new(tvar, vocab.subclass_of_trans, class),
         ];
         Session {
-            ig,
+            graph,
             patterns,
             focus,
             next_var: 2,
@@ -139,6 +173,31 @@ impl<'g> Session<'g> {
             history: History::new(),
             distinct: true,
         }
+    }
+
+    /// The graph snapshot this session reads.
+    pub fn graph(&self) -> &IndexedGraph {
+        self.graph.get()
+    }
+
+    /// The pinned epoch id, or `None` for a borrowed (static) graph.
+    pub fn epoch(&self) -> Option<u64> {
+        match &self.graph {
+            GraphRef::Borrowed(_) => None,
+            GraphRef::Pinned(guard) => Some(guard.epoch()),
+        }
+    }
+
+    /// Re-pin the session to the manager's current epoch (interaction
+    /// boundaries are the natural place: mid-expansion reads stay on one
+    /// snapshot, but the next chart reflects the latest data). The
+    /// session's accumulated focus constraints carry over — term ids are
+    /// stable across epochs. Returns the newly pinned epoch id.
+    pub fn repin(&mut self, mgr: &EpochManager) -> u64 {
+        let guard = mgr.pin();
+        let epoch = guard.epoch();
+        self.graph = GraphRef::Pinned(guard);
+        epoch
     }
 
     /// The patterns constraining the current focus set.
@@ -193,7 +252,7 @@ impl<'g> Session<'g> {
         if !self.valid_expansions().contains(&exp) {
             return Err(ExploreError::InvalidExpansion(exp));
         }
-        let vocab = self.ig.vocab();
+        let vocab = self.graph().vocab();
         let (patterns, alpha, beta, pending) = match (exp, self.state) {
             (Expansion::Subclass, BarState::Class { closure_idx, class }) => {
                 let cvar = self.fresh();
@@ -257,7 +316,7 @@ impl<'g> Session<'g> {
         let _span = kgoa_obs::Span::timed(&kgoa_obs::metrics::EXPAND_NS);
         kgoa_obs::metrics::EXPLORE_EXPANSIONS.inc();
         let query = self.expansion_query(exp)?;
-        let counts = engine.evaluate(self.ig, &query).map_err(ExploreError::Engine)?;
+        let counts = engine.evaluate(self.graph(), &query).map_err(ExploreError::Engine)?;
         self.history.expanded(exp);
         Ok(Chart::from_counts(exp.produces(), &counts))
     }
@@ -281,7 +340,7 @@ impl<'g> Session<'g> {
         kgoa_obs::metrics::EXPLORE_EXPANSIONS.inc();
         let query = self.expansion_query(exp)?;
         let kind = exp.produces();
-        let outcome = match supervise(self.ig, &query, config) {
+        let outcome = match supervise(self.graph(), &query, config) {
             Ok(SupervisedResult::Exact { counts, .. }) => GovernedChart {
                 chart: Chart::from_counts(kind, &counts),
                 provenance: None,
@@ -326,7 +385,7 @@ impl<'g> Session<'g> {
     /// Select (click) a bar of the chart produced by the last expansion,
     /// folding the chosen category into the focus constraints.
     pub fn select(&mut self, category: TermId) -> Result<(), ExploreError> {
-        let vocab = self.ig.vocab();
+        let vocab = self.graph().vocab();
         let pending = self.pending.take().ok_or(ExploreError::NothingPending)?;
         self.history.selected(category);
         match pending {
@@ -379,7 +438,7 @@ impl<'g> Session<'g> {
             .map(|(v, _)| v.index() + 1)
             .max()
             .unwrap_or(0);
-        kgoa_engine::count_distinct_values(self.ig, &self.patterns, var_count, self.focus)
+        kgoa_engine::count_distinct_values(self.graph(), &self.patterns, var_count, self.focus)
     }
 }
 
@@ -545,6 +604,35 @@ mod tests {
             assert!(!bar.half_width.is_nan(), "CIs must never be NaN");
         }
         s.select(out.chart.bars[0].category).unwrap();
+    }
+
+    #[test]
+    fn pinned_session_is_isolated_from_writers() {
+        use kgoa_core::{EpochConfig, EpochManager};
+        use kgoa_engine::ExecBudget;
+        use kgoa_index::UpdateBatch;
+        let ig = ig();
+        let victim = *ig.graph().triples().first().unwrap();
+        let mgr = EpochManager::new(ig, EpochConfig::default());
+        let budget = ExecBudget::unlimited();
+
+        let mut s = Session::root_pinned(&mgr);
+        assert_eq!(s.epoch(), Some(0));
+        let chart = s.expand(Expansion::Subclass, &YannakakisEngine).unwrap();
+        assert!(!chart.is_empty());
+
+        // A writer deletes a triple; the pinned session must not see it.
+        mgr.append(&UpdateBatch::deleting(vec![victim]), &budget).unwrap();
+        assert!(s.graph().contains(victim), "pinned epoch must be immutable");
+        assert_eq!(s.epoch(), Some(0));
+
+        // Re-pinning at an interaction boundary observes the new epoch,
+        // with the session's focus constraints intact.
+        let epoch = s.repin(&mgr);
+        assert_eq!(epoch, 1);
+        assert!(!s.graph().contains(victim));
+        s.select(chart.bars[0].category).unwrap();
+        assert!(s.focus_size().is_ok());
     }
 
     #[test]

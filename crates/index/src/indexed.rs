@@ -1,5 +1,7 @@
 //! The fully-indexed graph: the paper's engines all operate over this.
 
+use std::sync::Arc;
+
 use kgoa_rdf::{Dictionary, Graph, Triple, VocabIds};
 
 use crate::order::IndexOrder;
@@ -11,9 +13,17 @@ use crate::store::{Layout, TrieIndex};
 /// By default the four paper orders (SPO, OPS, PSO, POS) are built; §V-A
 /// notes these "are sufficient to support our exploration queries". All
 /// six orders can be requested for general workloads.
-#[derive(Debug)]
+/// The graph is `Arc`-shared and each [`TrieIndex`] is internally
+/// `Arc`-cored, so cloning an `IndexedGraph` — and building a delta
+/// overlay snapshot via [`IndexedGraph::with_overlay`] — is cheap and
+/// independent of graph size. Under an overlay, [`IndexedGraph::graph`],
+/// [`IndexedGraph::len`] and [`IndexedGraph::stats`] describe the *main*
+/// snapshot (statistics refresh when a background merge publishes);
+/// [`IndexedGraph::contains`] and the engines' live accessors see the
+/// overlay.
+#[derive(Debug, Clone)]
 pub struct IndexedGraph {
-    graph: Graph,
+    graph: Arc<Graph>,
     indexes: [Option<TrieIndex>; 6],
     stats: GraphStats,
 }
@@ -53,6 +63,7 @@ impl IndexedGraph {
     /// independent copy of the triples, so the builds run on their own
     /// scoped threads — index construction parallelizes across orders.
     pub fn build_with_orders_in(graph: Graph, orders: &[IndexOrder], layout: Layout) -> Self {
+        let graph = Arc::new(graph);
         let mut wanted: Vec<IndexOrder> = Vec::with_capacity(6);
         for order in IndexOrder::PAPER_DEFAULT.iter().chain(orders) {
             if !wanted.contains(order) {
@@ -85,6 +96,12 @@ impl IndexedGraph {
     /// path). The four paper-default orders must be present; statistics are
     /// recomputed from the indexes.
     pub fn from_parts(graph: Graph, prebuilt: Vec<TrieIndex>) -> Self {
+        Self::from_shared_parts(Arc::new(graph), prebuilt)
+    }
+
+    /// [`IndexedGraph::from_parts`] over an already-shared graph (epoch
+    /// managers hand the same `Arc` to successive snapshots).
+    pub fn from_shared_parts(graph: Arc<Graph>, prebuilt: Vec<TrieIndex>) -> Self {
         let mut indexes: [Option<TrieIndex>; 6] = Default::default();
         for idx in prebuilt {
             let s = slot(idx.order());
@@ -107,10 +124,52 @@ impl IndexedGraph {
         IndexOrder::ALL.into_iter().filter(|o| self.indexes[slot(*o)].is_some()).collect()
     }
 
-    /// The underlying graph.
+    /// The underlying graph (the main snapshot when an overlay is
+    /// attached — delta inserts are not in its triple list).
     #[inline]
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The shared handle to the underlying graph.
+    #[inline]
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Attach a delta overlay (inserted/deleted triples) to every built
+    /// index, sharing the main parts: an O(delta) epoch snapshot. The
+    /// dictionary must already contain the triples' term ids. Inserts
+    /// already present and deletes of absent triples are dropped;
+    /// statistics are carried over unchanged (they refresh when the
+    /// overlay is merged into a new main).
+    pub fn with_overlay(&self, inserts: &[Triple], deletes: &[Triple]) -> IndexedGraph {
+        let mut indexes: [Option<TrieIndex>; 6] = Default::default();
+        for (slot, idx) in self.indexes.iter().enumerate() {
+            indexes[slot] =
+                idx.as_ref().map(|i| i.main_only().with_delta(inserts, deletes));
+        }
+        IndexedGraph {
+            graph: Arc::clone(&self.graph),
+            indexes,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// True if any built index carries a delta overlay.
+    pub fn has_delta(&self) -> bool {
+        self.indexes.iter().flatten().any(TrieIndex::has_delta)
+    }
+
+    /// Overlay size of the SPO index (inserted rows + tombstones) — the
+    /// ingest-pressure signal.
+    pub fn delta_rows(&self) -> usize {
+        self.require(IndexOrder::Spo).delta_rows()
+    }
+
+    /// Number of *live* triples (main minus deletes plus inserts).
+    pub fn live_len(&self) -> usize {
+        self.require(IndexOrder::Spo).live_len()
     }
 
     /// The term dictionary.

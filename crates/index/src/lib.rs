@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod columnar;
+pub mod delta;
 pub mod hash;
 pub mod indexed;
 pub mod order;
@@ -31,6 +32,7 @@ pub mod trie_iter;
 pub mod update;
 
 pub use columnar::{ColumnarTrie, SeekOutcome};
+pub use delta::{LivePositions, LiveRange};
 pub use hash::{pack2, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use indexed::IndexedGraph;
 pub use order::IndexOrder;

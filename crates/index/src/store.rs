@@ -9,9 +9,12 @@
 //! position space (see [`Layout`]): leaf positions are identical in both,
 //! so ranges, sampling and cache keys carry over unchanged.
 
+use std::sync::Arc;
+
 use kgoa_rdf::Triple;
 
 use crate::columnar::ColumnarTrie;
+use crate::delta::DeltaPart;
 use crate::hash::{pack2, FxHashMap};
 use crate::order::IndexOrder;
 
@@ -114,9 +117,10 @@ pub(crate) enum Storage {
     Csr(ColumnarTrie),
 }
 
-/// A sorted trie over all triples of a graph in one attribute order.
-#[derive(Debug, Clone)]
-pub struct TrieIndex {
+/// The immutable part of a [`TrieIndex`], shared across epoch snapshots
+/// via `Arc` (cloning an index is O(1) regardless of graph size).
+#[derive(Debug)]
+pub(crate) struct IndexCore {
     order: IndexOrder,
     len: u32,
     storage: Storage,
@@ -126,6 +130,22 @@ pub struct TrieIndex {
     /// (e.g. for PSO: distinct subjects per predicate). Used by the
     /// PostgreSQL-style join-size estimates that drive the tipping point.
     l1_children: FxHashMap<u32, u32>,
+}
+
+/// A sorted trie over all triples of a graph in one attribute order.
+///
+/// Internally an `Arc`-shared immutable **main** part plus an optional
+/// **delta** overlay (see [`crate::delta`]): inserted rows as a small trie
+/// and tombstoned main positions. Plain accessors (`len`, ranges,
+/// `locate`, `to_rows`, `iter_l0`) address the main part only; the
+/// `*_live` family (`live_len`, `range1_live`, `locate_live`,
+/// [`crate::LiveRange`], …) sees the merged logical trie. `row`,
+/// `row_from` and `triple` dispatch on the *logical* position space —
+/// positions `>= len()` address delta rows.
+#[derive(Debug, Clone)]
+pub struct TrieIndex {
+    core: Arc<IndexCore>,
+    delta: Option<Arc<DeltaPart>>,
 }
 
 impl TrieIndex {
@@ -181,19 +201,47 @@ impl TrieIndex {
             Layout::Csr => Storage::Csr(ColumnarTrie::from_sorted_rows(&rows)),
             Layout::Rows => Storage::Rows(rows),
         };
-        TrieIndex { order, len: n as u32, storage, l1, l2, l1_children }
+        TrieIndex {
+            core: Arc::new(IndexCore {
+                order,
+                len: n as u32,
+                storage,
+                l1,
+                l2,
+                l1_children,
+            }),
+            delta: None,
+        }
+    }
+
+    /// The delta overlay, if any (crate-internal; the public live API
+    /// lives in [`crate::delta`]).
+    #[inline]
+    pub(crate) fn delta_part(&self) -> Option<&DeltaPart> {
+        self.delta.as_deref()
+    }
+
+    /// Attach a delta overlay, sharing this index's main part. Callers go
+    /// through [`TrieIndex::with_delta`], which normalizes the overlay.
+    pub(crate) fn attach_delta(&self, part: DeltaPart) -> TrieIndex {
+        TrieIndex { core: Arc::clone(&self.core), delta: Some(Arc::new(part)) }
+    }
+
+    /// Drop the delta overlay, exposing the shared main part only.
+    pub fn main_only(&self) -> TrieIndex {
+        TrieIndex { core: Arc::clone(&self.core), delta: None }
     }
 
     /// The attribute order of this index.
     #[inline]
     pub fn order(&self) -> IndexOrder {
-        self.order
+        self.core.order
     }
 
     /// The physical storage layout.
     #[inline]
     pub fn layout(&self) -> Layout {
-        match self.storage {
+        match self.core.storage {
             Storage::Rows(_) => Layout::Rows,
             Storage::Csr(_) => Layout::Csr,
         }
@@ -202,46 +250,46 @@ impl TrieIndex {
     /// Crate-internal storage access for cursors.
     #[inline]
     pub(crate) fn storage(&self) -> &Storage {
-        &self.storage
+        &self.core.storage
     }
 
     /// Materialize all rows in the sorted, permuted layout (used by the
     /// incremental merge path and tests; O(n) for the CSR layout).
     pub fn to_rows(&self) -> Vec<[u32; 3]> {
-        match &self.storage {
+        match &self.core.storage {
             Storage::Rows(rows) => rows.clone(),
-            Storage::Csr(c) => (0..self.len).map(|pos| c.row(pos)).collect(),
+            Storage::Csr(c) => (0..self.core.len).map(|pos| c.row(pos)).collect(),
         }
     }
 
     /// Total number of triples.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len as usize
+        self.core.len as usize
     }
 
     /// True if the index is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.core.len == 0
     }
 
     /// The range of all rows.
     #[inline]
     pub fn full_range(&self) -> RowRange {
-        RowRange { start: 0, end: self.len }
+        RowRange { start: 0, end: self.core.len }
     }
 
     /// O(1): the range of rows whose first attribute equals `a`.
     #[inline]
     pub fn range1(&self, a: u32) -> RowRange {
-        self.l1.get(&a).copied().unwrap_or(RowRange::EMPTY)
+        self.core.l1.get(&a).copied().unwrap_or(RowRange::EMPTY)
     }
 
     /// O(1): the range of rows whose first two attributes equal `(a, b)`.
     #[inline]
     pub fn range2(&self, a: u32, b: u32) -> RowRange {
-        self.l2.get(&pack2(a, b)).copied().unwrap_or(RowRange::EMPTY)
+        self.core.l2.get(&pack2(a, b)).copied().unwrap_or(RowRange::EMPTY)
     }
 
     /// Range lookup for a prefix of 0, 1 or 2 values.
@@ -259,7 +307,7 @@ impl TrieIndex {
     /// level-2 key slice.
     pub fn locate(&self, a: u32, b: u32, c: u32) -> Option<u32> {
         let r = self.range2(a, b);
-        let off = match &self.storage {
+        let off = match &self.core.storage {
             Storage::Csr(t) => t.l2_slice(r).binary_search(&c).ok()?,
             Storage::Rows(rows) => {
                 rows[r.as_usize()].binary_search_by_key(&c, |row| row[2]).ok()?
@@ -268,18 +316,26 @@ impl TrieIndex {
         Some(r.start + off as u32)
     }
 
-    /// True if the row `(a, b, c)` (in this order's layout) exists.
+    /// True if the *live* row `(a, b, c)` (in this order's layout)
+    /// exists: a tombstoned main row does not count, a delta insert does.
+    /// Identical to a plain main lookup when there is no overlay.
     #[inline]
     pub fn contains_row(&self, a: u32, b: u32, c: u32) -> bool {
-        self.locate(a, b, c).is_some()
+        self.locate_live(a, b, c).is_some()
     }
 
-    /// The row at a given position.
+    /// The row at a given *logical* position: positions below `len()`
+    /// address main rows, positions at or above it address delta inserts.
     #[inline]
     pub fn row(&self, pos: u32) -> [u32; 3] {
-        match &self.storage {
-            Storage::Rows(rows) => rows[pos as usize],
-            Storage::Csr(t) => t.row(pos),
+        if pos < self.core.len {
+            match &self.core.storage {
+                Storage::Rows(rows) => rows[pos as usize],
+                Storage::Csr(t) => t.row(pos),
+            }
+        } else {
+            let d = self.delta.as_deref().expect("position beyond main without a delta");
+            d.adds.row(pos - self.core.len)
         }
     }
 
@@ -289,28 +345,33 @@ impl TrieIndex {
     /// on the CSR layout instead of a 12-byte row.
     #[inline]
     pub fn row_from(&self, pos: u32, from: usize) -> [u32; 3] {
-        match &self.storage {
-            Storage::Rows(rows) => rows[pos as usize],
-            Storage::Csr(t) => t.row_from(pos, from),
+        if pos < self.core.len {
+            match &self.core.storage {
+                Storage::Rows(rows) => rows[pos as usize],
+                Storage::Csr(t) => t.row_from(pos, from),
+            }
+        } else {
+            let d = self.delta.as_deref().expect("position beyond main without a delta");
+            d.adds.row_from(pos - self.core.len, from)
         }
     }
 
     /// The row at a given position, decoded back into a [`Triple`].
     #[inline]
     pub fn triple(&self, pos: u32) -> Triple {
-        self.order.unpermute(self.row(pos))
+        self.core.order.unpermute(self.row(pos))
     }
 
     /// Number of distinct level-0 values.
     #[inline]
     pub fn distinct_l0(&self) -> usize {
-        self.l1.len()
+        self.core.l1.len()
     }
 
     /// Number of distinct level-1 values under level-0 value `a`.
     #[inline]
     pub fn children_of(&self, a: u32) -> u32 {
-        self.l1_children.get(&a).copied().unwrap_or(0)
+        self.core.l1_children.get(&a).copied().unwrap_or(0)
     }
 
     /// Iterate over all distinct level-0 values with their ranges, in
@@ -318,7 +379,7 @@ impl TrieIndex {
     pub fn iter_l0(&self) -> impl Iterator<Item = (u32, RowRange)> + '_ {
         let mut node = 0u32;
         let mut row_pos = 0u32;
-        std::iter::from_fn(move || match &self.storage {
+        std::iter::from_fn(move || match &self.core.storage {
             Storage::Csr(t) => {
                 if node as usize >= t.l0_len() {
                     return None;
@@ -328,7 +389,7 @@ impl TrieIndex {
                 Some(item)
             }
             Storage::Rows(rows) => {
-                if row_pos >= self.len {
+                if row_pos >= self.core.len {
                     return None;
                 }
                 let a = rows[row_pos as usize][0];
@@ -341,14 +402,18 @@ impl TrieIndex {
 
     /// Approximate heap memory used by this index, in bytes.
     pub fn memory_bytes(&self) -> usize {
-        let storage = match &self.storage {
+        let storage = match &self.core.storage {
             Storage::Rows(rows) => rows.len() * std::mem::size_of::<[u32; 3]>(),
             Storage::Csr(t) => t.memory_bytes(),
         };
+        let delta = self.delta.as_deref().map_or(0, |d| {
+            d.adds.memory_bytes() + d.tomb.capacity() * std::mem::size_of::<u32>()
+        });
         storage
-            + self.l1.capacity() * (4 + std::mem::size_of::<RowRange>() + 8)
-            + self.l2.capacity() * (8 + std::mem::size_of::<RowRange>() + 8)
-            + self.l1_children.capacity() * (4 + 4 + 8)
+            + delta
+            + self.core.l1.capacity() * (4 + std::mem::size_of::<RowRange>() + 8)
+            + self.core.l2.capacity() * (8 + std::mem::size_of::<RowRange>() + 8)
+            + self.core.l1_children.capacity() * (4 + 4 + 8)
     }
 }
 

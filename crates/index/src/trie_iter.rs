@@ -12,6 +12,7 @@
 
 use crate::columnar::{gallop_lower_bound, ColumnarTrie};
 pub use crate::columnar::SeekOutcome;
+use crate::delta::tombs_within;
 use crate::store::{RowRange, Storage, TrieIndex};
 
 /// One opened trie level of a row-layout cursor: the cached window of the
@@ -56,12 +57,19 @@ pub struct TrieCursor<'a> {
 enum Repr<'a> {
     Rows(RowsCursor<'a>),
     Csr(CsrCursor<'a>),
+    /// Overlay view: a main-side cursor merged with a cursor over the
+    /// delta's adds trie, with tombstoned main subtrees skipped.
+    Merged(Box<MergedCursor<'a>>),
 }
 
 impl<'a> TrieCursor<'a> {
     /// Create a cursor over `base` within `index`, with `prefix_len`
     /// attributes already fixed (0 ⇒ the full trie, 2 ⇒ only the last
     /// attribute remains).
+    ///
+    /// `base` is **main-positional**: this constructor exposes the main
+    /// part only, even when the index carries a delta overlay. Use
+    /// [`TrieCursor::over_index`] for the merged logical view.
     pub fn new(index: &'a TrieIndex, base: RowRange, prefix_len: usize) -> Self {
         assert!(prefix_len <= 2, "prefix_len {prefix_len} out of range");
         let repr = match index.storage() {
@@ -81,9 +89,22 @@ impl<'a> TrieCursor<'a> {
         TrieCursor { repr, prefix_len }
     }
 
-    /// Cursor over the full index.
+    /// Cursor over the full *logical* index: when the index carries a
+    /// delta overlay, main and adds are merged at the key level and
+    /// tombstoned subtrees are skipped, so LFTJ sees one trie.
     pub fn over_index(index: &'a TrieIndex) -> Self {
-        Self::new(index, index.full_range(), 0)
+        match index.delta_part() {
+            None => Self::new(index, index.full_range(), 0),
+            Some(d) => TrieCursor {
+                repr: Repr::Merged(Box::new(MergedCursor {
+                    main: TrieCursor::new(index, index.full_range(), 0),
+                    adds: TrieCursor::over_index(&d.adds),
+                    tomb: &d.tomb,
+                    levels: Vec::with_capacity(3),
+                })),
+                prefix_len: 0,
+            },
+        }
     }
 
     /// Number of levels this cursor can expose.
@@ -98,6 +119,7 @@ impl<'a> TrieCursor<'a> {
         match &self.repr {
             Repr::Rows(c) => c.levels.len(),
             Repr::Csr(c) => c.levels.len(),
+            Repr::Merged(c) => c.levels.len(),
         }
     }
 
@@ -110,6 +132,7 @@ impl<'a> TrieCursor<'a> {
         match &mut self.repr {
             Repr::Rows(c) => c.open(),
             Repr::Csr(c) => c.open(),
+            Repr::Merged(c) => c.open(),
         }
     }
 
@@ -118,6 +141,7 @@ impl<'a> TrieCursor<'a> {
         match &mut self.repr {
             Repr::Rows(c) => c.up(),
             Repr::Csr(c) => c.up(),
+            Repr::Merged(c) => c.up(),
         }
     }
 
@@ -127,6 +151,7 @@ impl<'a> TrieCursor<'a> {
         match &self.repr {
             Repr::Rows(c) => c.at_end(),
             Repr::Csr(c) => c.at_end(),
+            Repr::Merged(c) => c.at_end(),
         }
     }
 
@@ -136,15 +161,34 @@ impl<'a> TrieCursor<'a> {
         match &self.repr {
             Repr::Rows(c) => c.key(),
             Repr::Csr(c) => c.key(),
+            Repr::Merged(c) => c.key(),
         }
     }
 
     /// The run of rows carrying the current key (used for fan-out counts).
+    ///
+    /// Runs are main-positional and contiguous; a merged overlay cursor's
+    /// logical run is not, so this panics there — use [`TrieCursor::fanout`]
+    /// for a layout- and overlay-agnostic count.
     #[inline]
     pub fn run(&self) -> RowRange {
         match &self.repr {
             Repr::Rows(c) => c.run(),
             Repr::Csr(c) => c.run(),
+            Repr::Merged(_) => {
+                panic!("run() is main-positional; use fanout() on a merged overlay cursor")
+            }
+        }
+    }
+
+    /// Number of live rows under the current key (the run length, minus
+    /// tombstones and plus delta inserts on an overlay cursor).
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        match &self.repr {
+            Repr::Rows(c) => c.run().len(),
+            Repr::Csr(c) => c.run().len(),
+            Repr::Merged(c) => c.fanout(),
         }
     }
 
@@ -153,6 +197,7 @@ impl<'a> TrieCursor<'a> {
         match &mut self.repr {
             Repr::Rows(c) => c.next_key(),
             Repr::Csr(c) => c.next_key(),
+            Repr::Merged(c) => c.next_key(),
         }
     }
 
@@ -160,14 +205,179 @@ impl<'a> TrieCursor<'a> {
     /// Returns how the seek was resolved, for operator attribution.
     pub fn seek(&mut self, v: u32) -> SeekOutcome {
         kgoa_obs::metrics::TRIE_SEEKS.inc();
-        let outcome = match &mut self.repr {
-            Repr::Rows(c) => c.seek(v),
-            Repr::Csr(c) => c.seek(v),
-        };
+        let outcome = self.seek_raw(v);
         match outcome {
             SeekOutcome::Linear => kgoa_obs::metrics::TRIE_SEEK_LINEAR.inc(),
             SeekOutcome::Gallop => kgoa_obs::metrics::TRIE_SEEK_GALLOPS.inc(),
         }
+        outcome
+    }
+
+    /// Seek without touching the metrics counters — the merged overlay
+    /// cursor drives its two children through this so one logical seek is
+    /// counted once.
+    fn seek_raw(&mut self, v: u32) -> SeekOutcome {
+        match &mut self.repr {
+            Repr::Rows(c) => c.seek(v),
+            Repr::Csr(c) => c.seek(v),
+            Repr::Merged(c) => c.seek(v),
+        }
+    }
+}
+
+/// Per-level state of a [`MergedCursor`]: which children were opened at
+/// this level and which still carry a key.
+#[derive(Debug, Clone, Copy)]
+struct MergedLevel {
+    /// The main child descended at this level.
+    main_open: bool,
+    /// The adds child descended at this level.
+    adds_open: bool,
+    /// The main child is positioned on a (live) key at this level.
+    main_live: bool,
+    /// The adds child is positioned on a key at this level.
+    adds_live: bool,
+}
+
+/// Key-level merge of a main-side cursor and a delta-adds cursor.
+///
+/// The current key is the minimum of the two children's keys (over the
+/// children that are both *open* at this level and not exhausted); `open`
+/// descends only the children carrying the current key. Main keys whose
+/// entire subtree is tombstoned are skipped, so a fully-deleted key
+/// vanishes from the logical trie at every level.
+#[derive(Debug, Clone)]
+struct MergedCursor<'a> {
+    main: TrieCursor<'a>,
+    adds: TrieCursor<'a>,
+    tomb: &'a [u32],
+    levels: Vec<MergedLevel>,
+}
+
+impl MergedCursor<'_> {
+    /// True if the main child's current key has no live rows (its whole
+    /// run is tombstoned).
+    fn main_key_dead(&self) -> bool {
+        let run = self.main.run();
+        tombs_within(self.tomb, run) as usize == run.len()
+    }
+
+    /// Advance the main child past fully-tombstoned keys.
+    fn skip_dead_main(&mut self) {
+        while !self.main.at_end() && self.main_key_dead() {
+            self.main.next_key();
+        }
+    }
+
+    fn open(&mut self) {
+        let (main_open, adds_open) = match self.levels.last() {
+            None => (true, true),
+            Some(&top) => {
+                let k = self.key_of(top).expect("open() on exhausted level");
+                (
+                    top.main_live && self.main.key() == k,
+                    top.adds_live && self.adds.key() == k,
+                )
+            }
+        };
+        let mut lvl = MergedLevel { main_open, adds_open, main_live: false, adds_live: false };
+        if main_open {
+            self.main.open();
+            self.skip_dead_main();
+            lvl.main_live = !self.main.at_end();
+        }
+        if adds_open {
+            self.adds.open();
+            lvl.adds_live = !self.adds.at_end();
+        }
+        self.levels.push(lvl);
+    }
+
+    fn up(&mut self) {
+        let top = self.levels.pop().expect("up() at root");
+        if top.main_open {
+            self.main.up();
+        }
+        if top.adds_open {
+            self.adds.up();
+        }
+    }
+
+    #[inline]
+    fn top(&self) -> MergedLevel {
+        *self.levels.last().expect("operation requires an open level")
+    }
+
+    #[inline]
+    fn key_of(&self, top: MergedLevel) -> Option<u32> {
+        match (top.main_live, top.adds_live) {
+            (true, true) => Some(self.main.key().min(self.adds.key())),
+            (true, false) => Some(self.main.key()),
+            (false, true) => Some(self.adds.key()),
+            (false, false) => None,
+        }
+    }
+
+    #[inline]
+    fn at_end(&self) -> bool {
+        let top = self.top();
+        !top.main_live && !top.adds_live
+    }
+
+    #[inline]
+    fn key(&self) -> u32 {
+        self.key_of(self.top()).expect("key() at end")
+    }
+
+    /// Live fan-out of the current key: main run minus its tombstones,
+    /// plus the adds run when the adds child shares the key.
+    fn fanout(&self) -> usize {
+        let top = self.top();
+        let k = self.key_of(top).expect("fanout() at end");
+        let mut n = 0usize;
+        if top.main_live && self.main.key() == k {
+            let run = self.main.run();
+            n += run.len() - tombs_within(self.tomb, run) as usize;
+        }
+        if top.adds_live && self.adds.key() == k {
+            n += self.adds.run().len();
+        }
+        n
+    }
+
+    fn next_key(&mut self) {
+        let top_idx = self.levels.len() - 1;
+        let mut top = self.levels[top_idx];
+        let k = self.key_of(top).expect("next_key() at end");
+        if top.main_live && self.main.key() == k {
+            self.main.next_key();
+            self.skip_dead_main();
+            top.main_live = !self.main.at_end();
+        }
+        if top.adds_live && self.adds.key() == k {
+            self.adds.next_key();
+            top.adds_live = !self.adds.at_end();
+        }
+        self.levels[top_idx] = top;
+    }
+
+    fn seek(&mut self, v: u32) -> SeekOutcome {
+        let top_idx = self.levels.len() - 1;
+        let mut top = self.levels[top_idx];
+        let mut outcome = SeekOutcome::Linear;
+        if top.main_open {
+            outcome = self.main.seek_raw(v);
+            self.skip_dead_main();
+            top.main_live = !self.main.at_end();
+        }
+        if top.adds_open {
+            let o = self.adds.seek_raw(v);
+            if !top.main_live {
+                outcome = o;
+            }
+            top.adds_live = !self.adds.at_end();
+        }
+        self.levels[top_idx] = top;
         outcome
     }
 }
@@ -643,6 +853,110 @@ mod tests {
             b.next_key();
         }
         assert!(b.at_end());
+    }
+
+    /// Exhaustively walk a cursor, returning (depth, key, fanout) tuples
+    /// of every node in depth-first order.
+    fn walk_all(c: &mut TrieCursor<'_>) -> Vec<(usize, u32, usize)> {
+        let mut out = Vec::new();
+        c.open();
+        loop {
+            if c.at_end() {
+                if c.depth() == 1 {
+                    break;
+                }
+                c.up();
+                c.next_key();
+                continue;
+            }
+            out.push((c.depth(), c.key(), c.fanout()));
+            if c.depth() < c.max_depth() {
+                c.open();
+            } else {
+                c.next_key();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn merged_cursor_agrees_with_rebuilt_index() {
+        // Overlay: delete two rows (one of them subject 3's only row, so
+        // key 3 must vanish at level 0) and insert rows for an existing
+        // and a brand-new subject.
+        let base: Vec<Triple> = vec![
+            [1, 10, 100],
+            [1, 10, 101],
+            [1, 11, 100],
+            [2, 10, 100],
+            [2, 12, 105],
+            [3, 12, 103],
+        ]
+        .into_iter()
+        .map(Triple::from)
+        .collect();
+        let inserts =
+            [Triple::from([1, 10, 99]), Triple::from([4, 13, 104]), Triple::from([2, 12, 1])];
+        let deletes = [Triple::from([3, 12, 103]), Triple::from([1, 11, 100])];
+        let live: Vec<Triple> = base
+            .iter()
+            .filter(|t| !deletes.contains(t))
+            .chain(inserts.iter())
+            .copied()
+            .collect();
+        for layout in Layout::ALL {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &base, layout)
+                .with_delta(&inserts, &deletes);
+            let rebuilt = TrieIndex::build_with_layout(IndexOrder::Spo, &live, layout);
+            let got = walk_all(&mut TrieCursor::over_index(&idx));
+            let expect = walk_all(&mut TrieCursor::over_index(&rebuilt));
+            assert_eq!(got, expect, "layout {layout}");
+        }
+    }
+
+    #[test]
+    fn merged_cursor_seeks_match_rebuilt() {
+        let base: Vec<Triple> = (0..30u32)
+            .map(|i| Triple::from([i % 6, 10 + (i % 3), 100 + i]))
+            .collect();
+        let inserts = [Triple::from([2, 11, 7]), Triple::from([9, 10, 1])];
+        let deletes: Vec<Triple> = base.iter().filter(|t| t.s.raw() == 4).copied().collect();
+        let live: Vec<Triple> = base
+            .iter()
+            .filter(|t| !deletes.contains(t))
+            .chain(inserts.iter())
+            .copied()
+            .collect();
+        for layout in Layout::ALL {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &base, layout)
+                .with_delta(&inserts, &deletes);
+            let rebuilt = TrieIndex::build_with_layout(IndexOrder::Spo, &live, layout);
+            let mut a = TrieCursor::over_index(&idx);
+            let mut b = TrieCursor::over_index(&rebuilt);
+            a.open();
+            b.open();
+            for target in [0u32, 2, 3, 4, 5, 9, 10] {
+                a.seek(target);
+                b.seek(target);
+                assert_eq!(a.at_end(), b.at_end(), "layout {layout} seek {target}");
+                if !a.at_end() {
+                    assert_eq!(a.key(), b.key(), "layout {layout} seek {target}");
+                    assert_eq!(a.fanout(), b.fanout(), "layout {layout} seek {target}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_cursor_on_empty_main() {
+        let adds = [Triple::from([5, 6, 7])];
+        for layout in Layout::ALL {
+            let idx =
+                TrieIndex::build_with_layout(IndexOrder::Spo, &[], layout).with_delta(&adds, &[]);
+            let mut c = TrieCursor::over_index(&idx);
+            c.open();
+            assert_eq!(keys_at_level(&mut c), vec![5], "layout {layout}");
+        }
     }
 
     #[test]

@@ -37,6 +37,32 @@ impl UpdateBatch {
     pub fn is_empty(&self) -> bool {
         self.insert.is_empty() && self.delete.is_empty()
     }
+
+    /// Total number of triples named by the batch (ingest-budget unit).
+    pub fn size(&self) -> usize {
+        self.insert.len() + self.delete.len()
+    }
+
+    /// Canonicalize the batch: sort and dedupe both sides, and *cancel*
+    /// an insert and delete of the same triple within the batch (the net
+    /// effect on that triple is nothing, whether or not it exists).
+    /// Deletes of absent triples are left in place — they are ignored
+    /// when the batch is applied against an index.
+    pub fn normalized(&self) -> UpdateBatch {
+        let mut insert = self.insert.clone();
+        insert.sort_unstable();
+        insert.dedup();
+        let mut delete = self.delete.clone();
+        delete.sort_unstable();
+        delete.dedup();
+        let cancelled: Vec<Triple> =
+            insert.iter().copied().filter(|t| delete.binary_search(t).is_ok()).collect();
+        if !cancelled.is_empty() {
+            insert.retain(|t| cancelled.binary_search(t).is_err());
+            delete.retain(|t| cancelled.binary_search(t).is_err());
+        }
+        UpdateBatch { insert, delete }
+    }
 }
 
 /// Merge a sorted row array with a batch, producing the updated sorted
@@ -73,6 +99,7 @@ impl TrieIndex {
     /// Apply an update batch by merging, avoiding the full re-sort.
     /// Returns the updated index.
     pub fn merged(&self, batch: &UpdateBatch) -> TrieIndex {
+        let batch = batch.normalized();
         let order = self.order();
         let permute_sorted = |triples: &[Triple]| -> Vec<[u32; 3]> {
             let mut rows: Vec<[u32; 3]> = triples.iter().map(|t| order.permute(*t)).collect();
@@ -164,9 +191,54 @@ mod tests {
             insert: vec![t(5, 5, 5)],
             delete: vec![t(5, 5, 5)],
         };
-        // Delete wins (applied after the merge step for that row).
+        // The pair cancels: an absent triple stays absent.
         let merged = idx.merged(&batch);
         assert_eq!(merged.len(), idx.len());
+    }
+
+    #[test]
+    fn normalized_dedupes_duplicate_inserts() {
+        let batch = UpdateBatch {
+            insert: vec![t(1, 1, 1), t(2, 2, 2), t(1, 1, 1), t(1, 1, 1)],
+            delete: vec![t(9, 9, 9), t(9, 9, 9)],
+        };
+        let n = batch.normalized();
+        assert_eq!(n.insert, vec![t(1, 1, 1), t(2, 2, 2)]);
+        assert_eq!(n.delete, vec![t(9, 9, 9)]);
+        assert_eq!(n.size(), 3);
+    }
+
+    #[test]
+    fn normalized_cancels_insert_delete_pairs() {
+        let batch = UpdateBatch {
+            insert: vec![t(1, 1, 1), t(2, 2, 2)],
+            delete: vec![t(2, 2, 2), t(3, 3, 3)],
+        };
+        let n = batch.normalized();
+        assert_eq!(n.insert, vec![t(1, 1, 1)]);
+        assert_eq!(n.delete, vec![t(3, 3, 3)]);
+    }
+
+    #[test]
+    fn cancelled_pair_keeps_a_present_triple() {
+        // (1,10,100) exists; inserting and deleting it in one batch must
+        // leave it untouched (cancellation, not delete-wins).
+        let idx = TrieIndex::build(IndexOrder::Spo, &base());
+        let batch = UpdateBatch {
+            insert: vec![t(1, 10, 100)],
+            delete: vec![t(1, 10, 100)],
+        };
+        let merged = idx.merged(&batch);
+        assert_eq!(merged.to_rows(), idx.to_rows());
+        assert!(merged.contains_row(1, 10, 100));
+    }
+
+    #[test]
+    fn deletes_of_absent_triples_are_ignored_by_merge() {
+        let idx = TrieIndex::build(IndexOrder::Spo, &base());
+        let batch = UpdateBatch::deleting(vec![t(8, 8, 8), t(0, 0, 0)]);
+        let merged = idx.merged(&batch);
+        assert_eq!(merged.to_rows(), idx.to_rows());
     }
 
     #[test]

@@ -300,6 +300,14 @@ well_known! {
             "Session chart expansions evaluated.",
         DATAGEN_GRAPHS => "datagen.graphs_generated":
             "Synthetic graphs generated.",
+        EPOCH_PUBLISHED => "index.epoch.published":
+            "Epoch snapshots published (delta appends and merge swaps).",
+        MERGE_STARTED => "index.merge.started":
+            "Background delta-to-main merges started.",
+        MERGE_RETRIED => "index.merge.retried":
+            "Background merges retried after a failure or crash point.",
+        MERGE_COMPLETED => "index.merge.completed":
+            "Background merges that published a new delta-free main.",
     }
     gauges {
         PARALLEL_ACTIVE_WORKERS => "core.parallel.active_workers":
@@ -308,6 +316,10 @@ well_known! {
             "Jobs currently queued on the persistent worker pool.",
         DATAGEN_LAST_TRIPLES => "datagen.last_graph_triples":
             "Triple count of the most recently generated graph.",
+        DELTA_ROWS => "index.delta.rows":
+            "Live rows in the current epoch's delta overlay (adds + tombstones).",
+        EPOCH_CURRENT => "index.epoch.current":
+            "Identifier of the currently published epoch.",
     }
     histograms {
         SUPERVISE_NS => "supervisor.supervise_ns":

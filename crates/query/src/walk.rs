@@ -8,7 +8,7 @@
 //! that turn the bound join value into a contiguous row range, from which
 //! the walk samples uniformly in O(1) (§IV-C).
 
-use kgoa_index::{IndexOrder, IndexedGraph, RowRange, TrieIndex};
+use kgoa_index::{IndexOrder, IndexedGraph, LiveRange, RowRange, TrieIndex};
 use kgoa_rdf::{Position, TermId};
 
 use crate::error::QueryError;
@@ -116,6 +116,35 @@ impl WalkAccess {
                     None => RowRange::EMPTY,
                 }
             }
+        }
+    }
+
+    /// Like [`WalkAccess::resolve`], but over the *live* view: the
+    /// returned [`LiveRange`] excludes tombstoned rows and includes delta
+    /// inserts when `index` carries an overlay. Identical to `resolve`
+    /// (wrapped in [`LiveRange::solid`]) on a delta-free index.
+    pub fn resolve_live(&self, index: &TrieIndex, in_value: Option<u32>) -> LiveRange {
+        let vals = self.prefix_values(in_value);
+        match self.prefix.len() {
+            0 => index.full_live(),
+            1 => index.range1_live(vals[0]),
+            2 => index.range2_live(vals[0], vals[1]),
+            _ => match index.locate_live(vals[0], vals[1], vals[2]) {
+                Some(pos) if pos < index.len() as u32 => LiveRange {
+                    main: RowRange { start: pos, end: pos + 1 },
+                    delta: RowRange::EMPTY,
+                    dead: 0,
+                },
+                Some(pos) => {
+                    let local = pos - index.len() as u32;
+                    LiveRange {
+                        main: RowRange::EMPTY,
+                        delta: RowRange { start: local, end: local + 1 },
+                        dead: 0,
+                    }
+                }
+                None => LiveRange::EMPTY,
+            },
         }
     }
 }

@@ -91,7 +91,8 @@ pub mod exec {
 pub mod prelude {
     pub use kgoa_core::{
         run_governed, run_timed, run_walks, supervise, AuditJoin, AuditJoinConfig, Degraded,
-        OnlineAggregator, SupervisedResult, SupervisorConfig, SupervisorError, WanderJoin,
+        EpochConfig, EpochGuard, EpochManager, EpochSnapshot, OnlineAggregator,
+        SupervisedResult, SupervisorConfig, SupervisorError, WanderJoin,
     };
     pub use kgoa_datagen::{KgConfig, Scale};
     pub use kgoa_engine::{
