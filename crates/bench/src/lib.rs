@@ -14,6 +14,7 @@ pub mod experiments;
 pub mod layouts;
 pub mod metrics;
 pub mod microbench;
+pub mod monitor;
 pub mod profiler;
 pub mod telemetry;
 pub mod workload;
@@ -25,6 +26,7 @@ pub use experiments::{
 };
 pub use layouts::{index_bench, layout_parity};
 pub use metrics::{fmt_duration, fmt_pct, selectivity, tukey, Tukey};
+pub use monitor::monitor_bench;
 pub use profiler::{folded_path_for, profile_report, regress};
 pub use telemetry::{bench_json, obs_overhead, scale_bench, trace_report, BENCH_SCHEMA, TRACE_SCHEMA};
 pub use workload::{

@@ -30,6 +30,7 @@ pub mod accum;
 pub mod aggregate;
 pub mod audit;
 pub mod epoch;
+pub mod monitor;
 pub mod online;
 pub mod parallel;
 pub mod partitioned;
@@ -48,6 +49,7 @@ pub use audit::{
 pub use epoch::{EpochConfig, EpochGuard, EpochManager, EpochSnapshot};
 #[cfg(feature = "fault-inject")]
 pub use epoch::MergeCrashPoint;
+pub use monitor::{start_monitoring, MonitorConfig, MonitorHandle};
 pub use online::{run_governed, run_timed, run_traced, run_walks, OnlineAggregator, Snapshot};
 pub use parallel::{
     run_parallel, run_parallel_streaming, Budget, ParallelAlgo, ParallelError, ParallelOutcome,

@@ -1,0 +1,162 @@
+//! Background monitoring driver: recorder ticks on the worker pool.
+//!
+//! The obs crate owns the [`Recorder`] ring and the [watchdog] rules
+//! but deliberately owns no thread; this module is the scheduling
+//! glue. [`start_monitoring`] installs the global recorder and starts
+//! a lightweight timer thread that, once per tick, submits one *short*
+//! sample job to the shared [`WorkerPool`]: the job snapshots every
+//! metric into a window and runs one watchdog evaluation.
+//!
+//! Two scheduling rules keep this safe on small machines:
+//!
+//! - The timer never runs the sample itself and never loops inside a
+//!   pool job. A forever-looping detached job would permanently occupy
+//!   a worker — on a single-CPU host the global pool has exactly one,
+//!   and epoch merges behind it would never run.
+//! - At most one sample job is in flight. If the pool is so backed up
+//!   that the previous tick's job has not run yet, the tick is
+//!   *skipped* and counted (`obs.recorder.ticks_skipped`) rather than
+//!   queued — a sampler that piles jobs onto an already-stalled pool
+//!   would turn the stall it is supposed to detect into a worse one.
+//!   The skip counter itself then feeds the heartbeat rule: no samples
+//!   ⇒ stale windows ⇒ `/healthz` goes unhealthy.
+//!
+//! [watchdog]: kgoa_obs::watchdog
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use kgoa_obs::recorder::{Recorder, RecorderConfig};
+use kgoa_obs::watchdog::{self, WatchdogConfig};
+
+use crate::pool::WorkerPool;
+
+/// Sizing for [`start_monitoring`].
+#[derive(Debug, Clone, Default)]
+pub struct MonitorConfig {
+    /// Recorder tick and ring capacity. The tick doubles as the timer
+    /// interval.
+    pub recorder: RecorderConfig,
+    /// Watchdog thresholds evaluated once per tick.
+    pub watchdog: WatchdogConfig,
+}
+
+/// Running monitor; stops (and joins the timer) on [`stop`] or drop.
+///
+/// [`stop`]: MonitorHandle::stop
+pub struct MonitorHandle {
+    stop: Arc<AtomicBool>,
+    timer: Option<JoinHandle<()>>,
+}
+
+/// Clears the in-flight flag even if sampling panics, so one bad
+/// sample cannot silence the recorder forever.
+struct InFlightGuard(Arc<AtomicBool>);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// Install the global [`Recorder`] (first caller's sizing wins) and
+/// start the sampling timer. Returns a handle that stops the timer;
+/// the recorder itself stays installed, its ring merely stops
+/// advancing.
+pub fn start_monitoring(config: MonitorConfig) -> MonitorHandle {
+    let recorder = Recorder::install(config.recorder);
+    let tick = recorder.tick();
+    let watchdog_config = config.watchdog;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let timer = std::thread::Builder::new()
+        .name("kgoa-monitor".into())
+        .spawn(move || {
+            let in_flight = Arc::new(AtomicBool::new(false));
+            while !stop_flag.load(Ordering::Relaxed) {
+                if in_flight.swap(true, Ordering::AcqRel) {
+                    kgoa_obs::metrics::RECORDER_TICKS_SKIPPED.inc();
+                } else {
+                    let guard = InFlightGuard(Arc::clone(&in_flight));
+                    let wd = watchdog_config.clone();
+                    WorkerPool::global().spawn_detached(move || {
+                        let _clear = guard;
+                        if let Some(rec) = Recorder::global() {
+                            rec.sample_now();
+                        }
+                        watchdog::tick_global(&wd);
+                    });
+                }
+                std::thread::sleep(tick);
+            }
+        })
+        .expect("spawn kgoa-monitor timer thread");
+    kgoa_obs::events::info(
+        "monitor",
+        format!("monitoring started (tick {:?})", tick),
+    );
+    MonitorHandle { stop, timer: Some(timer) }
+}
+
+impl MonitorHandle {
+    /// Stop the timer and join it. Idempotent; also runs on drop. Any
+    /// already-submitted sample job still completes on the pool.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        if let Some(timer) = self.timer.take() {
+            let _ = timer.join();
+        }
+    }
+}
+
+impl Drop for MonitorHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn monitoring_fills_the_global_ring_and_stops_cleanly() {
+        let _guard = kgoa_obs::metrics::test_lock();
+        kgoa_obs::reset();
+        kgoa_obs::set_enabled(true);
+        let mut handle = start_monitoring(MonitorConfig {
+            recorder: RecorderConfig { tick: Duration::from_millis(5), capacity: 64 },
+            watchdog: WatchdogConfig::default(),
+        });
+        // Make some traffic for the windows to see, then wait for the
+        // sampler to produce at least two windows.
+        kgoa_obs::metrics::TRIE_SEEKS.add(3);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let rec = Recorder::global().expect("start_monitoring installs the recorder");
+        while rec.windows().len() < 2 {
+            assert!(Instant::now() < deadline, "sampler produced no windows");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.stop();
+        handle.stop(); // idempotent
+        let frozen = rec.windows().len();
+        let ticks = kgoa_obs::metrics::RECORDER_TICKS.get();
+        assert!(ticks as usize >= frozen.min(2));
+        // Stopped: the ring no longer advances (allow one in-flight job
+        // to land before checking).
+        std::thread::sleep(Duration::from_millis(30));
+        let settled = rec.windows().len();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(rec.windows().len(), settled, "ring must freeze after stop");
+        // The traffic landed in some window's counter deltas.
+        let total: u64 =
+            rec.windows().iter().map(|w| w.counter_delta("index.trie.seeks")).sum();
+        assert!(total >= 3);
+        kgoa_obs::set_enabled(false);
+        kgoa_obs::reset();
+    }
+}

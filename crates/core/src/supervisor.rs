@@ -244,6 +244,7 @@ pub fn supervise(
     // the exact scans pointless; the whole deadline goes to estimates).
     let reason = 'exact: {
         if config.ingest_pressure {
+            kgoa_obs::metrics::SUPERVISOR_SHED_PRESSURE.inc();
             break 'exact DegradeReason::IngestPressure;
         }
         let exact_slice = config.deadline.mul_f64(config.exact_fraction.clamp(0.0, 1.0));
@@ -279,6 +280,7 @@ pub fn supervise(
                         ("elapsed_us", start.elapsed().as_micros().to_string()),
                     ],
                 );
+                slo_record("exact", start);
                 return Ok(SupervisedResult::Exact { counts, elapsed: start.elapsed() });
             }
             Ok(Err(EngineError::BudgetExceeded(b))) => DegradeReason::Budget(b.reason),
@@ -319,6 +321,7 @@ pub fn supervise(
                     ("elapsed_us", start.elapsed().as_micros().to_string()),
                 ],
             );
+            slo_record("audit_join", start);
             return Ok(SupervisedResult::Degraded {
                 estimates,
                 provenance: Degraded {
@@ -364,6 +367,7 @@ pub fn supervise(
                     ("elapsed_us", start.elapsed().as_micros().to_string()),
                 ],
             );
+            slo_record("wander_join", start);
             Ok(SupervisedResult::Degraded {
                 estimates,
                 provenance: Degraded { reason, elapsed: start.elapsed(), walks, estimator: "wj" },
@@ -382,9 +386,23 @@ pub fn supervise(
                     ("elapsed_us", start.elapsed().as_micros().to_string()),
                 ],
             );
+            slo_record("exhausted", start);
             Err(SupervisorError::Exhausted { reason, elapsed: start.elapsed() })
         }
     }
+}
+
+/// Record one supervised outcome with the SLO tracker, stamped with the
+/// current profile's trace id so objective breaches keep an exemplar
+/// pointing at the captured flamegraph. No-op while the tracker is
+/// disarmed (one relaxed load).
+fn slo_record(rung: &'static str, start: Instant) {
+    kgoa_obs::slo::record(
+        "supervisor",
+        rung,
+        start.elapsed(),
+        kgoa_obs::profile::current_trace_id(),
+    );
 }
 
 /// The wall-clock slice left for a degraded rung, floored at

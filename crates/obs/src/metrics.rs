@@ -180,12 +180,34 @@ impl Histogram {
         self.count.load(R)
     }
 
+    /// True when no sample has been recorded. The empty-histogram
+    /// sentinel for [`min`](Self::min), [`max`](Self::max),
+    /// [`mean`](Self::mean), and [`quantile`](Self::quantile) is 0 —
+    /// exporters that must distinguish "empty" from "all samples were
+    /// zero" check this first (the Prometheus exposition layer does).
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
     /// Sum of all samples.
     pub fn sum(&self) -> u64 {
         self.sum.load(R)
     }
 
-    /// Smallest sample (0 when empty).
+    /// Arithmetic mean of all samples. Empty-histogram sentinel: `0.0`
+    /// (see [`is_empty`](Self::is_empty)).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Smallest sample. Empty-histogram sentinel: 0 (see
+    /// [`is_empty`](Self::is_empty)) — the raw `u64::MAX` init value is
+    /// never exposed.
     pub fn min(&self) -> u64 {
         let m = self.min.load(R);
         if m == u64::MAX && self.count() == 0 {
@@ -195,14 +217,24 @@ impl Histogram {
         }
     }
 
-    /// Largest sample (0 when empty).
+    /// Largest sample. Empty-histogram sentinel: 0 (see
+    /// [`is_empty`](Self::is_empty)).
     pub fn max(&self) -> u64 {
         self.max.load(R)
     }
 
+    /// Number of samples recorded into bucket `b` (`0..`[`BUCKETS`]).
+    /// Out-of-range indices read as 0. Exposed for exporters that need
+    /// the raw distribution (Prometheus `_bucket` lines, the recorder's
+    /// windowed deltas).
+    pub fn bucket_count(&self, b: usize) -> u64 {
+        self.buckets.get(b).map_or(0, |c| c.load(R))
+    }
+
     /// Approximate quantile `q` in `[0, 1]`: walks the bucket counts and
     /// returns the bound of the bucket containing the rank, clamped to
-    /// the observed `[min, max]`. Returns 0 when empty.
+    /// the observed `[min, max]`. Empty-histogram sentinel: 0 (see
+    /// [`is_empty`](Self::is_empty)).
     pub fn quantile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -308,6 +340,22 @@ well_known! {
             "Background merges retried after a failure or crash point.",
         MERGE_COMPLETED => "index.merge.completed":
             "Background merges that published a new delta-free main.",
+        SUPERVISOR_SHED_PRESSURE => "supervisor.shed.ingest_pressure":
+            "Supervised queries whose exact rung was shed under ingest pressure.",
+        RECORDER_TICKS => "obs.recorder.ticks":
+            "Time-series recorder sampling windows captured.",
+        RECORDER_TICKS_SKIPPED => "obs.recorder.ticks_skipped":
+            "Recorder ticks skipped because the previous sample job was still queued.",
+        SLO_RECORDED => "obs.slo.recorded":
+            "Query outcomes recorded by the SLO tracker.",
+        SLO_BREACHES => "obs.slo.breaches":
+            "Recorded queries that breached their latency objective.",
+        SLO_PROFILES_CAPTURED => "obs.slo.profiles_captured":
+            "Query profiles retained by the SLO slow-query log.",
+        WATCHDOG_ALERTS => "obs.watchdog.alerts":
+            "Watchdog rule evaluations that fired an alert.",
+        HTTP_REQUESTS => "obs.http.requests":
+            "Requests served by the obs-http scrape listener.",
     }
     gauges {
         PARALLEL_ACTIVE_WORKERS => "core.parallel.active_workers":
@@ -320,6 +368,8 @@ well_known! {
             "Live rows in the current epoch's delta overlay (adds + tombstones).",
         EPOCH_CURRENT => "index.epoch.current":
             "Identifier of the currently published epoch.",
+        WATCHDOG_VERDICT => "obs.watchdog.verdict":
+            "Last watchdog verdict: 0 healthy, 1 degraded, 2 unhealthy.",
     }
     histograms {
         SUPERVISE_NS => "supervisor.supervise_ns":
@@ -415,6 +465,44 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn empty_histogram_sentinels_are_explicit() {
+        let h = Histogram::new("test.empty");
+        assert!(h.is_empty());
+        // The documented empty sentinel is 0 across the board — never
+        // the raw u64::MAX the min slot is initialised with.
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        for b in 0..BUCKETS {
+            assert_eq!(h.bucket_count(b), 0);
+        }
+    }
+
+    #[test]
+    fn histogram_mean_and_bucket_counts() {
+        let _guard = test_lock();
+        let h = Histogram::new("test.mean");
+        crate::set_enabled(true);
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        crate::set_enabled(false);
+        assert!(!h.is_empty());
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+        assert_eq!(h.bucket_count(Histogram::bucket(0)), 1);
+        assert_eq!(h.bucket_count(Histogram::bucket(1)), 1);
+        // 2 and 3 share bucket 2.
+        assert_eq!(h.bucket_count(2), 2);
+        assert_eq!(h.bucket_count(Histogram::bucket(1000)), 1);
+        assert_eq!(h.bucket_count(BUCKETS + 7), 0, "out of range reads as 0");
+        let total: u64 = (0..BUCKETS).map(|b| h.bucket_count(b)).sum();
+        assert_eq!(total, h.count(), "bucket counts partition the samples");
     }
 
     #[test]

@@ -239,6 +239,16 @@ pub fn current_handle() -> Option<ProfileHandle> {
     })
 }
 
+/// Trace id of the profile this thread is attached to, if any. Lets
+/// instrumentation (the SLO tracker, the supervisor) stamp exemplars
+/// with the trace without holding a [`ProfileHandle`].
+pub fn current_trace_id() -> Option<u64> {
+    if !profiling_possible() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().as_ref().map(|ctx| ctx.inner.trace_id))
+}
+
 /// RAII guard for a thread attachment; restores the previous attachment
 /// (possibly none) on drop and asserts the open-span stack drained.
 #[must_use = "detaches on drop; binding to _ detaches immediately"]

@@ -1,0 +1,411 @@
+//! Time-series recorder: windowed metric deltas in a bounded ring.
+//!
+//! A [`Snapshot`](crate::Snapshot) answers "what are the lifetime
+//! totals right now"; operations questions are about *rates* — "is
+//! `index.merge.retried` climbing", "has `core.pool.queue_depth` been
+//! stuck for the last minute". The [`Recorder`] answers those: each
+//! [`sample_now`](Recorder::sample_now) call closes a [`Window`]
+//! holding the per-counter **delta** since the previous sample (and the
+//! sampled level of every gauge), and the most recent
+//! [`RecorderConfig::capacity`] windows are retained in a ring.
+//!
+//! The recorder does not own a thread: sampling is driven externally
+//! (see `kgoa_core::monitor`, which submits one short sample job per
+//! tick to the shared worker pool) so the obs crate stays free of
+//! scheduling policy. Overlapping drivers are safe — sampling is
+//! serialised on an internal mutex — but pointless; drivers should
+//! skip a tick when the previous sample is still in flight and count
+//! it via `obs.recorder.ticks_skipped`.
+//!
+//! ## Schema (`kgoa-obs/v3`)
+//!
+//! ```json
+//! {
+//!   "schema": "kgoa-obs/v3",
+//!   "tick_us": 250000,
+//!   "capacity": 240,
+//!   "dropped": 0,
+//!   "windows": [
+//!     {"index": 0, "start_us": 10, "end_us": 250010,
+//!      "counters": {"index.trie.seeks": {"delta": 42, "rate_per_sec": 168.0}},
+//!      "gauges": {"core.pool.queue_depth": 3},
+//!      "histograms": {"supervisor.supervise_ns": {"count": 2, "sum": 91000}}},
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! Counters and histograms with a zero delta in a window are omitted
+//! (idle windows are near-empty); gauges are always reported so level
+//! plateaus stay visible to the watchdog. Deltas use `saturating_sub`
+//! against the previous reading, so a [`crate::reset`] between windows
+//! yields a zero delta rather than an underflow.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::metrics;
+use crate::registry::Registry;
+
+/// Schema identifier stamped into every JSON series export.
+pub const SERIES_SCHEMA: &str = "kgoa-obs/v3";
+
+/// Recorder sizing.
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Intended sampling interval. The recorder itself does not keep
+    /// time — this is advisory for drivers and is exported in the
+    /// series header so consumers can interpret rates.
+    pub tick: Duration,
+    /// Maximum retained windows; older windows are dropped (and
+    /// counted). The default (240 × 250 ms) covers one minute.
+    pub capacity: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig { tick: Duration::from_millis(250), capacity: 240 }
+    }
+}
+
+/// One closed sampling window: deltas since the previous sample.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Monotonic window number (not reset when old windows drop).
+    pub index: u64,
+    /// Microseconds since [`crate::epoch`] when the window opened
+    /// (= the previous sample time, or recorder creation for window 0).
+    pub start_us: u64,
+    /// Microseconds since [`crate::epoch`] when the window closed.
+    pub end_us: u64,
+    /// Counter deltas over the window, non-zero only, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge levels at window close, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram `(count, sum)` deltas, non-zero count only, sorted.
+    pub histograms: Vec<(String, u64, u64)>,
+}
+
+impl Window {
+    /// Delta recorded for a counter in this window (0 if absent).
+    pub fn counter_delta(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, d)| *d)
+    }
+
+    /// Sampled level of a gauge at window close, if it was present.
+    pub fn gauge_level(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Window span in seconds (floored at 1 µs so rates stay finite).
+    pub fn span_secs(&self) -> f64 {
+        (self.end_us.saturating_sub(self.start_us)).max(1) as f64 / 1e6
+    }
+}
+
+struct Inner {
+    /// Previous reading per counter name, for delta computation.
+    counter_base: HashMap<String, u64>,
+    /// Previous `(count, sum)` per histogram name.
+    hist_base: HashMap<String, (u64, u64)>,
+    windows: Vec<Window>,
+    next_index: u64,
+    last_end_us: u64,
+    dropped: u64,
+}
+
+/// Windowed time-series recorder over all counters, gauges, and
+/// histograms (well-known statics plus the dynamic registry).
+pub struct Recorder {
+    config: RecorderConfig,
+    inner: Mutex<Inner>,
+}
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+impl Recorder {
+    /// Build a detached recorder (used by tests; production code uses
+    /// [`install`](Self::install)). The first window's deltas are
+    /// measured from the metric values at construction time.
+    pub fn new(config: RecorderConfig) -> Recorder {
+        let capacity = config.capacity.max(1);
+        Recorder {
+            config: RecorderConfig { capacity, ..config },
+            inner: Mutex::new(Inner {
+                counter_base: HashMap::new(),
+                hist_base: HashMap::new(),
+                windows: Vec::new(),
+                next_index: 0,
+                last_end_us: crate::elapsed_us(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Install the process-global recorder. The first call wins and
+    /// returns it; later calls ignore their config and return the
+    /// existing instance (reconfiguring a live ring would corrupt the
+    /// delta baselines of in-flight consumers).
+    pub fn install(config: RecorderConfig) -> &'static Recorder {
+        GLOBAL.get_or_init(|| Recorder::new(config))
+    }
+
+    /// The installed global recorder, if [`install`](Self::install)
+    /// has run.
+    pub fn global() -> Option<&'static Recorder> {
+        GLOBAL.get()
+    }
+
+    /// Advisory sampling interval from the config.
+    pub fn tick(&self) -> Duration {
+        self.config.tick
+    }
+
+    /// Close the current window: read every metric, store deltas since
+    /// the previous reading, and push the window into the ring.
+    /// Returns the index of the window just closed.
+    pub fn sample_now(&self) -> u64 {
+        let reg = Registry::global();
+        let counters: Vec<(String, u64)> = metrics::COUNTERS
+            .iter()
+            .copied()
+            .chain(reg.counters())
+            .map(|c| (c.name().to_owned(), c.get()))
+            .collect();
+        let gauges: Vec<(String, i64)> = metrics::GAUGES
+            .iter()
+            .copied()
+            .chain(reg.gauges())
+            .map(|g| (g.name().to_owned(), g.get()))
+            .collect();
+        let hists: Vec<(String, u64, u64)> = metrics::HISTOGRAMS
+            .iter()
+            .copied()
+            .chain(reg.histograms())
+            .map(|h| (h.name().to_owned(), h.count(), h.sum()))
+            .collect();
+
+        let now = crate::elapsed_us();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut counter_deltas: Vec<(String, u64)> = counters
+            .into_iter()
+            .filter_map(|(name, v)| {
+                let prev = inner.counter_base.insert(name.clone(), v).unwrap_or(0);
+                let delta = v.saturating_sub(prev);
+                (delta > 0).then_some((name, delta))
+            })
+            .collect();
+        counter_deltas.sort();
+        let mut gauge_levels = gauges;
+        gauge_levels.sort();
+        let mut hist_deltas: Vec<(String, u64, u64)> = hists
+            .into_iter()
+            .filter_map(|(name, count, sum)| {
+                let (pc, ps) =
+                    inner.hist_base.insert(name.clone(), (count, sum)).unwrap_or((0, 0));
+                let dc = count.saturating_sub(pc);
+                (dc > 0).then(|| (name, dc, sum.saturating_sub(ps)))
+            })
+            .collect();
+        hist_deltas.sort();
+
+        let index = inner.next_index;
+        inner.next_index += 1;
+        let window = Window {
+            index,
+            start_us: inner.last_end_us,
+            end_us: now,
+            counters: counter_deltas,
+            gauges: gauge_levels,
+            histograms: hist_deltas,
+        };
+        inner.last_end_us = now;
+        if inner.windows.len() == self.config.capacity {
+            inner.windows.remove(0);
+            inner.dropped += 1;
+        }
+        inner.windows.push(window);
+        metrics::RECORDER_TICKS.inc();
+        index
+    }
+
+    /// Copy of the retained windows, oldest first.
+    pub fn windows(&self) -> Vec<Window> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).windows.clone()
+    }
+
+    /// Windows evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// Render the retained series to the [`SERIES_SCHEMA`] document.
+    pub fn to_json(&self) -> Json {
+        let (windows, dropped) = {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            (inner.windows.clone(), inner.dropped)
+        };
+        Json::Obj(vec![
+            ("schema".into(), Json::str(SERIES_SCHEMA)),
+            ("tick_us".into(), Json::Num(self.config.tick.as_micros() as f64)),
+            ("capacity".into(), Json::Num(self.config.capacity as f64)),
+            ("dropped".into(), Json::Num(dropped as f64)),
+            (
+                "windows".into(),
+                Json::Arr(windows.iter().map(Window::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl Window {
+    /// Render one window to its JSON object form.
+    pub fn to_json(&self) -> Json {
+        let span = self.span_secs();
+        Json::Obj(vec![
+            ("index".into(), Json::Num(self.index as f64)),
+            ("start_us".into(), Json::Num(self.start_us as f64)),
+            ("end_us".into(), Json::Num(self.end_us as f64)),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, d)| {
+                            (
+                                n.clone(),
+                                Json::Obj(vec![
+                                    ("delta".into(), Json::Num(*d as f64)),
+                                    (
+                                        "rate_per_sec".into(),
+                                        Json::Num(*d as f64 / span),
+                                    ),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(n, c, s)| {
+                            (
+                                n.clone(),
+                                Json::Obj(vec![
+                                    ("count".into(), Json::Num(*c as f64)),
+                                    ("sum".into(), Json::Num(*s as f64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn windows_hold_deltas_not_totals() {
+        let _guard = metrics::test_lock();
+        crate::reset();
+        let rec = Recorder::new(RecorderConfig {
+            tick: Duration::from_millis(10),
+            capacity: 4,
+        });
+        crate::set_enabled(true);
+        metrics::TRIE_SEEKS.add(5);
+        metrics::POOL_QUEUE_DEPTH.set(3);
+        metrics::SUPERVISE_NS.record(1000);
+        rec.sample_now();
+        metrics::TRIE_SEEKS.add(2);
+        rec.sample_now();
+        crate::set_enabled(false);
+
+        let ws = rec.windows();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].counter_delta("index.trie.seeks"), 5);
+        assert_eq!(ws[1].counter_delta("index.trie.seeks"), 2, "second window sees the delta");
+        assert_eq!(ws[0].gauge_level("core.pool.queue_depth"), Some(3));
+        let (name, count, sum) = ws[0]
+            .histograms
+            .iter()
+            .find(|(n, _, _)| n == "supervisor.supervise_ns")
+            .cloned()
+            .unwrap();
+        assert_eq!((name.as_str(), count, sum), ("supervisor.supervise_ns", 1, 1000));
+        assert!(
+            !ws[1].histograms.iter().any(|(n, _, _)| n == "supervisor.supervise_ns"),
+            "zero-delta histograms are omitted"
+        );
+        assert!(ws[1].start_us >= ws[0].end_us.min(ws[1].start_us));
+        assert_eq!(ws[0].end_us, ws[1].start_us, "windows tile the timeline");
+        crate::reset();
+    }
+
+    #[test]
+    fn ring_is_bounded_and_reset_does_not_underflow() {
+        let _guard = metrics::test_lock();
+        crate::reset();
+        let rec = Recorder::new(RecorderConfig {
+            tick: Duration::from_millis(10),
+            capacity: 3,
+        });
+        crate::set_enabled(true);
+        for i in 0..5u64 {
+            metrics::TRIE_SEEKS.add(i + 1);
+            rec.sample_now();
+        }
+        // A reset drops lifetime totals below the recorder's baseline;
+        // the next delta must saturate to zero, not wrap.
+        crate::reset();
+        crate::set_enabled(true);
+        rec.sample_now();
+        crate::set_enabled(false);
+
+        let ws = rec.windows();
+        assert_eq!(ws.len(), 3);
+        assert_eq!(rec.dropped(), 3);
+        assert_eq!(ws[0].index, 3, "indices keep counting across eviction");
+        assert_eq!(ws.last().unwrap().counter_delta("index.trie.seeks"), 0);
+        crate::reset();
+    }
+
+    #[test]
+    fn series_json_round_trips() {
+        let _guard = metrics::test_lock();
+        crate::reset();
+        let rec = Recorder::new(RecorderConfig::default());
+        crate::set_enabled(true);
+        metrics::TRIE_SEEKS.add(4);
+        rec.sample_now();
+        crate::set_enabled(false);
+        let j = rec.to_json();
+        assert_eq!(j.get("schema").and_then(Json::as_str), Some(SERIES_SCHEMA));
+        let text = j.pretty(2);
+        assert_eq!(Json::parse(&text).unwrap(), j, "series JSON must round-trip");
+        let w = j.get("windows").and_then(Json::as_arr).unwrap().first().unwrap();
+        let seeks = w.get("counters").and_then(|c| c.get("index.trie.seeks")).unwrap();
+        assert_eq!(seeks.get("delta").and_then(Json::as_f64), Some(4.0));
+        assert!(seeks.get("rate_per_sec").and_then(Json::as_f64).unwrap() > 0.0);
+        crate::reset();
+    }
+}

@@ -1,0 +1,415 @@
+//! SLO tracking: per-query latency objectives with a slow-query log.
+//!
+//! The paper's premise is *interactive* exploration — an answer that
+//! arrives late is an answer the user stopped waiting for — so the
+//! operable quantity is not mean latency but "what fraction of queries
+//! met the objective, and what did the slow ones look like". The
+//! tracker records every governed query keyed by `(engine, rung)`
+//! (e.g. `("supervisor", "exact")`, `("session", "wander_join")`),
+//! keeps a rolling latency window per key for p50/p95/p99, and when a
+//! query breaches its objective it:
+//!
+//! 1. counts the breach and emits a structured warn event (the
+//!    slow-query log),
+//! 2. remembers the query's trace id as an **exemplar**, and
+//! 3. if capture is enabled and the query was profiled, retains the
+//!    full [`ProfileReport`] so the flamegraph is retrievable later
+//!    (`/profilez/<trace-id>` on the scrape listener).
+//!
+//! The tracker is **disarmed by default** and the disarmed fast path is
+//! one relaxed atomic load — the same cost model as
+//! [`crate::enabled`], keeping the `repro obs-overhead` ≤ 1.05× gate.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::events::{self, Level};
+use crate::json::Json;
+use crate::metrics;
+use crate::profile::ProfileReport;
+
+/// Rolling latencies kept per `(engine, rung)` key for percentiles.
+const LATENCY_WINDOW: usize = 256;
+/// Exemplar trace ids kept per key.
+const EXEMPLARS: usize = 8;
+/// Breaching trace ids awaiting their profile report.
+const PENDING_CAPTURES: usize = 64;
+/// Captured slow-query profiles retained, oldest evicted first.
+const CAPTURED_PROFILES: usize = 32;
+
+/// Latency objectives and capture behaviour.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// Default latency objective for every key.
+    pub objective: Duration,
+    /// Per-key overrides `(engine, rung, objective)`; first match wins.
+    pub overrides: Vec<(String, String, Duration)>,
+    /// Retain the [`ProfileReport`] of breaching profiled queries.
+    pub capture: bool,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        // 250 ms: the interactive-latency bar the supervisor's time
+        // budget ladder is tuned for (DESIGN.md §4e).
+        SloPolicy { objective: Duration::from_millis(250), overrides: Vec::new(), capture: true }
+    }
+}
+
+impl SloPolicy {
+    /// Objective for a key, honouring overrides.
+    pub fn objective_for(&self, engine: &str, rung: &str) -> Duration {
+        self.overrides
+            .iter()
+            .find(|(e, r, _)| e == engine && r == rung)
+            .map_or(self.objective, |(_, _, d)| *d)
+    }
+}
+
+#[derive(Debug)]
+struct KeyStats {
+    engine: &'static str,
+    rung: &'static str,
+    count: u64,
+    breaches: u64,
+    latencies_us: VecDeque<u64>,
+    exemplars: VecDeque<u64>,
+}
+
+impl KeyStats {
+    fn quantile(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted: Vec<u64> = self.latencies_us.iter().copied().collect();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+#[derive(Debug, Default)]
+struct SloState {
+    policy: SloPolicy,
+    keys: Vec<KeyStats>,
+    /// Breaching trace ids whose profile has not been stored yet.
+    pending: VecDeque<u64>,
+    /// Captured slow-query reports, oldest first.
+    captured: VecDeque<ProfileReport>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static CAPTURE: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<SloState>> = Mutex::new(None);
+
+fn state() -> std::sync::MutexGuard<'static, Option<SloState>> {
+    STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arm the tracker with a policy; recording starts immediately.
+pub fn arm(policy: SloPolicy) {
+    let capture = policy.capture;
+    *state() = Some(SloState { policy, ..SloState::default() });
+    CAPTURE.store(capture, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarm and discard all state (stats, exemplars, captured profiles).
+pub fn disarm() {
+    ARMED.store(false, Ordering::Relaxed);
+    CAPTURE.store(false, Ordering::Relaxed);
+    *state() = None;
+}
+
+/// Is the tracker recording? One relaxed load — the disarmed fast path.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Is slow-query profile capture on? Callers that would *start* a
+/// profile to make capture possible (e.g. `Session::expand_governed`)
+/// gate on this.
+#[inline]
+pub fn capture_armed() -> bool {
+    ARMED.load(Ordering::Relaxed) && CAPTURE.load(Ordering::Relaxed)
+}
+
+/// Record one query outcome. `trace` is the query's profile trace id
+/// when it ran profiled (see [`crate::profile::current_trace_id`]).
+/// Returns whether the latency breached the key's objective.
+pub fn record(
+    engine: &'static str,
+    rung: &'static str,
+    latency: Duration,
+    trace: Option<u64>,
+) -> bool {
+    if !armed() {
+        return false;
+    }
+    metrics::SLO_RECORDED.inc();
+    let latency_us = latency.as_micros() as u64;
+    let mut guard = state();
+    let Some(st) = guard.as_mut() else { return false };
+    let objective = st.policy.objective_for(engine, rung);
+    let breached = latency > objective;
+    let capture = breached && st.policy.capture;
+    let key = match st.keys.iter_mut().find(|k| k.engine == engine && k.rung == rung) {
+        Some(k) => k,
+        None => {
+            st.keys.push(KeyStats {
+                engine,
+                rung,
+                count: 0,
+                breaches: 0,
+                latencies_us: VecDeque::new(),
+                exemplars: VecDeque::new(),
+            });
+            st.keys.last_mut().unwrap()
+        }
+    };
+    key.count += 1;
+    if key.latencies_us.len() == LATENCY_WINDOW {
+        key.latencies_us.pop_front();
+    }
+    key.latencies_us.push_back(latency_us);
+    if breached {
+        key.breaches += 1;
+        if let Some(t) = trace {
+            if key.exemplars.len() == EXEMPLARS {
+                key.exemplars.pop_front();
+            }
+            key.exemplars.push_back(t);
+            if capture && !st.pending.contains(&t) {
+                if st.pending.len() == PENDING_CAPTURES {
+                    st.pending.pop_front();
+                }
+                st.pending.push_back(t);
+            }
+        }
+    }
+    drop(guard);
+    if breached {
+        metrics::SLO_BREACHES.inc();
+        let mut fields = vec![
+            ("engine", engine.to_string()),
+            ("rung", rung.to_string()),
+            ("latency_us", latency_us.to_string()),
+            ("objective_us", (objective.as_micros() as u64).to_string()),
+        ];
+        if let Some(t) = trace {
+            fields.push(("trace_id", t.to_string()));
+        }
+        events::emit_with(Level::Warn, "slo", "latency objective breached", fields);
+    }
+    breached
+}
+
+/// Offer a finished profile to the slow-query log: retained iff its
+/// trace id was flagged as breaching by [`record`]. Returns whether it
+/// was stored.
+pub fn store_profile_if_breached(report: &ProfileReport) -> bool {
+    if !capture_armed() {
+        return false;
+    }
+    let mut guard = state();
+    let Some(st) = guard.as_mut() else { return false };
+    let Some(pos) = st.pending.iter().position(|t| *t == report.trace_id) else {
+        return false;
+    };
+    st.pending.remove(pos);
+    if st.captured.len() == CAPTURED_PROFILES {
+        st.captured.pop_front();
+    }
+    st.captured.push_back(report.clone());
+    drop(guard);
+    metrics::SLO_PROFILES_CAPTURED.inc();
+    true
+}
+
+/// Captured slow-query profile by trace id, as its v2 JSON document.
+pub fn profile_json(trace_id: u64) -> Option<Json> {
+    state()
+        .as_ref()?
+        .captured
+        .iter()
+        .find(|r| r.trace_id == trace_id)
+        .map(ProfileReport::to_json)
+}
+
+/// Trace ids of all captured slow-query profiles, oldest first.
+pub fn captured_trace_ids() -> Vec<u64> {
+    state().as_ref().map_or(Vec::new(), |st| st.captured.iter().map(|r| r.trace_id).collect())
+}
+
+/// Rolled-up state of one `(engine, rung)` key.
+#[derive(Debug, Clone)]
+pub struct KeySummary {
+    /// Recording engine ("supervisor", "session").
+    pub engine: &'static str,
+    /// Supervisor rung or outcome ("exact", "wander_join", ...).
+    pub rung: &'static str,
+    /// Queries recorded.
+    pub count: u64,
+    /// Queries over the objective.
+    pub breaches: u64,
+    /// The key's objective, µs.
+    pub objective_us: u64,
+    /// Rolling median latency, µs.
+    pub p50_us: u64,
+    /// Rolling 95th-percentile latency, µs.
+    pub p95_us: u64,
+    /// Rolling 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// Most recent breaching trace ids, oldest first.
+    pub exemplars: Vec<u64>,
+}
+
+/// Roll up every key, sorted by `(engine, rung)`. Empty when disarmed.
+pub fn summary() -> Vec<KeySummary> {
+    let guard = state();
+    let Some(st) = guard.as_ref() else { return Vec::new() };
+    let mut out: Vec<KeySummary> = st
+        .keys
+        .iter()
+        .map(|k| KeySummary {
+            engine: k.engine,
+            rung: k.rung,
+            count: k.count,
+            breaches: k.breaches,
+            objective_us: st.policy.objective_for(k.engine, k.rung).as_micros() as u64,
+            p50_us: k.quantile(0.50),
+            p95_us: k.quantile(0.95),
+            p99_us: k.quantile(0.99),
+            exemplars: k.exemplars.iter().copied().collect(),
+        })
+        .collect();
+    out.sort_by_key(|k| (k.engine, k.rung));
+    out
+}
+
+/// Render the summary as a JSON document (used by tests and reports;
+/// the Prometheus exposition renders the same data as labeled series).
+pub fn summary_json() -> Json {
+    Json::Obj(vec![
+        ("armed".into(), Json::Bool(armed())),
+        (
+            "keys".into(),
+            Json::Arr(
+                summary()
+                    .iter()
+                    .map(|k| {
+                        Json::Obj(vec![
+                            ("engine".into(), Json::str(k.engine)),
+                            ("rung".into(), Json::str(k.rung)),
+                            ("count".into(), Json::Num(k.count as f64)),
+                            ("breaches".into(), Json::Num(k.breaches as f64)),
+                            ("objective_us".into(), Json::Num(k.objective_us as f64)),
+                            ("p50_us".into(), Json::Num(k.p50_us as f64)),
+                            ("p95_us".into(), Json::Num(k.p95_us as f64)),
+                            ("p99_us".into(), Json::Num(k.p99_us as f64)),
+                            (
+                                "exemplars".into(),
+                                Json::Arr(
+                                    k.exemplars
+                                        .iter()
+                                        .map(|t| Json::Num(*t as f64))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::QueryProfile;
+
+    fn quiet() -> std::sync::MutexGuard<'static, ()> {
+        let guard = crate::metrics::test_lock();
+        events::set_stderr_level(None);
+        disarm();
+        guard
+    }
+
+    #[test]
+    fn disarmed_record_is_a_no_op() {
+        let _guard = quiet();
+        assert!(!record("supervisor", "exact", Duration::from_secs(9), None));
+        assert!(summary().is_empty());
+        events::set_stderr_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn breaches_count_and_keep_exemplars() {
+        let _guard = quiet();
+        arm(SloPolicy {
+            objective: Duration::from_millis(10),
+            overrides: vec![("supervisor".into(), "exact".into(), Duration::from_millis(1))],
+            capture: false,
+        });
+        assert!(!record("supervisor", "wander_join", Duration::from_millis(5), None));
+        assert!(record("supervisor", "wander_join", Duration::from_millis(20), Some(7)));
+        // The per-key override tightens exact to 1ms.
+        assert!(record("supervisor", "exact", Duration::from_millis(5), Some(8)));
+        let s = summary();
+        assert_eq!(s.len(), 2);
+        let exact = &s[0];
+        assert_eq!((exact.engine, exact.rung), ("supervisor", "exact"));
+        assert_eq!(exact.objective_us, 1_000);
+        assert_eq!((exact.count, exact.breaches), (1, 1));
+        assert_eq!(exact.exemplars, vec![8]);
+        let wj = &s[1];
+        assert_eq!((wj.count, wj.breaches), (2, 1));
+        assert_eq!(wj.p50_us.min(wj.p95_us), wj.p50_us);
+        assert_eq!(wj.exemplars, vec![7]);
+        disarm();
+        events::set_stderr_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn breaching_profiled_query_is_captured_and_retrievable() {
+        let _guard = quiet();
+        arm(SloPolicy { objective: Duration::ZERO, overrides: Vec::new(), capture: true });
+        let profile = QueryProfile::begin("expand:slow");
+        let trace = profile.trace_id();
+        {
+            let _attached = profile.handle().attach("main");
+            assert!(record("session", "exact", Duration::from_millis(3), Some(trace)));
+        }
+        let report = profile.finish();
+        assert!(store_profile_if_breached(&report), "breaching trace must be retained");
+        assert!(!store_profile_if_breached(&report), "pending entry is consumed");
+        assert_eq!(captured_trace_ids(), vec![trace]);
+        let j = profile_json(trace).expect("profile retrievable by trace id");
+        assert_eq!(
+            j.get("trace_id").and_then(Json::as_f64),
+            Some(trace as f64)
+        );
+        assert!(profile_json(trace + 999).is_none());
+        // A non-breaching report is not captured.
+        let fast = QueryProfile::begin("expand:fast");
+        let fast_report = fast.finish();
+        assert!(!store_profile_if_breached(&fast_report));
+        disarm();
+        events::set_stderr_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let _guard = quiet();
+        arm(SloPolicy::default());
+        record("session", "exact", Duration::from_millis(1), None);
+        let j = summary_json();
+        assert_eq!(Json::parse(&j.pretty(2)).unwrap(), j);
+        disarm();
+        events::set_stderr_level(Some(Level::Warn));
+    }
+}

@@ -1,0 +1,376 @@
+//! Stall watchdog: rule evaluation over the recorder's windows.
+//!
+//! The failure modes that matter for a long-running exploration service
+//! are not crashes (the pool already contains panics) but *stalls*:
+//! a merge that keeps retrying, a worker queue that stops draining, an
+//! ingest storm that sheds every exact query, a sampler that silently
+//! died. Each rule reads the [`Recorder`]'s windowed deltas — rates and
+//! plateaus, not lifetime totals — and contributes an [`Alert`]; the
+//! overall [`Verdict`] is the worst severity and is what `/healthz`
+//! serves.
+//!
+//! Rules (all thresholds in [`WatchdogConfig`]):
+//!
+//! - **merge-retry storm** — the sum of `index.merge.retried` deltas
+//!   over the last `merge_retry_windows` windows reaches
+//!   `merge_retry_limit`: the background merge is thrashing
+//!   (*degraded*). Provable deterministically under `fault-inject` by
+//!   arming `MergeCrashPoint::PrePublish` in a loop.
+//! - **queue plateau** — `core.pool.queue_depth` has been ≥
+//!   `queue_plateau_min` and non-decreasing for
+//!   `queue_plateau_windows` consecutive windows: the pool has more
+//!   work than it drains (*degraded*).
+//! - **ingest pressure** — `supervisor.shed.ingest_pressure` advanced
+//!   in each of the last `pressure_windows` windows: every evaluation
+//!   interval is shedding exact queries (*degraded*).
+//! - **heartbeat** — the newest window closed more than
+//!   `heartbeat_gap` ago: the sampler itself stalled, so nothing else
+//!   can be trusted (*unhealthy*).
+//!
+//! With **zero** windows the verdict is healthy: the recorder has not
+//! started, and alarming on "no data yet" would page on every boot.
+
+use std::time::Duration;
+
+use crate::events::{self, Level};
+use crate::json::Json;
+use crate::metrics;
+use crate::recorder::{Recorder, Window};
+
+/// Rule thresholds. Defaults are sized for the default 250 ms recorder
+/// tick: 8 windows ≈ 2 s of history per rule.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Merge retries summed over the storm horizon that trip the rule.
+    pub merge_retry_limit: u64,
+    /// Storm horizon, in windows.
+    pub merge_retry_windows: usize,
+    /// Queue depth at or above this level counts toward a plateau.
+    pub queue_plateau_min: i64,
+    /// Consecutive non-decreasing windows that make a plateau.
+    pub queue_plateau_windows: usize,
+    /// Consecutive windows with shedding that trip the pressure rule.
+    pub pressure_windows: usize,
+    /// Maximum age of the newest window before the sampler itself is
+    /// declared dead.
+    pub heartbeat_gap: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            merge_retry_limit: 3,
+            merge_retry_windows: 8,
+            queue_plateau_min: 1,
+            queue_plateau_windows: 8,
+            pressure_windows: 8,
+            heartbeat_gap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Overall health, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// All rules quiet.
+    Healthy,
+    /// Serving, but a stall precursor fired.
+    Degraded,
+    /// The observability plane itself cannot be trusted.
+    Unhealthy,
+}
+
+impl Verdict {
+    /// Lowercase name ("healthy", "degraded", "unhealthy").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Healthy => "healthy",
+            Verdict::Degraded => "degraded",
+            Verdict::Unhealthy => "unhealthy",
+        }
+    }
+}
+
+/// One fired rule.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// Stable rule name ("merge_retry_storm", "queue_plateau",
+    /// "ingest_pressure", "heartbeat").
+    pub rule: &'static str,
+    /// Severity this rule contributes.
+    pub severity: Verdict,
+    /// Human-readable cause with the measured value.
+    pub message: String,
+}
+
+/// Result of one evaluation pass.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Worst severity across fired rules (healthy when none fired).
+    pub verdict: Verdict,
+    /// Fired rules, in rule order.
+    pub alerts: Vec<Alert>,
+    /// Windows that were available to the rules.
+    pub windows: usize,
+}
+
+impl HealthReport {
+    /// Render for the `/healthz` endpoint.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("status".into(), Json::str(self.verdict.as_str())),
+            ("windows".into(), Json::Num(self.windows as f64)),
+            (
+                "alerts".into(),
+                Json::Arr(
+                    self.alerts
+                        .iter()
+                        .map(|a| {
+                            Json::Obj(vec![
+                                ("rule".into(), Json::str(a.rule)),
+                                ("severity".into(), Json::str(a.severity.as_str())),
+                                ("message".into(), Json::str(&a.message)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Evaluate every rule against a window slice. Pure — `now_us` is the
+/// caller's clock (microseconds since [`crate::epoch`]), so tests can
+/// prove each rule without sleeping.
+pub fn evaluate_windows(windows: &[Window], config: &WatchdogConfig, now_us: u64) -> HealthReport {
+    let mut alerts = Vec::new();
+    if windows.is_empty() {
+        return HealthReport { verdict: Verdict::Healthy, alerts, windows: 0 };
+    }
+
+    let tail = |n: usize| &windows[windows.len().saturating_sub(n)..];
+
+    let retries: u64 = tail(config.merge_retry_windows)
+        .iter()
+        .map(|w| w.counter_delta("index.merge.retried"))
+        .sum();
+    if retries >= config.merge_retry_limit {
+        alerts.push(Alert {
+            rule: "merge_retry_storm",
+            severity: Verdict::Degraded,
+            message: format!(
+                "{retries} merge retries in the last {} windows (limit {})",
+                config.merge_retry_windows, config.merge_retry_limit
+            ),
+        });
+    }
+
+    let plateau = tail(config.queue_plateau_windows);
+    if plateau.len() >= config.queue_plateau_windows {
+        let depths: Vec<i64> =
+            plateau.iter().filter_map(|w| w.gauge_level("core.pool.queue_depth")).collect();
+        if depths.len() == plateau.len()
+            && depths.iter().all(|d| *d >= config.queue_plateau_min)
+            && depths.windows(2).all(|p| p[1] >= p[0])
+        {
+            alerts.push(Alert {
+                rule: "queue_plateau",
+                severity: Verdict::Degraded,
+                message: format!(
+                    "pool queue depth stuck at {} for {} windows",
+                    depths.last().unwrap(),
+                    depths.len()
+                ),
+            });
+        }
+    }
+
+    let pressured = tail(config.pressure_windows);
+    if pressured.len() >= config.pressure_windows
+        && pressured.iter().all(|w| w.counter_delta("supervisor.shed.ingest_pressure") > 0)
+    {
+        alerts.push(Alert {
+            rule: "ingest_pressure",
+            severity: Verdict::Degraded,
+            message: format!(
+                "exact queries shed under ingest pressure in each of the last {} windows",
+                pressured.len()
+            ),
+        });
+    }
+
+    let age_us = now_us.saturating_sub(windows.last().unwrap().end_us);
+    if age_us > config.heartbeat_gap.as_micros() as u64 {
+        alerts.push(Alert {
+            rule: "heartbeat",
+            severity: Verdict::Unhealthy,
+            message: format!(
+                "newest window is {age_us}us old (gap limit {}us): sampler stalled",
+                config.heartbeat_gap.as_micros()
+            ),
+        });
+    }
+
+    let verdict =
+        alerts.iter().map(|a| a.severity).max().unwrap_or(Verdict::Healthy);
+    HealthReport { verdict, alerts, windows: windows.len() }
+}
+
+/// Evaluate against a recorder's current ring at the current time.
+pub fn evaluate(recorder: &Recorder, config: &WatchdogConfig) -> HealthReport {
+    evaluate_windows(&recorder.windows(), config, crate::elapsed_us())
+}
+
+/// Evaluate the global recorder (healthy with no alerts when none is
+/// installed), publish the verdict to the `obs.watchdog.verdict` gauge
+/// and `obs.watchdog.alerts` counter, and emit a structured event on
+/// every verdict *transition*.
+pub fn tick_global(config: &WatchdogConfig) -> HealthReport {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static LAST: AtomicU8 = AtomicU8::new(Verdict::Healthy as u8);
+
+    let report = match Recorder::global() {
+        Some(rec) => evaluate(rec, config),
+        None => HealthReport { verdict: Verdict::Healthy, alerts: Vec::new(), windows: 0 },
+    };
+    metrics::WATCHDOG_VERDICT.set(report.verdict as i64);
+    metrics::WATCHDOG_ALERTS.add(report.alerts.len() as u64);
+    let prev = LAST.swap(report.verdict as u8, Ordering::Relaxed);
+    if prev != report.verdict as u8 {
+        let level = match report.verdict {
+            Verdict::Healthy => Level::Info,
+            Verdict::Degraded => Level::Warn,
+            Verdict::Unhealthy => Level::Error,
+        };
+        let rules: Vec<&str> = report.alerts.iter().map(|a| a.rule).collect();
+        events::emit_with(
+            level,
+            "watchdog",
+            format!("verdict changed to {}", report.verdict.as_str()),
+            vec![("rules", rules.join(","))],
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(
+        index: u64,
+        end_us: u64,
+        counters: Vec<(&str, u64)>,
+        queue_depth: Option<i64>,
+    ) -> Window {
+        Window {
+            index,
+            start_us: end_us.saturating_sub(1000),
+            end_us,
+            counters: counters.into_iter().map(|(n, d)| (n.to_string(), d)).collect(),
+            gauges: queue_depth
+                .map(|d| ("core.pool.queue_depth".to_string(), d))
+                .into_iter()
+                .collect(),
+            histograms: Vec::new(),
+        }
+    }
+
+    fn cfg() -> WatchdogConfig {
+        WatchdogConfig {
+            merge_retry_limit: 3,
+            merge_retry_windows: 4,
+            queue_plateau_min: 1,
+            queue_plateau_windows: 3,
+            pressure_windows: 3,
+            heartbeat_gap: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn no_windows_is_healthy() {
+        let r = evaluate_windows(&[], &cfg(), 10_000_000);
+        assert_eq!(r.verdict, Verdict::Healthy);
+        assert!(r.alerts.is_empty());
+    }
+
+    #[test]
+    fn merge_retry_storm_fires_on_rate_not_total() {
+        let c = cfg();
+        // 5 old retries followed by quiet recent windows: no alert —
+        // only the last `merge_retry_windows` windows count.
+        let quiet: Vec<Window> = (0..6)
+            .map(|i| {
+                let retried = if i == 0 { 5 } else { 0 };
+                window(i, 1000 * (i + 1), vec![("index.merge.retried", retried)], None)
+            })
+            .collect();
+        let r = evaluate_windows(&quiet, &c, 6000);
+        assert!(!r.alerts.iter().any(|a| a.rule == "merge_retry_storm"));
+
+        // 3 retries spread over the recent horizon: alert.
+        let storm: Vec<Window> = (0..4)
+            .map(|i| window(i, 1000 * (i + 1), vec![("index.merge.retried", 1)], None))
+            .collect();
+        let r = evaluate_windows(&storm[1..], &c, 4000);
+        assert_eq!(r.verdict, Verdict::Degraded);
+        assert!(r.alerts.iter().any(|a| a.rule == "merge_retry_storm"));
+    }
+
+    #[test]
+    fn queue_plateau_requires_full_nondecreasing_run() {
+        let c = cfg();
+        let plateau: Vec<Window> =
+            (0..3).map(|i| window(i, 1000 * (i + 1), vec![], Some(2))).collect();
+        let r = evaluate_windows(&plateau, &c, 3000);
+        assert!(r.alerts.iter().any(|a| a.rule == "queue_plateau"));
+        assert_eq!(r.verdict, Verdict::Degraded);
+
+        // A draining queue (decreasing depth) is not a plateau.
+        let draining: Vec<Window> = (0..3)
+            .map(|i| window(i, 1000 * (i + 1), vec![], Some(3 - i as i64)))
+            .collect();
+        assert!(evaluate_windows(&draining, &c, 3000).alerts.is_empty());
+        // Too little history is not a plateau either.
+        assert!(evaluate_windows(&plateau[..2], &c, 3000).alerts.is_empty());
+    }
+
+    #[test]
+    fn sustained_pressure_fires_only_when_every_window_sheds() {
+        let c = cfg();
+        let shed = |i: u64, n: u64| {
+            window(i, 1000 * (i + 1), vec![("supervisor.shed.ingest_pressure", n)], None)
+        };
+        let sustained: Vec<Window> = (0..3).map(|i| shed(i, 2)).collect();
+        let r = evaluate_windows(&sustained, &c, 3000);
+        assert!(r.alerts.iter().any(|a| a.rule == "ingest_pressure"));
+
+        let intermittent = vec![shed(0, 2), shed(1, 0), shed(2, 2)];
+        assert!(evaluate_windows(&intermittent, &c, 3000).alerts.is_empty());
+    }
+
+    #[test]
+    fn heartbeat_gap_is_unhealthy_and_dominates() {
+        let c = cfg();
+        // A merge storm AND a stalled sampler: unhealthy wins.
+        let stale: Vec<Window> = (0..4)
+            .map(|i| window(i, 1000 * (i + 1), vec![("index.merge.retried", 1)], None))
+            .collect();
+        let now = 4000 + c.heartbeat_gap.as_micros() as u64 + 1;
+        let r = evaluate_windows(&stale, &c, now);
+        assert_eq!(r.verdict, Verdict::Unhealthy);
+        assert!(r.alerts.iter().any(|a| a.rule == "heartbeat"));
+        assert!(r.alerts.iter().any(|a| a.rule == "merge_retry_storm"));
+        // Fresh windows: no heartbeat alert.
+        let r = evaluate_windows(&stale, &c, 4001);
+        assert!(!r.alerts.iter().any(|a| a.rule == "heartbeat"));
+    }
+
+    #[test]
+    fn health_report_json_round_trips() {
+        let r = evaluate_windows(&[], &cfg(), 0);
+        let j = r.to_json();
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("healthy"));
+        assert_eq!(Json::parse(&j.pretty(2)).unwrap(), j);
+    }
+}
