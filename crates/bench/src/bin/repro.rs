@@ -19,7 +19,7 @@
 //!   --layout rows|csr                 index storage layout (default csr)
 //!   --out PATH                        JSON output path (trace, bench-json, profile)
 //!   --baseline PATH                   baseline bench JSON (regress)
-//!   --candidate PATH                  candidate bench JSON (regress; default BENCH_PR7.json)
+//!   --candidate PATH                  candidate bench JSON (regress; default BENCH_PR8.json)
 //!   --tolerance X                     regression tolerance factor (default 1.25)
 //!   --paper                           paper protocol: 9 ticks × 1 s
 //! ```
@@ -30,8 +30,9 @@ use std::time::{Duration, Instant};
 use kgoa_bench::{
     ablate_cache, ablate_order, ablate_tipping, bench_json, churn_bench, deadline_sweep,
     fig11, fig8, fig9_10, index_bench, layout_parity, load_datasets_in, monitor_bench,
-    obs_overhead, parallel_scaling, prepare_workload, profile_report, regress, sample_time,
-    scale_bench, table1, trace_report, verify_engines, BenchConfig, Dataset, PreparedQuery,
+    obs_overhead, parallel_scaling, prepare_workload, profile_report, quality_bench, regress,
+    sample_time, scale_bench, table1, trace_report, verify_engines, BenchConfig, Dataset,
+    PreparedQuery,
 };
 use kgoa_datagen::Scale;
 use kgoa_index::Layout;
@@ -217,13 +218,20 @@ const EXPERIMENTS: &[Experiment] = &[
         needs_workload: false,
     },
     Experiment {
+        name: "quality",
+        help: "estimator-quality gate: coverage audit, convergence telemetry, drift trip",
+        run: |c| quality_bench(c.cfg),
+        in_all: true,
+        needs_workload: false,
+    },
+    Experiment {
         name: "regress",
         help: "bench regression gate vs --baseline (nonzero exit on fail)",
         run: |c| {
             let Some(baseline) = c.opts.baseline.as_deref() else {
                 return ("regress requires --baseline PATH".into(), false);
             };
-            let candidate = c.opts.candidate.as_deref().unwrap_or("BENCH_PR7.json");
+            let candidate = c.opts.candidate.as_deref().unwrap_or("BENCH_PR8.json");
             regress(baseline, candidate, c.opts.tolerance.unwrap_or(1.25))
         },
         in_all: false,
@@ -258,7 +266,7 @@ fn usage() -> ExitCode {
          --layout rows|csr                 index storage layout (default csr)\n  \
          --out PATH                        JSON output path (trace, bench-json, profile)\n  \
          --baseline PATH                   baseline bench JSON (regress)\n  \
-         --candidate PATH                  candidate bench JSON (regress; default BENCH_PR7.json)\n  \
+         --candidate PATH                  candidate bench JSON (regress; default BENCH_PR8.json)\n  \
          --tolerance X                     regression tolerance factor (default 1.25)\n  \
          --paper                           paper protocol: 9 ticks × 1 s"
     );

@@ -16,6 +16,7 @@ pub mod metrics;
 pub mod microbench;
 pub mod monitor;
 pub mod profiler;
+pub mod quality;
 pub mod telemetry;
 pub mod workload;
 
@@ -28,6 +29,7 @@ pub use layouts::{index_bench, layout_parity};
 pub use metrics::{fmt_duration, fmt_pct, selectivity, tukey, Tukey};
 pub use monitor::monitor_bench;
 pub use profiler::{folded_path_for, profile_report, regress};
+pub use quality::quality_bench;
 pub use telemetry::{bench_json, obs_overhead, scale_bench, trace_report, BENCH_SCHEMA, TRACE_SCHEMA};
 pub use workload::{
     load_datasets, load_datasets_in, prepare_workload, run_fixed_walks, run_series,

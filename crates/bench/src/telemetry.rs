@@ -591,6 +591,53 @@ pub fn obs_overhead(
     let (_, ok) = medians(&mut report, "supervise+slo", &measure_slo);
     all_ok &= ok;
 
+    // Arm 5 (PR 8): the estimator-quality plane present but *disarmed* —
+    // coverage auditor installed, convergence rings absent. A streaming
+    // parallel run crosses the plane's fast paths (one relaxed load per
+    // merged snapshot and per completed run); the disarmed plane must
+    // stay inside the same bar both against its own telemetry-enabled
+    // arm and against the bare streaming run measured first.
+    let plan = std::sync::Arc::new(
+        kgoa_query::WalkPlan::canonical(&q.generated.query, &kgoa_index::IndexOrder::PAPER_DEFAULT)
+            .expect("canonical plan"),
+    );
+    let measure_stream = |enable: bool| -> f64 {
+        kgoa_obs::set_enabled(enable);
+        let t = Instant::now();
+        run_parallel_streaming(
+            ig,
+            &q.generated.query,
+            &plan,
+            ParallelAlgo::AuditJoin(AuditJoinConfig::default()),
+            2,
+            Budget::WalksPerWorker(512),
+            17,
+            StreamConfig::default(),
+            |_| {},
+        )
+        .expect("streaming run");
+        t.elapsed().as_nanos() as f64
+    };
+    let (stream_bare, ok) = medians(&mut report, "stream-aj×2", &measure_stream);
+    all_ok &= ok;
+    let mgr = kgoa_core::EpochManager::new(ig.clone(), kgoa_core::EpochConfig::default());
+    let _auditor = kgoa_core::install_auditor(mgr, kgoa_core::AuditorConfig::default());
+    kgoa_obs::quality::disarm();
+    let (stream_quality, ok) = medians(&mut report, "stream+quality-disarmed", &measure_stream);
+    all_ok &= ok;
+    let quality_ok = stream_quality <= stream_bare * TOLERANCE;
+    all_ok &= quality_ok;
+    writeln!(
+        report,
+        "disarmed quality plane: bare stream median {:.3}ms vs installed {:.3}ms, ratio {:.3} \
+         (gate ≤ {TOLERANCE})",
+        stream_bare / 1e6,
+        stream_quality / 1e6,
+        stream_quality / stream_bare
+    )
+    .unwrap();
+    kgoa_core::uninstall_auditor();
+
     kgoa_obs::slo::disarm();
     monitor.stop();
     drop(server);
@@ -655,5 +702,6 @@ mod tests {
         // quiet; here only the measurement plumbing is checked.
         assert!(r.contains("disabled median"));
         assert!(r.contains("ratio"));
+        assert!(r.contains("disarmed quality plane"));
     }
 }

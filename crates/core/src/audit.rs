@@ -500,6 +500,66 @@ pub fn try_suffix_group_counts(
     Ok(())
 }
 
+/// Compare an estimated chart against exact truth: `(hits, audited)`.
+///
+/// Only groups the estimator has a *finite* confidence interval for are
+/// audited (a group with no interval makes no coverage claim to check).
+/// A group is a hit when the exact count lies within the reported 95%
+/// interval — over many audits the hit fraction is the empirical coverage
+/// the `kgoa_obs::quality` plane tracks against the nominal 0.95.
+pub fn coverage_hits(
+    truth: &kgoa_engine::GroupedCounts,
+    est: &kgoa_engine::GroupedEstimates,
+) -> (u64, u64) {
+    let mut hits = 0u64;
+    let mut audited = 0u64;
+    for (&g, &x) in &est.estimates {
+        let Some(&hw) = est.half_widths.get(&g) else { continue };
+        if !hw.is_finite() || !x.is_finite() {
+            continue;
+        }
+        audited += 1;
+        let exact = truth.get(kgoa_rdf::TermId(g)) as f64;
+        if (exact - x).abs() <= hw {
+            hits += 1;
+        }
+    }
+    (hits, audited)
+}
+
+/// Attribute a run's aggregate walk counters to each distinct *constant*
+/// predicate of the query, producing the per-predicate rate samples the
+/// stats-drift detector compares across epochs.
+///
+/// Attribution is per-query rather than per-step: a walk that dies at a
+/// variable-predicate step still reflects on the selectivity of the
+/// constant predicates that anchored the walk (e.g. the `rdf:type` pattern
+/// present in every exploration query), and the drift detector only needs
+/// a stable, deterministic signal per predicate — not a causal blame
+/// assignment.
+pub fn predicate_rates(
+    query: &ExplorationQuery,
+    stats: &WalkStats,
+) -> Vec<kgoa_obs::PredicateRates> {
+    let mut seen = Vec::new();
+    for pat in query.patterns() {
+        let Some(p) = pat.p.as_const() else { continue };
+        if seen.contains(&p.raw()) {
+            continue;
+        }
+        seen.push(p.raw());
+    }
+    seen.sort_unstable();
+    seen.into_iter()
+        .map(|predicate| kgoa_obs::PredicateRates {
+            predicate,
+            walks: stats.walks,
+            rejected: stats.rejected,
+            tipped: stats.tipped,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -745,5 +805,90 @@ mod tests {
         for (g, x) in a.estimates().estimates.iter() {
             assert_eq!(b.estimates().estimates.get(g), Some(x));
         }
+    }
+
+    #[test]
+    fn coverage_hits_counts_only_finite_intervals() {
+        let mut truth = kgoa_engine::GroupedCounts::new();
+        truth.add(1, 100);
+        truth.add(2, 50);
+        truth.add(3, 10);
+        let mut est = kgoa_engine::GroupedEstimates::default();
+        // Group 1: inside the interval (|100 - 98| <= 5).
+        est.estimates.insert(1, 98.0);
+        est.half_widths.insert(1, 5.0);
+        // Group 2: outside the interval (|50 - 40| > 3).
+        est.estimates.insert(2, 40.0);
+        est.half_widths.insert(2, 3.0);
+        // Group 3: no finite interval yet — not audited.
+        est.estimates.insert(3, 11.0);
+        est.half_widths.insert(3, f64::INFINITY);
+        // Group 4: estimate with no interval entry at all — not audited.
+        est.estimates.insert(4, 7.0);
+        assert_eq!(coverage_hits(&truth, &est), (1, 2));
+    }
+
+    #[test]
+    fn coverage_hits_audits_groups_absent_from_truth() {
+        // An estimated group the exact result does not contain has truth 0:
+        // a tight interval away from zero is a miss, a wide one a hit.
+        let truth = kgoa_engine::GroupedCounts::new();
+        let mut est = kgoa_engine::GroupedEstimates::default();
+        est.estimates.insert(9, 4.0);
+        est.half_widths.insert(9, 1.0);
+        assert_eq!(coverage_hits(&truth, &est), (0, 1));
+        est.half_widths.insert(9, 10.0);
+        assert_eq!(coverage_hits(&truth, &est), (1, 1));
+    }
+
+    #[test]
+    fn predicate_rates_dedupes_constants_and_sorts() {
+        let (_, p, q) = graph();
+        // p appears twice; rates must list each constant predicate once,
+        // sorted by raw id, each carrying the run's aggregate counters.
+        let query = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+                TriplePattern::new(Var(2), p, Var(3)),
+            ],
+            Var(3),
+            Var(1),
+            false,
+        )
+        .unwrap();
+        let stats = WalkStats { walks: 100, rejected: 30, tipped: 10, ..WalkStats::default() };
+        let rates = predicate_rates(&query, &stats);
+        assert_eq!(rates.len(), 2);
+        let mut preds: Vec<u32> = rates.iter().map(|r| r.predicate).collect();
+        assert!(preds.windows(2).all(|w| w[0] < w[1]));
+        preds.sort_unstable();
+        assert_eq!(preds, {
+            let mut v = vec![p.raw(), q.raw()];
+            v.sort_unstable();
+            v
+        });
+        for r in &rates {
+            assert_eq!((r.walks, r.rejected, r.tipped), (100, 30, 10));
+        }
+    }
+
+    #[test]
+    fn predicate_rates_skip_variable_predicates() {
+        let (_, p, _q) = graph();
+        let query = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), Var(2), Var(3)),
+            ],
+            Var(3),
+            Var(1),
+            false,
+        )
+        .unwrap();
+        let stats = WalkStats { walks: 8, ..WalkStats::default() };
+        let rates = predicate_rates(&query, &stats);
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].predicate, p.raw());
     }
 }

@@ -37,26 +37,31 @@ pub mod partitioned;
 pub mod pool;
 pub mod order;
 pub mod pinned;
+pub mod quality;
 pub mod supervisor;
 pub mod wander;
 
 pub use accum::{GroupAccumulator, WalkStats, Z_95};
 pub use aggregate::{exact_group_sums, AggregateEstimates, NumericValues, SumAuditJoin};
 pub use audit::{
-    suffix_group_counts, suffix_masses, try_suffix_group_counts, try_suffix_masses, AuditJoin,
-    AuditJoinConfig,
+    coverage_hits, predicate_rates, suffix_group_counts, suffix_masses, try_suffix_group_counts,
+    try_suffix_masses, AuditJoin, AuditJoinConfig,
 };
 pub use epoch::{EpochConfig, EpochGuard, EpochManager, EpochSnapshot};
 #[cfg(feature = "fault-inject")]
 pub use epoch::MergeCrashPoint;
 pub use monitor::{start_monitoring, MonitorConfig, MonitorHandle};
-pub use online::{run_governed, run_timed, run_traced, run_walks, OnlineAggregator, Snapshot};
+pub use online::{
+    mean_ci_half_width, run_governed, run_timed, run_traced, run_walks, OnlineAggregator,
+    Snapshot,
+};
 pub use parallel::{
     run_parallel, run_parallel_streaming, Budget, ParallelAlgo, ParallelError, ParallelOutcome,
     ParallelSnapshot, StreamConfig,
 };
 pub use partitioned::{partitioned_count, ExactAlgo};
 pub use pool::WorkerPool;
+pub use quality::{install_auditor, uninstall_auditor, AuditorConfig, CoverageAuditor};
 pub use supervisor::{
     supervise, DegradeReason, Degraded, SupervisedResult, SupervisorConfig, SupervisorError,
 };

@@ -57,6 +57,20 @@ pub fn run_walks<A: OnlineAggregator + ?Sized>(agg: &mut A, walks: u64) {
     }
 }
 
+/// Mean absolute 95% CI half-width over groups (0 when no group has an
+/// interval yet). The one summary number a CI trajectory is tracked by:
+/// [`run_traced`] records it per batch and
+/// [`crate::ParallelSnapshot::mean_ci_half_width`] carries it per
+/// streamed merge, so both feeds agree on the definition.
+pub fn mean_ci_half_width(est: &GroupedEstimates) -> f64 {
+    if est.half_widths.is_empty() {
+        0.0
+    } else {
+        est.half_widths.values().filter(|w| w.is_finite()).sum::<f64>()
+            / est.half_widths.len() as f64
+    }
+}
+
 /// Step the aggregator until its budget trips, and report why it stopped.
 ///
 /// The budget **must** be bounded (a deadline, walk limit, or eventual
@@ -102,16 +116,9 @@ pub fn run_traced<A: OnlineAggregator + ?Sized>(
         done += n;
         let est = agg.estimates();
         let total: f64 = est.estimates.values().sum();
-        // Mean absolute 95% CI half-width over groups (0 when no group
-        // has an interval yet).
-        let mean_ci = if est.half_widths.is_empty() {
-            0.0
-        } else {
-            est.half_widths.values().filter(|w| w.is_finite()).sum::<f64>()
-                / est.half_widths.len() as f64
-        };
-        trace.record(agg.stats().walks, total, mean_ci, start.elapsed());
+        trace.record(agg.stats().walks, total, mean_ci_half_width(&est), start.elapsed());
     }
+    kgoa_obs::quality::record_trace("traced", &trace);
     trace
 }
 

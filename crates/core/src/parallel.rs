@@ -48,7 +48,7 @@ use kgoa_query::{ExplorationQuery, QueryError, WalkPlan};
 
 use crate::accum::{GroupAccumulator, WalkStats};
 use crate::audit::{AuditJoin, AuditJoinConfig};
-use crate::online::{run_walks, OnlineAggregator};
+use crate::online::{mean_ci_half_width, run_walks, OnlineAggregator};
 use crate::pool::WorkerPool;
 use crate::wander::WanderJoin;
 
@@ -117,12 +117,30 @@ pub struct ParallelSnapshot {
     pub estimates: GroupedEstimates,
     /// Merged walk counters over all published batches.
     pub stats: WalkStats,
+    /// Mean absolute 95% CI half-width over groups (0 before any group
+    /// has an interval) — the same summary [`crate::run_traced`] records
+    /// per batch, so streaming consumers see the CI trajectory without
+    /// the traced single-thread path.
+    pub mean_ci_half_width: f64,
     /// Workers that have published at least one batch.
     pub workers_reporting: usize,
     /// Total batches folded into this snapshot.
     pub batches_merged: u64,
     /// Wall-clock time since the run started.
     pub elapsed: Duration,
+}
+
+impl ParallelSnapshot {
+    /// This snapshot as a convergence-trace sample: total estimate over
+    /// groups, the mean CI half-width, walks, and elapsed time.
+    pub fn trace_point(&self) -> kgoa_obs::TracePoint {
+        kgoa_obs::TracePoint {
+            walks: self.stats.walks,
+            estimate: self.estimates.estimates.values().sum(),
+            ci_half_width: self.mean_ci_half_width,
+            elapsed: self.elapsed,
+        }
+    }
 }
 
 /// Errors from [`run_parallel`].
@@ -296,6 +314,10 @@ pub fn run_parallel_streaming(
     // worker a handle *captured before spawning* so their spans land in
     // the caller's tree (labelled per worker) instead of vanishing.
     let profile = kgoa_obs::profile::current_handle();
+    // When the quality plane is armed, the merge loop accumulates the
+    // snapshot trajectory and reports it as one convergence run.
+    let quality_armed = kgoa_obs::quality::armed();
+    let mut trajectory: Vec<kgoa_obs::TracePoint> = Vec::new();
 
     let merged_batches = WorkerPool::global().scope(|scope| {
         for t in 0..threads {
@@ -362,13 +384,19 @@ pub fn run_parallel_streaming(
                 kgoa_obs::metrics::POOL_BATCHES_MERGED
                     .add(batches.saturating_sub(last_batches));
                 last_batches = batches;
-                observer(&ParallelSnapshot {
-                    estimates: accum.estimates(stats.walks),
+                let estimates = accum.estimates(stats.walks);
+                let snapshot = ParallelSnapshot {
+                    mean_ci_half_width: mean_ci_half_width(&estimates),
+                    estimates,
                     stats,
                     workers_reporting: reporting,
                     batches_merged: batches,
                     elapsed: start.elapsed(),
-                });
+                };
+                if quality_armed {
+                    trajectory.push(snapshot.trace_point());
+                }
+                observer(&snapshot);
             }
             if finished == threads {
                 break;
@@ -421,13 +449,23 @@ pub fn run_parallel_streaming(
     // were folded; this is also the snapshot the observer saw last.
     let (accum, stats, batches, reporting) = board.fold();
     kgoa_obs::metrics::POOL_BATCHES_MERGED.add(batches.saturating_sub(merged_batches));
+    let estimates = accum.estimates(stats.walks);
     let final_snapshot = ParallelSnapshot {
-        estimates: accum.estimates(stats.walks),
+        mean_ci_half_width: mean_ci_half_width(&estimates),
+        estimates,
         stats,
         workers_reporting: reporting,
         batches_merged: batches,
         elapsed: start.elapsed(),
     };
+    if quality_armed {
+        trajectory.push(final_snapshot.trace_point());
+        let rung = match algo {
+            ParallelAlgo::WanderJoin => "wander_join",
+            ParallelAlgo::AuditJoin(_) => "audit_join",
+        };
+        kgoa_obs::quality::record_convergence("parallel", rung, &trajectory);
+    }
     observer(&final_snapshot);
     Ok(ParallelOutcome {
         estimates: final_snapshot.estimates,
@@ -710,8 +748,24 @@ mod tests {
             assert!(w[1].stats.walks >= w[0].stats.walks, "walks must be monotone");
             assert!(w[1].batches_merged >= w[0].batches_merged);
         }
+        for s in &snapshots {
+            // The streamed half-width summary matches the traced path's
+            // definition, recomputed from the snapshot's own estimates.
+            assert_eq!(
+                s.mean_ci_half_width,
+                crate::online::mean_ci_half_width(&s.estimates),
+                "snapshot mean CI half-width must match the shared helper"
+            );
+            let p = s.trace_point();
+            assert_eq!(p.walks, s.stats.walks);
+            assert_eq!(p.ci_half_width, s.mean_ci_half_width);
+        }
         let last = snapshots.last().unwrap();
         assert_eq!(last.stats.walks, out.stats.walks);
+        assert!(
+            last.mean_ci_half_width > 0.0,
+            "a finished multi-group run has a nonzero mean CI half-width"
+        );
 
         // The old end-of-run merge, replayed by hand: one sequential
         // aggregator per worker seed, merged in worker order.

@@ -68,6 +68,11 @@ pub struct SupervisorConfig {
     /// Audit Join configuration for the degraded path (the seed also
     /// derives the Wander Join fallback's seed).
     pub audit: AuditJoinConfig,
+    /// Epoch id of the graph snapshot being queried, if the caller runs
+    /// under an [`crate::EpochManager`]. When set (and the quality plane
+    /// is armed), degraded runs report per-predicate walk rates to the
+    /// stats-drift detector, which compares rates across epochs.
+    pub epoch: Option<u64>,
     /// Deterministic fault plan applied to the exact and Audit Join rungs
     /// (the Wander Join rung always runs on a clean budget, so the ladder
     /// has a fault-free last resort).
@@ -84,6 +89,7 @@ impl Default for SupervisorConfig {
             exact_threads: 1,
             ingest_pressure: false,
             audit: AuditJoinConfig::default(),
+            epoch: None,
             #[cfg(feature = "fault-inject")]
             faults: None,
         }
@@ -300,15 +306,19 @@ pub fn supervise(
     // so injected walk panics exercise this rung's isolation too).
     let slice = remaining_slice(config, start);
     let aj_budget = config.budget_builder().deadline(slice).build();
-    let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(GroupedEstimates, u64), QueryError> {
-        let _prof = kgoa_obs::profile::span("supervisor.rung.audit_join");
-        let mut aj = AuditJoin::new(ig, query, config.audit)?;
-        run_governed(&mut aj, &aj_budget);
-        aj.profile_emit();
-        Ok((aj.estimates(), aj.stats().walks))
-    }));
+    let attempt = catch_unwind(AssertUnwindSafe(
+        || -> Result<(GroupedEstimates, crate::WalkStats), QueryError> {
+            let _prof = kgoa_obs::profile::span("supervisor.rung.audit_join");
+            let mut aj = AuditJoin::new(ig, query, config.audit)?;
+            run_governed(&mut aj, &aj_budget);
+            aj.profile_emit();
+            Ok((aj.estimates(), aj.stats()))
+        },
+    ));
     match attempt {
-        Ok(Ok((estimates, walks))) => {
+        Ok(Ok((estimates, stats))) => {
+            let walks = stats.walks;
+            drift_record(query, &stats, config.epoch);
             kgoa_obs::metrics::SUPERVISOR_DEGRADED_AJ.inc();
             kgoa_obs::events::emit_with(
                 kgoa_obs::Level::Info,
@@ -346,15 +356,19 @@ pub fn supervise(
     let slice = remaining_slice(config, start);
     let wj_budget = ExecBudget::builder().deadline(slice).build();
     let wj_seed = config.audit.seed ^ 0x57AB_1E5E_ED5E_ED00;
-    let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(GroupedEstimates, u64), QueryError> {
-        let _prof = kgoa_obs::profile::span("supervisor.rung.wander_join");
-        let mut wj = WanderJoin::new(ig, query, wj_seed)?;
-        run_governed(&mut wj, &wj_budget);
-        wj.profile_emit();
-        Ok((wj.estimates(), wj.stats().walks))
-    }));
+    let attempt = catch_unwind(AssertUnwindSafe(
+        || -> Result<(GroupedEstimates, crate::WalkStats), QueryError> {
+            let _prof = kgoa_obs::profile::span("supervisor.rung.wander_join");
+            let mut wj = WanderJoin::new(ig, query, wj_seed)?;
+            run_governed(&mut wj, &wj_budget);
+            wj.profile_emit();
+            Ok((wj.estimates(), wj.stats()))
+        },
+    ));
     match attempt {
-        Ok(Ok((estimates, walks))) => {
+        Ok(Ok((estimates, stats))) => {
+            let walks = stats.walks;
+            drift_record(query, &stats, config.epoch);
             kgoa_obs::metrics::SUPERVISOR_DEGRADED_WJ.inc();
             kgoa_obs::events::emit_with(
                 kgoa_obs::Level::Info,
@@ -390,6 +404,18 @@ pub fn supervise(
             Err(SupervisorError::Exhausted { reason, elapsed: start.elapsed() })
         }
     }
+}
+
+/// Feed a degraded run's walk counters to the stats-drift detector,
+/// attributed per constant predicate of the query. No-op unless the
+/// caller supplied an epoch id and the quality plane is armed (one
+/// relaxed load before any allocation).
+fn drift_record(query: &ExplorationQuery, stats: &crate::WalkStats, epoch: Option<u64>) {
+    let Some(epoch) = epoch else { return };
+    if !kgoa_obs::quality::armed() || stats.walks == 0 {
+        return;
+    }
+    kgoa_obs::quality::record_predicate_rates(epoch, &crate::audit::predicate_rates(query, stats));
 }
 
 /// Record one supervised outcome with the SLO tracker, stamped with the

@@ -356,6 +356,11 @@ impl<'g> Session<'g> {
         let start = std::time::Instant::now();
         let query = self.expansion_query(exp)?;
         let kind = exp.produces();
+        // Stamp pinned sessions' epoch into the supervisor config so
+        // degraded runs feed the stats-drift detector with an epoch to
+        // attribute their walk rates to.
+        let epoch = self.epoch();
+        let config = &SupervisorConfig { epoch: config.epoch.or(epoch), ..*config };
         let (outcome, rung) = match supervise(self.graph(), &query, config) {
             Ok(SupervisedResult::Exact { counts, .. }) => (
                 GovernedChart {
@@ -366,6 +371,12 @@ impl<'g> Session<'g> {
                 "exact",
             ),
             Ok(SupervisedResult::Degraded { estimates, provenance }) => {
+                // Offer the completed estimated chart to the background
+                // coverage auditor (near-free when the quality plane is
+                // disarmed; never computes on this thread).
+                if let Some(epoch) = epoch {
+                    kgoa_core::quality::offer_chart(&query, &estimates, epoch);
+                }
                 let rung =
                     if provenance.estimator == "aj" { "audit_join" } else { "wander_join" };
                 (

@@ -28,13 +28,16 @@
 //! at a time, `Connection: close` — deliberately shaped like the
 //! transport the ROADMAP's `kgoa-serve` item needs. Routes: `/metrics`,
 //! `/snapshot` (v1 JSON), `/series` (recorder ring, v3), `/healthz`
-//! (watchdog verdict; HTTP 503 when unhealthy), `/profilez/<trace-id>`
+//! (watchdog verdict + fired rule names; HTTP 503 when unhealthy),
+//! `/quality` (the estimator-quality plane's
+//! [`quality::summary_json`] document), `/profilez/<trace-id>`
 //! (captured slow-query profiles, v2). It runs on its own OS thread,
 //! **not** the shared worker pool: an accept loop blocks indefinitely,
 //! and parking it on a pool worker would starve epoch merges on small
 //! machines.
 
 use crate::metrics::{self, Histogram, BUCKETS};
+use crate::quality;
 use crate::registry::Registry;
 use crate::slo;
 
@@ -155,6 +158,46 @@ pub fn render_prometheus() -> String {
                     label(k)
                 ));
             }
+        }
+    }
+
+    let quality_keys = quality::convergence_summary();
+    if !quality_keys.is_empty() {
+        let label = |k: &quality::ConvergenceSummary| {
+            format!(
+                "engine=\"{}\",rung=\"{}\"",
+                escape_label_value(k.engine),
+                escape_label_value(k.rung)
+            )
+        };
+        help_line(&mut out, "kgoa_quality_runs_total", "obs.quality (per key)", "counter");
+        for k in &quality_keys {
+            out.push_str(&format!("kgoa_quality_runs_total{{{}}} {}\n", label(k), k.runs));
+        }
+        help_line(&mut out, "kgoa_quality_converged_total", "obs.quality (per key)", "counter");
+        for k in &quality_keys {
+            out.push_str(&format!(
+                "kgoa_quality_converged_total{{{}}} {}\n",
+                label(k),
+                k.converged
+            ));
+        }
+        help_line(&mut out, "kgoa_quality_time_to_ci_us", "obs.quality (per key)", "gauge");
+        for k in &quality_keys {
+            for (q, v) in [("0.5", k.p50_time_to_ci_us), ("0.95", k.p95_time_to_ci_us)] {
+                out.push_str(&format!(
+                    "kgoa_quality_time_to_ci_us{{{},quantile=\"{q}\"}} {v}\n",
+                    label(k)
+                ));
+            }
+        }
+        help_line(&mut out, "kgoa_quality_ci_slope_per_sec", "obs.quality (per key)", "gauge");
+        for k in &quality_keys {
+            out.push_str(&format!(
+                "kgoa_quality_ci_slope_per_sec{{{}}} {}\n",
+                label(k),
+                k.p50_slope_per_sec
+            ));
         }
     }
     out
@@ -542,6 +585,9 @@ mod server {
                 let code = if report.verdict == Verdict::Unhealthy { 503 } else { 200 };
                 respond(stream, code, "application/json", &report.to_json().pretty(2));
             }
+            "/quality" => {
+                respond(stream, 200, "application/json", &crate::quality::summary_json().pretty(2));
+            }
             _ => {
                 if let Some(id) = path.strip_prefix("/profilez/") {
                     match id.parse::<u64>().ok().and_then(slo::profile_json) {
@@ -691,6 +737,34 @@ mod tests {
             text.contains("kgoa_slo_breaches_total{engine=\"supervisor\",rung=\"exact\"} 1\n")
         );
         crate::slo::disarm();
+        crate::reset();
+    }
+
+    #[test]
+    fn armed_quality_plane_exports_labeled_series() {
+        let _guard = crate::metrics::test_lock();
+        crate::reset();
+        crate::quality::disarm();
+        crate::quality::arm(crate::quality::QualityPolicy::default());
+        crate::quality::record_convergence(
+            "parallel",
+            "audit_join",
+            &[crate::trace::TracePoint {
+                walks: 256,
+                estimate: 100.0,
+                ci_half_width: 2.0,
+                elapsed: std::time::Duration::from_micros(750),
+            }],
+        );
+        let text = render_prometheus();
+        check_exposition(&text).expect("quality series must parse");
+        assert!(text.contains(
+            "kgoa_quality_runs_total{engine=\"parallel\",rung=\"audit_join\"} 1\n"
+        ));
+        assert!(text.contains(
+            "kgoa_quality_time_to_ci_us{engine=\"parallel\",rung=\"audit_join\",quantile=\"0.5\"}"
+        ));
+        crate::quality::disarm();
         crate::reset();
     }
 

@@ -46,6 +46,7 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod quality;
 pub mod recorder;
 pub mod registry;
 pub mod slo;
@@ -61,6 +62,7 @@ pub use export::{check_exposition, render_prometheus, ExpositionSummary};
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use profile::{ProfileHandle, ProfileReport, QueryProfile, SpanNode, PROFILE_SCHEMA};
+pub use quality::{ConvergenceSummary, PredicateRates, QualityPolicy, QUALITY_SCHEMA};
 pub use recorder::{Recorder, RecorderConfig, Window, SERIES_SCHEMA};
 pub use registry::Registry;
 pub use slo::{SloPolicy, KeySummary};

@@ -26,6 +26,16 @@
 //! - **heartbeat** — the newest window closed more than
 //!   `heartbeat_gap` ago: the sampler itself stalled, so nothing else
 //!   can be trusted (*unhealthy*).
+//! - **coverage below nominal** — the quality plane's empirical-CI
+//!   coverage gauge (`obs.quality.coverage_bp`) in the newest window is
+//!   under `coverage_min_bp` after at least `coverage_min_audits`
+//!   audited groups: the intervals we serve are not honest (*degraded*).
+//! - **stats drift** — `obs.quality.stats_drift_bp` in the newest
+//!   window reaches `drift_limit_bp`: post-merge walk rejection/tip
+//!   rates stepped away from the previous epoch, so the stats behind
+//!   walk orders and tipping thresholds are stale (*degraded*).
+//!   Provable deterministically under `fault-inject` by merging a
+//!   skewed delta batch (see `repro quality`).
 //!
 //! With **zero** windows the verdict is healthy: the recorder has not
 //! started, and alarming on "no data yet" would page on every boot.
@@ -54,6 +64,15 @@ pub struct WatchdogConfig {
     /// Maximum age of the newest window before the sampler itself is
     /// declared dead.
     pub heartbeat_gap: Duration,
+    /// Empirical CI coverage (basis points) below which the coverage
+    /// rule fires.
+    pub coverage_min_bp: i64,
+    /// Audited groups required before the coverage rule may fire — a
+    /// couple of unlucky early audits must not page.
+    pub coverage_min_audits: i64,
+    /// Per-predicate walk-rate delta (basis points) at which the
+    /// stats-drift rule fires.
+    pub drift_limit_bp: i64,
 }
 
 impl Default for WatchdogConfig {
@@ -65,6 +84,9 @@ impl Default for WatchdogConfig {
             queue_plateau_windows: 8,
             pressure_windows: 8,
             heartbeat_gap: Duration::from_secs(2),
+            coverage_min_bp: 9_000,
+            coverage_min_audits: 5,
+            drift_limit_bp: 1_500,
         }
     }
 }
@@ -95,7 +117,8 @@ impl Verdict {
 #[derive(Debug, Clone)]
 pub struct Alert {
     /// Stable rule name ("merge_retry_storm", "queue_plateau",
-    /// "ingest_pressure", "heartbeat").
+    /// "ingest_pressure", "heartbeat", "coverage_below_nominal",
+    /// "stats_drift").
     pub rule: &'static str,
     /// Severity this rule contributes.
     pub severity: Verdict,
@@ -115,11 +138,18 @@ pub struct HealthReport {
 }
 
 impl HealthReport {
+    /// Names of every fired rule, in rule order — the quick "what is
+    /// degraded" list for `/healthz` consumers that don't parse alerts.
+    pub fn rules(&self) -> Vec<&'static str> {
+        self.alerts.iter().map(|a| a.rule).collect()
+    }
+
     /// Render for the `/healthz` endpoint.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("status".into(), Json::str(self.verdict.as_str())),
             ("windows".into(), Json::Num(self.windows as f64)),
+            ("rules".into(), Json::Arr(self.rules().iter().map(|r| Json::str(*r)).collect())),
             (
                 "alerts".into(),
                 Json::Arr(
@@ -195,6 +225,40 @@ pub fn evaluate_windows(windows: &[Window], config: &WatchdogConfig, now_us: u64
             message: format!(
                 "exact queries shed under ingest pressure in each of the last {} windows",
                 pressured.len()
+            ),
+        });
+    }
+
+    // Quality-plane rules read the newest window's gauge levels: the
+    // recorder samples every well-known gauge each tick, so the levels
+    // are the quality plane's state as of the last window.
+    let newest = windows.last().unwrap();
+    let audited = newest.gauge_level("obs.quality.audited_groups").unwrap_or(0);
+    if audited >= config.coverage_min_audits {
+        if let Some(bp) = newest.gauge_level("obs.quality.coverage_bp") {
+            if bp < config.coverage_min_bp {
+                alerts.push(Alert {
+                    rule: "coverage_below_nominal",
+                    severity: Verdict::Degraded,
+                    message: format!(
+                        "empirical CI coverage {bp}bp over {audited} audited groups \
+                         (minimum {}bp)",
+                        config.coverage_min_bp
+                    ),
+                });
+            }
+        }
+    }
+
+    let drift_bp = newest.gauge_level("obs.quality.stats_drift_bp").unwrap_or(0);
+    if drift_bp >= config.drift_limit_bp {
+        alerts.push(Alert {
+            rule: "stats_drift",
+            severity: Verdict::Degraded,
+            message: format!(
+                "per-predicate walk-rate delta {drift_bp}bp vs previous epoch \
+                 (limit {}bp): index stats may be stale",
+                config.drift_limit_bp
             ),
         });
     }
@@ -284,6 +348,20 @@ mod tests {
             queue_plateau_windows: 3,
             pressure_windows: 3,
             heartbeat_gap: Duration::from_millis(100),
+            coverage_min_bp: 9_000,
+            coverage_min_audits: 5,
+            drift_limit_bp: 1_500,
+        }
+    }
+
+    fn quality_window(index: u64, end_us: u64, gauges: Vec<(&str, i64)>) -> Window {
+        Window {
+            index,
+            start_us: end_us.saturating_sub(1000),
+            end_us,
+            counters: Vec::new(),
+            gauges: gauges.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+            histograms: Vec::new(),
         }
     }
 
@@ -367,10 +445,80 @@ mod tests {
     }
 
     #[test]
+    fn coverage_below_nominal_requires_enough_audits() {
+        let c = cfg();
+        // 4 audited groups at 50% coverage: below the 5-audit floor, quiet.
+        let thin = vec![quality_window(
+            0,
+            1000,
+            vec![("obs.quality.audited_groups", 4), ("obs.quality.coverage_bp", 5_000)],
+        )];
+        assert!(evaluate_windows(&thin, &c, 1001).alerts.is_empty());
+        // 8 audited groups at 50%: fires.
+        let bad = vec![quality_window(
+            0,
+            1000,
+            vec![("obs.quality.audited_groups", 8), ("obs.quality.coverage_bp", 5_000)],
+        )];
+        let r = evaluate_windows(&bad, &c, 1001);
+        assert_eq!(r.verdict, Verdict::Degraded);
+        assert!(r.alerts.iter().any(|a| a.rule == "coverage_below_nominal"));
+        // 8 audited groups at 95%: healthy.
+        let good = vec![quality_window(
+            0,
+            1000,
+            vec![("obs.quality.audited_groups", 8), ("obs.quality.coverage_bp", 9_500)],
+        )];
+        assert!(evaluate_windows(&good, &c, 1001).alerts.is_empty());
+    }
+
+    #[test]
+    fn stats_drift_fires_on_latest_window_level() {
+        let c = cfg();
+        let calm = vec![quality_window(0, 1000, vec![("obs.quality.stats_drift_bp", 400)])];
+        assert!(evaluate_windows(&calm, &c, 1001).alerts.is_empty());
+        let drifted = vec![
+            quality_window(0, 1000, vec![("obs.quality.stats_drift_bp", 400)]),
+            quality_window(1, 2000, vec![("obs.quality.stats_drift_bp", 2_200)]),
+        ];
+        let r = evaluate_windows(&drifted, &c, 2001);
+        assert_eq!(r.verdict, Verdict::Degraded);
+        assert!(r.alerts.iter().any(|a| a.rule == "stats_drift"));
+        // Only the newest window counts: a recovered plane is healthy.
+        let recovered = vec![
+            quality_window(0, 1000, vec![("obs.quality.stats_drift_bp", 2_200)]),
+            quality_window(1, 2000, vec![("obs.quality.stats_drift_bp", 0)]),
+        ];
+        assert!(evaluate_windows(&recovered, &c, 2001).alerts.is_empty());
+    }
+
+    #[test]
+    fn report_lists_all_fired_rule_names() {
+        let c = cfg();
+        // Trip both quality rules at once; the body must name each.
+        let w = vec![quality_window(
+            0,
+            1000,
+            vec![
+                ("obs.quality.audited_groups", 10),
+                ("obs.quality.coverage_bp", 4_000),
+                ("obs.quality.stats_drift_bp", 3_000),
+            ],
+        )];
+        let r = evaluate_windows(&w, &c, 1001);
+        assert_eq!(r.rules(), vec!["coverage_below_nominal", "stats_drift"]);
+        let j = r.to_json();
+        let rules = j.get("rules").and_then(Json::as_arr).unwrap();
+        let names: Vec<&str> = rules.iter().filter_map(Json::as_str).collect();
+        assert_eq!(names, vec!["coverage_below_nominal", "stats_drift"]);
+    }
+
+    #[test]
     fn health_report_json_round_trips() {
         let r = evaluate_windows(&[], &cfg(), 0);
         let j = r.to_json();
         assert_eq!(j.get("status").and_then(Json::as_str), Some("healthy"));
+        assert!(j.get("rules").and_then(Json::as_arr).is_some_and(|a| a.is_empty()));
         assert_eq!(Json::parse(&j.pretty(2)).unwrap(), j);
     }
 }
