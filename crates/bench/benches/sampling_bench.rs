@@ -4,7 +4,7 @@
 
 use kgoa_bench::microbench::Runner;
 use kgoa_bench::{load_datasets, prepare_workload, BenchConfig};
-use kgoa_core::{run_walks, AuditJoin, AuditJoinConfig, WanderJoin};
+use kgoa_core::{run_walks, AuditJoin, AuditJoinConfig, Tipping, WanderJoin};
 use kgoa_datagen::Scale;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
     let mut aj = AuditJoin::new(
         ig,
         &q.generated.query,
-        AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: 1 },
+        AuditJoinConfig { tipping: Tipping::from_threshold(cfg.tipping_threshold), seed: 1 },
     )
     .expect("aj");
     run_walks(&mut aj, 1000); // warm caches
@@ -36,7 +36,7 @@ fn main() {
     let mut aj = AuditJoin::new(
         ig,
         &q.generated.query,
-        AuditJoinConfig { tipping_threshold: 0.0, seed: 1 },
+        AuditJoinConfig { tipping: Tipping::Off, seed: 1 },
     )
     .expect("aj");
     run_walks(&mut aj, 1000);

@@ -282,7 +282,10 @@ pub fn sample_time(datasets: &[Dataset], workload: &[PreparedQuery], cfg: &Bench
             let mut aj = AuditJoin::new(
                 ig,
                 &q.generated.query,
-                AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: cfg.seed },
+                AuditJoinConfig {
+                    tipping: kgoa_core::Tipping::from_threshold(cfg.tipping_threshold),
+                    seed: cfg.seed,
+                },
             )
             .expect("aj");
             timing(&mut aj)
@@ -543,7 +546,7 @@ pub fn parallel_scaling(
             &q.generated.query,
             &plan,
             ParallelAlgo::AuditJoin(kgoa_core::AuditJoinConfig {
-                tipping_threshold: cfg.tipping_threshold,
+                tipping: kgoa_core::Tipping::from_threshold(cfg.tipping_threshold),
                 seed: cfg.seed,
             }),
             threads,
@@ -596,7 +599,10 @@ pub fn deadline_sweep(
     for ms in [1u64, 5, 20, 50, 200, 1000] {
         let config = SupervisorConfig {
             deadline: Duration::from_millis(ms),
-            audit: AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: cfg.seed },
+            audit: AuditJoinConfig {
+                tipping: kgoa_core::Tipping::from_threshold(cfg.tipping_threshold),
+                seed: cfg.seed,
+            },
             ..SupervisorConfig::default()
         };
         match supervise(ig, &q.generated.query, &config) {

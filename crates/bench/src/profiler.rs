@@ -65,7 +65,10 @@ pub fn profile_report(
     let query = &q.generated.query;
     writeln!(report, "query: {}", q.id).unwrap();
 
-    let aj_cfg = AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: cfg.seed };
+    let aj_cfg = AuditJoinConfig {
+        tipping: kgoa_core::Tipping::from_threshold(cfg.tipping_threshold),
+        seed: cfg.seed,
+    };
     let profile = QueryProfile::begin(q.id.clone());
     {
         let _attach = profile.attach("main");

@@ -170,7 +170,10 @@ pub fn quality_bench(cfg: &BenchConfig) -> (String, bool) {
     let sup = SupervisorConfig {
         deadline: Duration::from_millis(80),
         exact_fraction: 0.0,
-        audit: AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: cfg.seed },
+        audit: AuditJoinConfig {
+            tipping: kgoa_core::Tipping::from_threshold(cfg.tipping_threshold),
+            seed: cfg.seed,
+        },
         ..SupervisorConfig::default()
     };
     let mut session = Session::root_pinned(&mgr);
@@ -220,13 +223,13 @@ pub fn quality_bench(cfg: &BenchConfig) -> (String, bool) {
             &query,
             &plan,
             ParallelAlgo::AuditJoin(AuditJoinConfig {
-                tipping_threshold: cfg.tipping_threshold,
+                tipping: kgoa_core::Tipping::from_threshold(cfg.tipping_threshold),
                 seed: cfg.seed,
             }),
             2,
             Budget::WalksPerWorker(2048),
             cfg.seed,
-            StreamConfig { batch: 256, refresh: Duration::from_millis(5) },
+            StreamConfig { batch: cfg.batch.max(1), refresh: Duration::from_millis(5) },
             |_| {},
         );
         let summaries = kgoa_obs::quality::convergence_summary();

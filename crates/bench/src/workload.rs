@@ -41,6 +41,9 @@ pub struct BenchConfig {
     /// Cap on the `repro scale` thread sweep (the sweep visits
     /// {1, 2, 4, 8} ∩ [1, threads]; `--threads 2` makes a CI smoke run).
     pub threads: usize,
+    /// Walks per SoA batch for the batched runners (`--batch 1` is the
+    /// bit-identical compatibility mode; see DESIGN.md §4j).
+    pub batch: u64,
 }
 
 impl Default for BenchConfig {
@@ -56,6 +59,7 @@ impl Default for BenchConfig {
             wj_order_trials: 1024,
             layout: Layout::default(),
             threads: 8,
+            batch: 256,
         }
     }
 }
@@ -189,7 +193,10 @@ pub fn run_series(
             // order differs from WJ's: tipped exact computations must stay
             // small), mirroring the per-query tuning WJ receives.
             let aj_cfg =
-                AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: cfg.seed };
+                AuditJoinConfig {
+                    tipping: kgoa_core::Tipping::from_threshold(cfg.tipping_threshold),
+                    seed: cfg.seed,
+                };
             let plan = select_aj_plan(ig, query, cfg, aj_cfg);
             let mut aj = AuditJoin::with_plan(ig, query, plan, aj_cfg).expect("aj");
             run_timed(&mut aj, cfg.ticks, cfg.tick)
@@ -240,7 +247,10 @@ pub fn run_fixed_walks(
         }
         Algo::Aj => {
             let aj_cfg =
-                AuditJoinConfig { tipping_threshold: cfg.tipping_threshold, seed: cfg.seed };
+                AuditJoinConfig {
+                    tipping: kgoa_core::Tipping::from_threshold(cfg.tipping_threshold),
+                    seed: cfg.seed,
+                };
             let plan = select_aj_plan(ig, query, cfg, aj_cfg);
             let mut aj = AuditJoin::with_plan(ig, query, plan, aj_cfg).expect("aj");
             kgoa_core::run_walks(&mut aj, walks);
@@ -251,7 +261,7 @@ pub fn run_fixed_walks(
 
 /// Audit Join's order choice: canonical when order selection is disabled,
 /// otherwise short timed trials of real AJ walks per candidate order.
-fn select_aj_plan(
+pub fn select_aj_plan(
     ig: &IndexedGraph,
     query: &ExplorationQuery,
     cfg: &BenchConfig,

@@ -24,6 +24,8 @@ use rand::SeedableRng;
 
 use crate::accum::{GroupAccumulator, WalkStats};
 use crate::audit::AuditJoinConfig;
+#[cfg(test)]
+use crate::audit::Tipping;
 
 /// Numeric values of dictionary terms: literals whose lexical form parses
 /// as a number (an optional `^^datatype` suffix is ignored).
@@ -119,7 +121,7 @@ impl<'g> SumAuditJoin<'g> {
             values: NumericValues::build(ig.dict()),
             alpha: query.alpha(),
             beta: query.beta(),
-            threshold: config.tipping_threshold,
+            threshold: config.tipping.initial_threshold(),
             assignment: vec![0u32; query.var_count()],
             plan,
             sum_accum: GroupAccumulator::new(),
@@ -329,7 +331,7 @@ mod tests {
         let q = query(c, p);
         let exact = exact_group_sums(&ig, &q).unwrap();
         let mut saj =
-            SumAuditJoin::new(&ig, &q, AuditJoinConfig { tipping_threshold: 4.0, seed: 3 })
+            SumAuditJoin::new(&ig, &q, AuditJoinConfig { tipping: Tipping::Static(4.0), seed: 3 })
                 .unwrap();
         saj.run(30_000);
         let est = saj.estimates();
@@ -373,9 +375,12 @@ mod tests {
         let (ig, c, p) = graph();
         let q = query(c, p);
         let run = |thr: f64| {
-            let mut saj =
-                SumAuditJoin::new(&ig, &q, AuditJoinConfig { tipping_threshold: thr, seed: 7 })
-                    .unwrap();
+            let mut saj = SumAuditJoin::new(
+                &ig,
+                &q,
+                AuditJoinConfig { tipping: Tipping::from_threshold(thr), seed: 7 },
+            )
+            .unwrap();
             saj.run(40_000);
             saj.estimates()
         };

@@ -20,27 +20,87 @@ use kgoa_engine::{BudgetExceeded, BudgetMeter, CtjCounter, ExecBudget};
 use kgoa_index::{pack2, FxHashMap, IndexedGraph, LiveRange, TrieIndex};
 use kgoa_query::{ExplorationQuery, QueryError, SuffixEstimator, Var, WalkPlan};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::accum::{GroupAccumulator, WalkStats};
 use crate::online::OnlineAggregator;
 use crate::pinned::PrAb;
 
+/// The paper's static tipping threshold (§V-B), and the starting point of
+/// the adaptive controller.
+pub const DEFAULT_TIPPING_THRESHOLD: f64 = 1024.0;
+
+/// How many walks pass between adaptive-controller retunes. The threshold
+/// only ever changes *between* walks, as a deterministic function of the
+/// walks already completed, so the estimator stays unbiased (the stopping
+/// rule of walk `k` never depends on walk `k`'s own randomness).
+const RETUNE_WINDOW: u64 = 256;
+
+/// Tipping-point policy for an Audit Join run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tipping {
+    /// Tip when the estimated suffix completions fall strictly below this
+    /// fixed threshold (Fig. 7 line 11).
+    Static(f64),
+    /// Start at [`DEFAULT_TIPPING_THRESHOLD`] and retune online every
+    /// [`RETUNE_WINDOW`] walks from the observed rejection/tip rates and
+    /// the CTJ cache-miss cost of the tipped suffixes.
+    Adaptive,
+    /// Never tip: pure random walks with the unbiased distinct estimator
+    /// (Wander Join's walk with Audit Join's accumulator).
+    Off,
+}
+
+impl Default for Tipping {
+    fn default() -> Self {
+        Tipping::Static(DEFAULT_TIPPING_THRESHOLD)
+    }
+}
+
+impl Tipping {
+    /// The historical scalar encoding (bench configs, CLI flags): `0.0`
+    /// means no tipping, anything else a static threshold.
+    pub fn from_threshold(threshold: f64) -> Self {
+        if threshold == 0.0 {
+            Tipping::Off
+        } else {
+            Tipping::Static(threshold)
+        }
+    }
+
+    /// The threshold a run starts with. `Off` maps to `0.0`: the tipping
+    /// comparison is strict (`est_rem < threshold`) and the estimate is
+    /// never negative, so a zero threshold never fires.
+    pub fn initial_threshold(self) -> f64 {
+        match self {
+            Tipping::Static(t) => t,
+            Tipping::Adaptive => DEFAULT_TIPPING_THRESHOLD,
+            Tipping::Off => 0.0,
+        }
+    }
+}
+
 /// Configuration for an Audit Join run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct AuditJoinConfig {
-    /// Switch to exact computation when the estimated number of suffix
-    /// completions falls strictly below this value. `0.0` disables tipping
-    /// entirely (pure random walks with the unbiased distinct estimator).
-    pub tipping_threshold: f64,
+    /// Tipping-point policy. The default ([`Tipping::Static`] at
+    /// [`DEFAULT_TIPPING_THRESHOLD`]) reproduces the paper's setup.
+    pub tipping: Tipping,
     /// RNG seed.
     pub seed: u64,
 }
 
-impl Default for AuditJoinConfig {
-    fn default() -> Self {
-        AuditJoinConfig { tipping_threshold: 1024.0, seed: 0 }
-    }
+/// Online tipping-controller state ([`Tipping::Adaptive`] runs only).
+struct TipCtl {
+    /// Walk count at which the next retune fires.
+    next: u64,
+    /// Counter snapshot at the last retune (the window is the delta).
+    last: WalkStats,
+    /// CTJ cache misses at the last retune (exact-suffix cost signal).
+    last_misses: u64,
+    /// Upper clamp: tipping above the estimated full-join size would make
+    /// every walk an exact evaluation of the whole query.
+    hi: f64,
 }
 
 /// An Audit Join run over one query.
@@ -61,7 +121,11 @@ pub struct AuditJoin<'g> {
     distinct: bool,
     alpha: Var,
     beta: Var,
+    /// The *current* tipping threshold (fixed for Static/Off policies,
+    /// retuned between walks by the controller for Adaptive).
     threshold: f64,
+    /// Controller state; `Some` only under [`Tipping::Adaptive`].
+    ctl: Option<TipCtl>,
     assignment: Vec<u32>,
     accum: GroupAccumulator,
     stats: WalkStats,
@@ -79,6 +143,8 @@ pub struct AuditJoin<'g> {
     masses: FxHashMap<u64, f64>,
     group_counts: FxHashMap<u32, u64>,
     group_sums: FxHashMap<u32, f64>,
+    /// SoA scratch for the batched runner (empty until the first batch).
+    batch: crate::batch::BatchScratch,
 }
 
 impl<'g> AuditJoin<'g> {
@@ -113,6 +179,14 @@ impl<'g> AuditJoin<'g> {
             .map(|(s, idx)| s.in_var.is_none().then(|| s.access.resolve_live(idx, None)))
             .collect();
         let first_range = plan.steps()[0].access.resolve_live(step_index[0], None);
+        let threshold = config.tipping.initial_threshold();
+        let ctl = (config.tipping == Tipping::Adaptive).then(|| TipCtl {
+            next: RETUNE_WINDOW,
+            last: WalkStats::default(),
+            last_misses: 0,
+            hi: est.full_join().max(DEFAULT_TIPPING_THRESHOLD),
+        });
+        kgoa_obs::metrics::AJ_TIP_THRESHOLD.set(threshold as i64);
         Ok(AuditJoin {
             ig,
             step_index,
@@ -124,7 +198,8 @@ impl<'g> AuditJoin<'g> {
             distinct: query.distinct(),
             alpha: query.alpha(),
             beta: query.beta(),
-            threshold: config.tipping_threshold,
+            threshold,
+            ctl,
             assignment: vec![0u32; query.var_count()],
             plan,
             accum: GroupAccumulator::new(),
@@ -136,7 +211,55 @@ impl<'g> AuditJoin<'g> {
             masses: FxHashMap::default(),
             group_counts: FxHashMap::default(),
             group_sums: FxHashMap::default(),
+            batch: crate::batch::BatchScratch::default(),
         })
+    }
+
+    /// The tipping threshold currently in effect (the adaptive controller
+    /// moves it between walks; static policies never do).
+    pub fn tip_threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Retune the adaptive tipping threshold from the last window of
+    /// walks. Deterministic in the walk history; no-op for static
+    /// policies or mid-window.
+    fn maybe_retune(&mut self) {
+        let Some(ctl) = &mut self.ctl else { return };
+        if self.stats.walks < ctl.next {
+            return;
+        }
+        let misses = self.counter.cache_stats().misses;
+        let walks = self.stats.walks - ctl.last.walks;
+        if walks > 0 {
+            let rej = (self.stats.rejected - ctl.last.rejected) as f64 / walks as f64;
+            let tips = self.stats.tipped - ctl.last.tipped;
+            let tip = tips as f64 / walks as f64;
+            let old = self.threshold;
+            if rej > 0.15 {
+                // Walks are dying mid-path: raise the threshold so they
+                // tip into an exact suffix before reaching the dead ends.
+                // Scale the correction by how bad the window was.
+                let f = if rej > 0.5 { 4.0 } else { 2.0 };
+                self.threshold = (self.threshold.max(1.0) * f).min(ctl.hi);
+            } else if rej < 0.02 && tip > 0.5 {
+                // Nothing is dying and most walks pay for an exact suffix.
+                // If those suffixes still miss the CTJ cache (at least one
+                // fresh exact computation per tip — the cache never
+                // amortizes), tip later to cheapen them; a warm cache
+                // means tips are near-free and the threshold stays.
+                let miss_rate = (misses - ctl.last_misses) as f64 / tips.max(1) as f64;
+                if miss_rate >= 1.0 {
+                    self.threshold = (self.threshold * 0.5).max(1.0);
+                }
+            }
+            if self.threshold != old {
+                kgoa_obs::metrics::AJ_TIP_THRESHOLD.set(self.threshold as i64);
+            }
+        }
+        ctl.last = self.stats;
+        ctl.last_misses = misses;
+        ctl.next = self.stats.walks + RETUNE_WINDOW;
     }
 
     /// The raw per-group accumulator (used by the parallel runner).
@@ -207,6 +330,7 @@ impl<'g> AuditJoin<'g> {
     /// An aborted walk is **not** counted in `stats.walks` and contributes
     /// nothing, so the estimator stays unbiased over the completed walks.
     pub fn walk_governed(&mut self, budget: &ExecBudget) -> Result<(), BudgetExceeded> {
+        self.maybe_retune();
         budget.fault_walk();
         budget.charge_walk()?;
         let n = self.plan.len();
@@ -349,6 +473,162 @@ impl<'g> AuditJoin<'g> {
             Ok(true)
         }
     }
+
+    /// Execute up to `n` walks as one SoA batch (see `crate::batch`).
+    /// Equivalent to `n` calls of [`AuditJoin::walk`]; at `n == 1` the
+    /// RNG stream, accept/reject/tip sequence and all counters are
+    /// bit-identical to the sequential walk.
+    pub fn walk_batch(&mut self, n: u64) -> u64 {
+        self.walk_batch_governed(&ExecBudget::unlimited(), n)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// Batched walks under a cooperative budget: charges the batch as one
+    /// [`ExecBudget::charge_walks`] call (possibly admitting fewer than
+    /// `n`), checks the budget once per plan step per batch plus once per
+    /// tipped suffix, and returns the number of walks admitted. A trip
+    /// mid-batch loses only the walks still in flight — walks already
+    /// completed (full, tipped or dead) in the batch remain counted.
+    pub fn walk_batch_governed(
+        &mut self,
+        budget: &ExecBudget,
+        n: u64,
+    ) -> Result<u64, BudgetExceeded> {
+        if n == 0 {
+            return Ok(0);
+        }
+        self.maybe_retune();
+        for _ in 0..n {
+            budget.fault_walk();
+        }
+        let admitted = budget.charge_walks(n)?;
+        let mut bs = std::mem::take(&mut self.batch);
+        let result = self.walk_batch_core(budget, admitted as usize, &mut bs);
+        self.batch = bs;
+        result.map(|()| admitted)
+    }
+
+    fn walk_batch_core(
+        &mut self,
+        budget: &ExecBudget,
+        n: usize,
+        bs: &mut crate::batch::BatchScratch,
+    ) -> Result<(), BudgetExceeded> {
+        use kgoa_obs::metrics as m;
+        let plan = std::sync::Arc::clone(&self.plan);
+        let vc = plan.var_count();
+        let steps_n = plan.len();
+        bs.reset(n, vc);
+        bs.ranges[..n].fill(self.first_range);
+        let mut live = n as u64;
+        for i in 0..steps_n {
+            if live == 0 {
+                break;
+            }
+            budget.check()?;
+            m::WALK_BATCH_STEPS.inc();
+            m::WALK_BATCH_OCCUPANCY.record(live);
+            self.step_visits[i] += live;
+            let index = self.step_index[i];
+            // Reject dead ends (one sample attempt per live walk), then
+            // draw one RNG word per survivor in walk order — at batch 1
+            // this consumes exactly the sequential walk's stream.
+            m::SAMPLE_DRAWS.add(live);
+            let mut rejected = 0u64;
+            let mut survivors = 0usize;
+            for w in 0..n {
+                if !bs.alive[w] {
+                    continue;
+                }
+                if bs.ranges[w].is_empty() {
+                    bs.alive[w] = false;
+                    self.step_rejects[i] += 1;
+                    rejected += 1;
+                } else {
+                    survivors += 1;
+                }
+            }
+            if rejected > 0 {
+                self.stats.walks += rejected;
+                self.stats.rejected += rejected;
+                m::WALKS.add(rejected);
+                m::WALKS_REJECTED.add(rejected);
+            }
+            bs.raw.clear();
+            bs.raw.resize(survivors, 0);
+            self.rng.fill_u64(&mut bs.raw);
+            let mut k = 0usize;
+            for w in 0..n {
+                if !bs.alive[w] {
+                    continue;
+                }
+                let range = bs.ranges[w];
+                let pos = index.pick_live_keyed(range, bs.raw[k]);
+                k += 1;
+                bs.weights[w] *= range.len() as f64;
+                plan.extract_at(index, i, pos, &mut bs.assignments[w * vc..(w + 1) * vc]);
+            }
+            live = survivors as u64;
+            if i + 1 == steps_n {
+                for w in 0..n {
+                    if !bs.alive[w] {
+                        continue;
+                    }
+                    bs.alive[w] = false;
+                    self.assignment.copy_from_slice(&bs.assignments[w * vc..(w + 1) * vc]);
+                    self.finish_full(bs.weights[w], budget)?;
+                    self.stats.walks += 1;
+                    self.stats.full += 1;
+                    m::WALKS.inc();
+                    m::WALKS_FULL.inc();
+                }
+                break;
+            }
+            // Resolve every survivor's next range with one sorted batch
+            // seek, then tip the walks whose estimated completions fall
+            // below the threshold; the rest carry their range forward.
+            crate::batch::resolve_step_ranges(
+                self.step_index[i + 1],
+                &plan.steps()[i + 1],
+                self.fixed_ranges[i + 1],
+                &bs.assignments,
+                vc,
+                &bs.alive[..n],
+                &mut bs.probes1,
+                &mut bs.probes2,
+                &mut bs.next_ranges,
+            );
+            for w in 0..n {
+                if !bs.alive[w] {
+                    continue;
+                }
+                let next = bs.next_ranges[w];
+                let est_rem = self.est.remaining(i + 1, next.len() as u64);
+                if est_rem < self.threshold {
+                    budget.check()?;
+                    self.assignment.copy_from_slice(&bs.assignments[w * vc..(w + 1) * vc]);
+                    let contributed = self.finish_tipped(i + 1, bs.weights[w], budget)?;
+                    self.stats.walks += 1;
+                    m::WALKS.inc();
+                    if contributed {
+                        self.stats.tipped += 1;
+                        self.step_tips[i + 1] += 1;
+                        m::WALKS_TIPPED.inc();
+                        m::AJ_TIP_STEP.record((i + 1) as u64);
+                    } else {
+                        self.stats.rejected += 1;
+                        self.step_rejects[i + 1] += 1;
+                        m::WALKS_REJECTED.inc();
+                    }
+                    bs.alive[w] = false;
+                    live -= 1;
+                } else {
+                    bs.ranges[w] = next;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl OnlineAggregator for AuditJoin<'_> {
@@ -362,6 +642,18 @@ impl OnlineAggregator for AuditJoin<'_> {
 
     fn step_governed(&mut self, budget: &ExecBudget) -> Result<(), BudgetExceeded> {
         self.walk_governed(budget)
+    }
+
+    fn step_batch(&mut self, n: u64) {
+        self.walk_batch(n);
+    }
+
+    fn step_batch_governed(
+        &mut self,
+        budget: &ExecBudget,
+        n: u64,
+    ) -> Result<u64, BudgetExceeded> {
+        self.walk_batch_governed(budget, n)
     }
 
     fn estimates(&self) -> kgoa_engine::GroupedEstimates {
@@ -615,7 +907,7 @@ mod tests {
         let mut aj = AuditJoin::new(
             &ig,
             &query,
-            AuditJoinConfig { tipping_threshold: threshold, seed: 11 },
+            AuditJoinConfig { tipping: Tipping::from_threshold(threshold), seed: 11 },
         )
         .unwrap();
         run_walks(&mut aj, walks);
@@ -699,7 +991,7 @@ mod tests {
         let mut aj = AuditJoin::new(
             &ig,
             &query,
-            AuditJoinConfig { tipping_threshold: f64::INFINITY, seed: 1 },
+            AuditJoinConfig { tipping: Tipping::Static(f64::INFINITY), seed: 1 },
         )
         .unwrap();
         // With an infinite threshold every walk tips right after its first
@@ -725,7 +1017,7 @@ mod tests {
             let mut aj = AuditJoin::new(
                 &ig,
                 &query,
-                AuditJoinConfig { tipping_threshold: thr, seed: 5 },
+                AuditJoinConfig { tipping: Tipping::from_threshold(thr), seed: 5 },
             )
             .unwrap();
             run_walks(&mut aj, 4000);
@@ -750,7 +1042,7 @@ mod tests {
         let mut aj = AuditJoin::new(
             &ig,
             &query,
-            AuditJoinConfig { tipping_threshold: 1024.0, seed: 9 },
+            AuditJoinConfig { tipping: Tipping::Static(1024.0), seed: 9 },
         )
         .unwrap();
         run_walks(&mut aj, 500);
@@ -784,7 +1076,7 @@ mod tests {
         )
         .unwrap();
         let mut aj =
-            AuditJoin::new(&ig, &query, AuditJoinConfig { tipping_threshold: 1e6, seed: 2 })
+            AuditJoin::new(&ig, &query, AuditJoinConfig { tipping: Tipping::Static(1e6), seed: 2 })
                 .unwrap();
         run_walks(&mut aj, 200);
         let stats = aj.cache_stats();
@@ -797,7 +1089,7 @@ mod tests {
     fn deterministic_under_seed() {
         let (ig, p, q) = graph();
         let query = query(p, q, true);
-        let cfg = AuditJoinConfig { tipping_threshold: 100.0, seed: 77 };
+        let cfg = AuditJoinConfig { tipping: Tipping::Static(100.0), seed: 77 };
         let mut a = AuditJoin::new(&ig, &query, cfg).unwrap();
         let mut b = AuditJoin::new(&ig, &query, cfg).unwrap();
         run_walks(&mut a, 300);
@@ -805,6 +1097,114 @@ mod tests {
         for (g, x) in a.estimates().estimates.iter() {
             assert_eq!(b.estimates().estimates.get(g), Some(x));
         }
+    }
+
+    #[test]
+    fn tipping_scalar_round_trip() {
+        assert_eq!(Tipping::from_threshold(0.0), Tipping::Off);
+        assert_eq!(Tipping::from_threshold(37.5), Tipping::Static(37.5));
+        assert_eq!(Tipping::Off.initial_threshold(), 0.0);
+        assert_eq!(Tipping::Static(2.0).initial_threshold(), 2.0);
+        assert_eq!(Tipping::Adaptive.initial_threshold(), DEFAULT_TIPPING_THRESHOLD);
+        assert_eq!(Tipping::default(), Tipping::Static(DEFAULT_TIPPING_THRESHOLD));
+    }
+
+    #[test]
+    fn adaptive_tipping_converges_within_static_envelope() {
+        let (ig, p, q, r) = deep_graph();
+        let query = deep_query(p, q, r, false);
+        let exact = YannakakisEngine.evaluate(&ig, &query).unwrap();
+        let mae = |tipping: Tipping| {
+            let mut aj =
+                AuditJoin::new(&ig, &query, AuditJoinConfig { tipping, seed: 21 }).unwrap();
+            run_walks(&mut aj, 8_000);
+            let est = aj.estimates();
+            let mut e = 0.0;
+            let mut k = 0usize;
+            for (g, c) in exact.iter() {
+                e += (est.get(g) - c as f64).abs() / c as f64;
+                k += 1;
+            }
+            e / k as f64
+        };
+        let static_mae = mae(Tipping::default());
+        let adaptive_mae = mae(Tipping::Adaptive);
+        // The controller must settle inside the static default's error
+        // envelope (same walk budget, generous slack for the warmup
+        // window where the threshold is still moving).
+        assert!(
+            adaptive_mae <= (static_mae * 2.0).max(0.05),
+            "adaptive MAE {adaptive_mae} vs static {static_mae}"
+        );
+    }
+
+    #[test]
+    fn adaptive_tipping_is_deterministic() {
+        let (ig, p, q, r) = deep_graph();
+        let query = deep_query(p, q, r, true);
+        let cfg = AuditJoinConfig { tipping: Tipping::Adaptive, seed: 31 };
+        let mut a = AuditJoin::new(&ig, &query, cfg).unwrap();
+        let mut b = AuditJoin::new(&ig, &query, cfg).unwrap();
+        run_walks(&mut a, 1_000);
+        run_walks(&mut b, 1_000);
+        assert_eq!(a.tip_threshold(), b.tip_threshold());
+        for (g, x) in a.estimates().estimates.iter() {
+            assert_eq!(b.estimates().estimates.get(g), Some(x));
+        }
+    }
+
+    #[test]
+    fn adaptive_controller_lowers_threshold_when_tips_stay_cold() {
+        // Wide fan: every walk tips at step 1 into an exact suffix over 5
+        // previously-unseen mids. Grouping by the mid (α and β bound before
+        // the final pattern, as in `caches_warm_up_across_walks`) routes
+        // the per-mid r-suffix masses through the CTJ cache — ≈5 misses
+        // per tip, forever cold — so the controller should cheapen the
+        // tips by lowering the threshold from the static default.
+        let mut b = GraphBuilder::new();
+        let p = b.dict_mut().intern_iri("u:p");
+        let q = b.dict_mut().intern_iri("u:q");
+        let r = b.dict_mut().intern_iri("u:r");
+        let s = b.dict_mut().intern_iri("u:s");
+        let c0 = b.dict_mut().intern_iri("u:c0");
+        for oi in 0..2000u32 {
+            let o = b.dict_mut().intern_iri(format!("u:o{oi}"));
+            b.add(Triple::new(s, p, o));
+            for mi in 0..5u32 {
+                let m = b.dict_mut().intern_iri(format!("u:m{oi}_{mi}"));
+                b.add(Triple::new(o, q, m));
+                if mi == 0 {
+                    b.add(Triple::new(m, r, c0));
+                }
+            }
+        }
+        let ig = IndexedGraph::build(b.build());
+        let query = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p, Var(1)),
+                TriplePattern::new(Var(1), q, Var(2)),
+                TriplePattern::new(Var(2), r, Var(3)),
+            ],
+            Var(2),
+            Var(1),
+            true,
+        )
+        .unwrap();
+        let mut aj = AuditJoin::new(
+            &ig,
+            &query,
+            AuditJoinConfig { tipping: Tipping::Adaptive, seed: 4 },
+        )
+        .unwrap();
+        assert_eq!(aj.tip_threshold(), DEFAULT_TIPPING_THRESHOLD);
+        run_walks(&mut aj, 600);
+        assert!(aj.stats().tipped > 0);
+        assert!(aj.cache_stats().misses > 0, "tips must exercise the CTJ cache");
+        assert!(
+            aj.tip_threshold() < DEFAULT_TIPPING_THRESHOLD,
+            "cold tips should pull the threshold down: {}",
+            aj.tip_threshold()
+        );
     }
 
     #[test]

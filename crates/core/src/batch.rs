@@ -1,0 +1,124 @@
+//! Shared structure-of-arrays scratch state for the batched walk runners.
+//!
+//! Both [`crate::wander::WanderJoin`] and [`crate::audit::AuditJoin`] advance
+//! a batch of walks one plan step at a time. Per-walk state lives in parallel
+//! vectors indexed by walk slot so a step pass streams over contiguous
+//! memory, and the per-step index probes are collected, sorted by key, and
+//! resolved through the batch-seek entry points of `kgoa-index`.
+
+use kgoa_index::{pack2, LiveRange, TrieIndex};
+use kgoa_query::{PrefixComp, WalkStep};
+
+/// Reusable per-batch walk state. Owned by the aggregator and recycled
+/// across batches; `reset` reinitializes for a batch of `n` walks.
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    /// Walk slot still advancing (not yet rejected/tipped/completed).
+    pub alive: Vec<bool>,
+    /// Current step's live range per walk slot.
+    pub ranges: Vec<LiveRange>,
+    /// Next step's live range per walk slot (filled by `resolve_step_ranges`).
+    pub next_ranges: Vec<LiveRange>,
+    /// Flattened assignments: walk `w` owns `[w * var_count .. (w + 1) * var_count)`.
+    pub assignments: Vec<u32>,
+    /// Running Horvitz-Thompson weight per walk slot.
+    pub weights: Vec<f64>,
+    /// RNG words for the current step, one per surviving walk, refilled in
+    /// bulk with a single `fill_u64` call.
+    pub raw: Vec<u64>,
+    /// 1-value probe buffer: `(key, walk slot)`.
+    pub probes1: Vec<(u32, u32)>,
+    /// 2-value probe buffer: `(pack2 key, walk slot)`.
+    pub probes2: Vec<(u64, u32)>,
+}
+
+impl BatchScratch {
+    /// Prepare for a batch of `n` walks over a plan with `var_count`
+    /// variables: all walks alive, unit weights, zeroed assignments.
+    pub fn reset(&mut self, n: usize, var_count: usize) {
+        self.alive.clear();
+        self.alive.resize(n, true);
+        self.ranges.clear();
+        self.ranges.resize(n, LiveRange::EMPTY);
+        self.next_ranges.clear();
+        self.next_ranges.resize(n, LiveRange::EMPTY);
+        self.assignments.clear();
+        self.assignments.resize(n * var_count, 0);
+        self.weights.clear();
+        self.weights.resize(n, 1.0);
+    }
+}
+
+/// Resolve the live range of `step` for every live walk into
+/// `out[walk slot]`, batching the index probes in sorted key order.
+///
+/// `fixed` short-circuits steps whose prefix is all-constant (the range was
+/// resolved once at plan time). Otherwise each live walk's inbound binding
+/// is read from `assignments` and composed with the access prefix:
+/// 1-level prefixes go through [`TrieIndex::seek1_batch`], 2-level prefixes
+/// through [`TrieIndex::seek2_batch`], and fully-bound existence checks
+/// fall back to the per-walk scalar path. Results are identical to
+/// `step.access.resolve_live` per walk; only the probe order differs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resolve_step_ranges(
+    index: &TrieIndex,
+    step: &WalkStep,
+    fixed: Option<LiveRange>,
+    assignments: &[u32],
+    var_count: usize,
+    alive: &[bool],
+    probes1: &mut Vec<(u32, u32)>,
+    probes2: &mut Vec<(u64, u32)>,
+    out: &mut [LiveRange],
+) {
+    if let Some(r) = fixed {
+        for (w, &live) in alive.iter().enumerate() {
+            if live {
+                out[w] = r;
+            }
+        }
+        return;
+    }
+    let (in_var, _) = step
+        .in_var
+        .expect("non-fixed batched step must have an inbound variable");
+    let iv = in_var.index();
+    match step.access.prefix_len() {
+        1 => {
+            probes1.clear();
+            for (w, &live) in alive.iter().enumerate() {
+                if live {
+                    probes1.push((assignments[w * var_count + iv], w as u32));
+                }
+            }
+            probes1.sort_unstable_by_key(|&(k, _)| k);
+            index.seek1_batch(probes1, out);
+        }
+        2 => {
+            probes2.clear();
+            for (w, &live) in alive.iter().enumerate() {
+                if live {
+                    let in_value = assignments[w * var_count + iv];
+                    let mut vals = [0u32; 2];
+                    for (i, comp) in step.access.prefix.iter().enumerate() {
+                        vals[i] = match comp {
+                            PrefixComp::Const(c) => c.raw(),
+                            PrefixComp::InVar => in_value,
+                        };
+                    }
+                    probes2.push((pack2(vals[0], vals[1]), w as u32));
+                }
+            }
+            probes2.sort_unstable_by_key(|&(k, _)| k);
+            index.seek2_batch(probes2, out);
+        }
+        _ => {
+            for (w, &live) in alive.iter().enumerate() {
+                if live {
+                    let in_value = assignments[w * var_count + iv];
+                    out[w] = step.access.resolve_live(index, Some(in_value));
+                }
+            }
+        }
+    }
+}

@@ -29,6 +29,7 @@
 pub mod accum;
 pub mod aggregate;
 pub mod audit;
+mod batch;
 pub mod epoch;
 pub mod monitor;
 pub mod online;
@@ -45,15 +46,15 @@ pub use accum::{GroupAccumulator, WalkStats, Z_95};
 pub use aggregate::{exact_group_sums, AggregateEstimates, NumericValues, SumAuditJoin};
 pub use audit::{
     coverage_hits, predicate_rates, suffix_group_counts, suffix_masses, try_suffix_group_counts,
-    try_suffix_masses, AuditJoin, AuditJoinConfig,
+    try_suffix_masses, AuditJoin, AuditJoinConfig, Tipping, DEFAULT_TIPPING_THRESHOLD,
 };
 pub use epoch::{EpochConfig, EpochGuard, EpochManager, EpochSnapshot};
 #[cfg(feature = "fault-inject")]
 pub use epoch::MergeCrashPoint;
 pub use monitor::{start_monitoring, MonitorConfig, MonitorHandle};
 pub use online::{
-    mean_ci_half_width, run_governed, run_timed, run_traced, run_walks, OnlineAggregator,
-    Snapshot,
+    mean_ci_half_width, run_governed, run_timed, run_traced, run_walks, run_walks_batched,
+    OnlineAggregator, Snapshot,
 };
 pub use parallel::{
     run_parallel, run_parallel_streaming, Budget, ParallelAlgo, ParallelError, ParallelOutcome,

@@ -32,6 +32,33 @@ pub trait OnlineAggregator {
         Ok(())
     }
 
+    /// Perform `n` walks as one batch. The default is a sequential loop;
+    /// [`crate::WanderJoin`] and [`crate::AuditJoin`] override it with the
+    /// SoA step-major runner that amortizes RNG, index, and accounting
+    /// costs across the batch.
+    fn step_batch(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Perform up to `n` walks as one batch under a cooperative budget,
+    /// returning the number of walks admitted. `Ok(done)` with `done < n`
+    /// means the shared walk cap admitted only part of the batch — callers
+    /// must treat that as terminal, like `Err`, and stop issuing batches.
+    /// The default loops [`OnlineAggregator::step_governed`], propagating
+    /// its first error.
+    fn step_batch_governed(
+        &mut self,
+        budget: &ExecBudget,
+        n: u64,
+    ) -> Result<u64, BudgetExceeded> {
+        for _ in 0..n {
+            self.step_governed(budget)?;
+        }
+        Ok(n)
+    }
+
     /// Snapshot the current per-group estimates and confidence intervals.
     fn estimates(&self) -> GroupedEstimates;
 
@@ -54,6 +81,19 @@ pub struct Snapshot {
 pub fn run_walks<A: OnlineAggregator + ?Sized>(agg: &mut A, walks: u64) {
     for _ in 0..walks {
         agg.step();
+    }
+}
+
+/// Step the aggregator for a fixed number of walks in SoA batches of
+/// `batch` walks each (deterministic for a fixed seed and batch size).
+/// `batch == 1` reproduces [`run_walks`] bit-for-bit.
+pub fn run_walks_batched<A: OnlineAggregator + ?Sized>(agg: &mut A, walks: u64, batch: u64) {
+    let batch = batch.max(1);
+    let mut done = 0u64;
+    while done < walks {
+        let n = batch.min(walks - done);
+        agg.step_batch(n);
+        done += n;
     }
 }
 
@@ -187,6 +227,18 @@ mod tests {
         let mut c = Counting { n: 0 };
         run_walks(&mut c, 123);
         assert_eq!(c.n, 123);
+    }
+
+    #[test]
+    fn default_batch_methods_loop_step() {
+        let mut c = Counting { n: 0 };
+        c.step_batch(7);
+        assert_eq!(c.n, 7);
+        run_walks_batched(&mut c, 100, 16);
+        assert_eq!(c.n, 107);
+        let budget = ExecBudget::unlimited();
+        assert_eq!(c.step_batch_governed(&budget, 9).unwrap(), 9);
+        assert_eq!(c.n, 116);
     }
 
     #[test]

@@ -100,7 +100,11 @@ pub fn select_plan(
 /// enormous (e.g. walking backward from a selective pattern so the count
 /// variable binds last). Running real AJ walks under a time budget folds
 /// both effects into the score — orders with expensive walks produce fewer
-/// trial samples and thus wider confidence intervals.
+/// trial samples and thus wider confidence intervals. A plan-time walk-cost
+/// model ([`kgoa_query::SuffixEstimator::walk_cost`] at the configured
+/// tipping threshold) breaks remaining ties toward orders whose expected
+/// sampled-prefix plus exact-suffix work is cheapest — this is also the
+/// starting point the adaptive tipping controller retunes from.
 pub fn select_plan_audit(
     ig: &IndexedGraph,
     query: &ExplorationQuery,
@@ -108,9 +112,12 @@ pub fn select_plan_audit(
     trial: std::time::Duration,
 ) -> Result<WalkPlan, QueryError> {
     use crate::online::run_timed;
-    let mut best: Option<(f64, f64, Vec<usize>)> = None;
+    let threshold = config.tipping.initial_threshold();
+    let mut best: Option<(f64, f64, f64, Vec<usize>)> = None;
     for order in walk_orders(query) {
         let plan = WalkPlan::build(query, &order, &IndexOrder::PAPER_DEFAULT)?;
+        let plan_cost =
+            kgoa_query::SuffixEstimator::new(ig, query, &plan).walk_cost(threshold);
         let mut aj = crate::audit::AuditJoin::with_plan(ig, query, plan, config)?;
         run_timed(&mut aj, 1, trial);
         let est = aj.estimates();
@@ -126,13 +133,13 @@ pub fn select_plan_audit(
         let rejection = aj.stats().rejection_rate();
         let better = match &best {
             None => true,
-            Some((r, c, _)) => (rejection, mean_rel_ci) < (*r, *c),
+            Some((r, c, p, _)) => (rejection, mean_rel_ci, plan_cost) < (*r, *c, *p),
         };
         if better {
-            best = Some((rejection, mean_rel_ci, order));
+            best = Some((rejection, mean_rel_ci, plan_cost, order));
         }
     }
-    let (_, _, order) = best.ok_or(QueryError::Empty)?;
+    let (_, _, _, order) = best.ok_or(QueryError::Empty)?;
     WalkPlan::build(query, &order, &IndexOrder::PAPER_DEFAULT)
 }
 
@@ -187,6 +194,21 @@ mod tests {
             select_plan(&ig, &query(p, q), OrderSelection::BestOf { trial_walks: 500 }, 1)
                 .unwrap();
         // The backward order starts at the q-pattern (index 1).
+        assert_eq!(plan.steps()[0].pattern_idx, 1);
+    }
+
+    #[test]
+    fn audit_selection_accepts_adaptive_tipping() {
+        let (ig, p, q) = asymmetric();
+        let cfg = crate::audit::AuditJoinConfig {
+            tipping: crate::audit::Tipping::Adaptive,
+            seed: 1,
+        };
+        let plan =
+            select_plan_audit(&ig, &query(p, q), cfg, std::time::Duration::from_millis(5))
+                .unwrap();
+        // The backward order never rejects, so it wins under any tipping
+        // configuration.
         assert_eq!(plan.steps()[0].pattern_idx, 1);
     }
 

@@ -14,7 +14,8 @@
 //! [`WorkerPool`] (spawned once, reused across runs) rather than per-call
 //! scoped threads. Each logical worker owns its aggregator for the whole
 //! run — RNG setup, walk buffers and per-step index references are paid
-//! once — and steps it in *batches* of [`StreamConfig::batch`] walks.
+//! once — and advances it in SoA *batches* of [`StreamConfig::batch`]
+//! walks via [`OnlineAggregator::step_batch`].
 //! After every batch it publishes a snapshot of its accumulator prefix
 //! into its per-worker slot; the caller's thread folds the latest slots
 //! (in worker order, so merges are deterministic) into a live
@@ -31,11 +32,12 @@
 //! unbiased. Only when every worker panics does the run return
 //! [`ParallelError::AllWorkersFailed`].
 //!
-//! **Bounded overshoot.** A shared [`ExecBudget`] walk cap is charged per
-//! walk inside the batch loop, so *completed* walks never exceed the cap;
-//! each worker discovers the trip at its next walk, so walks *started*
-//! past the cap are bounded by `workers × batch` (see `pool.rs` module
-//! docs and the `shared_walk_cap_overshoot_is_bounded` test).
+//! **Bounded overshoot.** A shared [`ExecBudget`] walk cap is charged once
+//! per batch ([`kgoa_engine::ExecBudget::charge_walks`]), so *completed*
+//! walks never exceed the cap; each worker discovers the trip at its next
+//! batch (a partial admission is terminal), so walks *started* past the
+//! cap are bounded by `workers × batch` (see `pool.rs` module docs and the
+//! `shared_walk_cap_overshoot_is_bounded` test).
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -48,7 +50,7 @@ use kgoa_query::{ExplorationQuery, QueryError, WalkPlan};
 
 use crate::accum::{GroupAccumulator, WalkStats};
 use crate::audit::{AuditJoin, AuditJoinConfig};
-use crate::online::{mean_ci_half_width, run_walks, OnlineAggregator};
+use crate::online::{mean_ci_half_width, OnlineAggregator};
 use crate::pool::WorkerPool;
 use crate::wander::WanderJoin;
 
@@ -94,10 +96,12 @@ pub enum Budget {
 /// Batching and refresh cadence for a streaming parallel run.
 #[derive(Debug, Clone, Copy)]
 pub struct StreamConfig {
-    /// Walks per batch: the unit of publication, budget accounting and
-    /// panic loss. Larger batches amortize slot locking; smaller batches
-    /// refresh the live estimate more often (256 balances the two — see
-    /// DESIGN.md §4f).
+    /// Walks per SoA batch: how many walks each worker advances through
+    /// [`OnlineAggregator::step_batch`] at a time, and therefore the unit
+    /// of publication, budget accounting and panic loss. Larger batches
+    /// amortize RNG refills, index probes and slot locking; smaller
+    /// batches refresh the live estimate more often (256 balances the two
+    /// — see DESIGN.md §4f and §4j).
     pub batch: u64,
     /// How often the caller folds worker slots into a merged snapshot for
     /// the observer. Sub-millisecond values are clamped to 1ms.
@@ -502,7 +506,7 @@ fn drive_batched<A: OnlineAggregator>(
             let mut done = 0u64;
             while done < *n {
                 let step = batch.min(*n - done);
-                run_walks(agg, step);
+                agg.step_batch(step);
                 done += step;
                 batches += 1;
                 publish(agg, batches, step);
@@ -516,7 +520,7 @@ fn drive_batched<A: OnlineAggregator>(
                 // deadline is never overshot by more than a mini-batch.
                 while in_batch < batch && start.elapsed() < *d {
                     let step = 64.min(batch - in_batch);
-                    run_walks(agg, step);
+                    agg.step_batch(step);
                     in_batch += step;
                 }
                 batches += 1;
@@ -529,22 +533,25 @@ fn drive_batched<A: OnlineAggregator>(
                 // forever, so it does no work at all.
                 return;
             }
-            'run: loop {
-                let mut in_batch = 0u64;
-                while in_batch < batch {
-                    if agg.step_governed(b).is_err() {
-                        // Walks completed before the trip are real samples:
-                        // publish the partial batch, then stop.
-                        if in_batch > 0 {
-                            batches += 1;
-                            publish(agg, batches, in_batch);
-                        }
-                        break 'run;
-                    }
-                    in_batch += 1;
+            let mut published = 0u64;
+            loop {
+                // A partial admission (`done < batch`) means the shared
+                // walk cap is exhausted — terminal, like an error.
+                let end = match agg.step_batch_governed(b, batch) {
+                    Ok(done) => done < batch,
+                    Err(_) => true,
+                };
+                // Walks recorded before a mid-batch trip are real samples:
+                // publish whatever the batch actually added, then stop.
+                let walks = agg.stats().walks;
+                if walks > published {
+                    batches += 1;
+                    publish(agg, batches, walks - published);
+                    published = walks;
                 }
-                batches += 1;
-                publish(agg, batches, in_batch);
+                if end {
+                    break;
+                }
             }
         }
     }
@@ -767,8 +774,9 @@ mod tests {
             "a finished multi-group run has a nonzero mean CI half-width"
         );
 
-        // The old end-of-run merge, replayed by hand: one sequential
-        // aggregator per worker seed, merged in worker order.
+        // The old end-of-run merge, replayed by hand: one aggregator per
+        // worker seed stepped in the same SoA batches the workers used,
+        // merged in worker order.
         let mut accum = GroupAccumulator::new();
         let mut stats = WalkStats::default();
         for t in 0..threads {
@@ -776,7 +784,7 @@ mod tests {
                 seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1));
             let mut wj =
                 WanderJoin::with_plan(&ig, &query, plan.clone(), worker_seed).unwrap();
-            run_walks(&mut wj, walks);
+            crate::online::run_walks_batched(&mut wj, walks, 128);
             accum.merge_from(wj.accumulator());
             stats.merge_from(&wj.stats());
         }

@@ -18,7 +18,7 @@ use kgoa_engine::{BudgetExceeded, ExecBudget};
 use kgoa_index::{pack2, FxHashSet, IndexOrder, IndexedGraph, LiveRange, TrieIndex};
 use kgoa_query::{ExplorationQuery, QueryError, WalkPlan};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::accum::{GroupAccumulator, WalkStats};
 use crate::online::OnlineAggregator;
@@ -45,6 +45,8 @@ pub struct WanderJoin<'g> {
     /// Per-plan-step dead ends (walks that died at the step).
     step_rejects: Vec<u64>,
     rng: SmallRng,
+    /// Recycled SoA scratch for the batched runner.
+    batch: crate::batch::BatchScratch,
 }
 
 impl<'g> WanderJoin<'g> {
@@ -91,6 +93,7 @@ impl<'g> WanderJoin<'g> {
             step_visits: vec![0; n],
             step_rejects: vec![0; n],
             rng: SmallRng::seed_from_u64(seed),
+            batch: crate::batch::BatchScratch::default(),
         })
     }
 
@@ -182,6 +185,136 @@ impl<'g> WanderJoin<'g> {
         }
         Ok(())
     }
+
+    /// Execute `n` walks as one step-major SoA batch (unlimited budget).
+    pub fn walk_batch(&mut self, n: u64) -> u64 {
+        self.walk_batch_governed(&ExecBudget::unlimited(), n)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// Execute up to `n` walks as one step-major SoA batch under a
+    /// cooperative budget, returning the number of walks admitted by the
+    /// walk cap (a partial batch is terminal — see
+    /// [`OnlineAggregator::step_batch_governed`]).
+    ///
+    /// All admitted walks advance one plan step at a time: the step's index
+    /// probes are issued in sorted key order through the batch-seek entry
+    /// points, RNG words are refilled in bulk, and walk/budget accounting is
+    /// charged once per batch. `n == 1` reproduces [`Self::walk_governed`]
+    /// bit-for-bit (same RNG stream, same accept/reject sequence, same
+    /// dedup order).
+    pub fn walk_batch_governed(
+        &mut self,
+        budget: &ExecBudget,
+        n: u64,
+    ) -> Result<u64, BudgetExceeded> {
+        if n == 0 {
+            return Ok(0);
+        }
+        for _ in 0..n {
+            budget.fault_walk();
+        }
+        let admitted = budget.charge_walks(n)?;
+        let mut bs = std::mem::take(&mut self.batch);
+        let result = self.walk_batch_core(budget, admitted as usize, &mut bs);
+        self.batch = bs;
+        result.map(|()| admitted)
+    }
+
+    /// The step-major walk loop over a borrowed scratch (so `self` stays
+    /// free for field access).
+    fn walk_batch_core(
+        &mut self,
+        budget: &ExecBudget,
+        n: usize,
+        bs: &mut crate::batch::BatchScratch,
+    ) -> Result<(), BudgetExceeded> {
+        let plan = std::sync::Arc::clone(&self.plan);
+        let vc = plan.var_count();
+        bs.reset(n, vc);
+        let mut live = n;
+        for (si, step) in plan.steps().iter().enumerate() {
+            if live == 0 {
+                break;
+            }
+            budget.check()?;
+            kgoa_obs::metrics::WALK_BATCH_STEPS.inc();
+            kgoa_obs::metrics::WALK_BATCH_OCCUPANCY.record(live as u64);
+            self.step_visits[si] += live as u64;
+            let index = self.step_index[si];
+            crate::batch::resolve_step_ranges(
+                index,
+                step,
+                self.fixed_ranges[si],
+                &bs.assignments,
+                vc,
+                &bs.alive[..n],
+                &mut bs.probes1,
+                &mut bs.probes2,
+                &mut bs.ranges,
+            );
+            // Every live walk attempts a pick at this step; empty ranges
+            // are dead ends (the legacy runner counts those draws too).
+            kgoa_obs::metrics::SAMPLE_DRAWS.add(live as u64);
+            let mut rejected = 0u64;
+            for w in 0..n {
+                if bs.alive[w] && bs.ranges[w].is_empty() {
+                    bs.alive[w] = false;
+                    rejected += 1;
+                    self.step_rejects[si] += 1;
+                }
+            }
+            if rejected > 0 {
+                live -= rejected as usize;
+                self.stats.walks += rejected;
+                self.stats.rejected += rejected;
+                kgoa_obs::metrics::WALKS.add(rejected);
+                kgoa_obs::metrics::WALKS_REJECTED.add(rejected);
+            }
+            // One bulk refill covers the whole step; survivors then sample
+            // in walk order, so each walk consumes the same word it would
+            // have drawn sequentially.
+            bs.raw.clear();
+            bs.raw.resize(live, 0);
+            self.rng.fill_u64(&mut bs.raw);
+            let mut k = 0usize;
+            for w in 0..n {
+                if !bs.alive[w] {
+                    continue;
+                }
+                let range = bs.ranges[w];
+                let pos = index.pick_live_keyed(range, bs.raw[k]);
+                k += 1;
+                bs.weights[w] *= range.len() as f64;
+                plan.extract_at(index, si, pos, &mut bs.assignments[w * vc..(w + 1) * vc]);
+            }
+        }
+        // Completions in walk order — the distinct-mode dedup sees samples
+        // in the same order a sequential run would.
+        for w in 0..n {
+            if !bs.alive[w] {
+                continue;
+            }
+            self.stats.walks += 1;
+            self.stats.full += 1;
+            kgoa_obs::metrics::WALKS.inc();
+            kgoa_obs::metrics::WALKS_FULL.inc();
+            let a = bs.assignments[w * vc + self.alpha];
+            let weight = bs.weights[w];
+            if self.distinct {
+                let b = bs.assignments[w * vc + self.beta];
+                if self.seen.insert(pack2(a, b)) {
+                    self.accum.add(a, weight);
+                } else {
+                    self.stats.duplicates += 1;
+                    kgoa_obs::metrics::WALKS_DUPLICATE.inc();
+                }
+            } else {
+                self.accum.add(a, weight);
+            }
+        }
+        Ok(())
+    }
 }
 
 impl OnlineAggregator for WanderJoin<'_> {
@@ -195,6 +328,14 @@ impl OnlineAggregator for WanderJoin<'_> {
 
     fn step_governed(&mut self, budget: &ExecBudget) -> Result<(), BudgetExceeded> {
         self.walk_governed(budget)
+    }
+
+    fn step_batch(&mut self, n: u64) {
+        self.walk_batch(n);
+    }
+
+    fn step_batch_governed(&mut self, budget: &ExecBudget, n: u64) -> Result<u64, BudgetExceeded> {
+        self.walk_batch_governed(budget, n)
     }
 
     fn estimates(&self) -> kgoa_engine::GroupedEstimates {
@@ -346,6 +487,85 @@ mod tests {
         for (g, x) in ea.estimates.iter() {
             assert_eq!(eb.estimates.get(g), Some(x));
         }
+    }
+
+    #[test]
+    fn batch_one_is_bit_identical_to_sequential() {
+        let (ig, p, q) = fan();
+        let query = query(p, q, true);
+        let mut a = WanderJoin::new(&ig, &query, 13).unwrap();
+        let mut b = WanderJoin::new(&ig, &query, 13).unwrap();
+        run_walks(&mut a, 700);
+        crate::online::run_walks_batched(&mut b, 700, 1);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(
+            a.step_stats().collect::<Vec<_>>(),
+            b.step_stats().collect::<Vec<_>>()
+        );
+        let (ea, eb) = (a.estimates(), b.estimates());
+        for (g, x) in ea.estimates.iter() {
+            assert_eq!(eb.estimates.get(g), Some(x), "group {g}");
+            assert_eq!(eb.half_widths.get(g), ea.half_widths.get(g), "ci {g}");
+        }
+        // The RNG streams stayed in lockstep: continuing both runs (one
+        // sequential, one batched) keeps them identical.
+        run_walks(&mut a, 50);
+        crate::online::run_walks_batched(&mut b, 50, 1);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn batched_converges_to_exact() {
+        let (ig, p, q) = fan();
+        let query = query(p, q, false);
+        let exact = YannakakisEngine.evaluate(&ig, &query).unwrap();
+        for batch in [16u64, 64, 256] {
+            let mut wj = WanderJoin::new(&ig, &query, 42).unwrap();
+            crate::online::run_walks_batched(&mut wj, 60_000, batch);
+            assert_eq!(wj.stats().walks, 60_000);
+            let est = wj.estimates();
+            for (g, c) in exact.iter() {
+                let rel = (est.get(g) - c as f64).abs() / c as f64;
+                assert!(rel < 0.05, "batch {batch} group {g}: est {} vs exact {c}", est.get(g));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rejections_match_dead_end_structure() {
+        let mut b = GraphBuilder::new();
+        let p = b.dict_mut().intern_iri("u:p");
+        let q = b.dict_mut().intern_iri("u:q");
+        let s = b.dict_mut().intern_iri("u:s");
+        let o0 = b.dict_mut().intern_iri("u:o0");
+        let o1 = b.dict_mut().intern_iri("u:o1");
+        let c = b.dict_mut().intern_iri("u:c");
+        b.add(Triple::new(s, p, o0));
+        b.add(Triple::new(s, p, o1));
+        b.add(Triple::new(o0, q, c));
+        let ig = IndexedGraph::build(b.build());
+        let mut wj = WanderJoin::new(&ig, &query(p, q, false), 1).unwrap();
+        crate::online::run_walks_batched(&mut wj, 2000, 64);
+        let rr = wj.stats().rejection_rate();
+        assert!((rr - 0.5).abs() < 0.05, "rejection rate {rr}");
+        let steps: Vec<(u64, u64)> = wj.step_stats().collect();
+        assert_eq!(steps[0], (2000, 0));
+        assert_eq!(steps[1].1, wj.stats().rejected);
+    }
+
+    #[test]
+    fn batch_respects_walk_cap_with_partial_admission() {
+        let (ig, p, q) = fan();
+        let query = query(p, q, false);
+        let mut wj = WanderJoin::new(&ig, &query, 8).unwrap();
+        let budget = ExecBudget::builder().walk_limit(100).build();
+        assert_eq!(wj.walk_batch_governed(&budget, 64).unwrap(), 64);
+        // Only 36 walks remain under the cap: partial admission.
+        assert_eq!(wj.walk_batch_governed(&budget, 64).unwrap(), 36);
+        assert_eq!(wj.stats().walks, 100);
+        // The cap is exhausted: the next batch is refused outright.
+        assert!(wj.walk_batch_governed(&budget, 64).is_err());
+        assert_eq!(wj.stats().walks, 100);
     }
 
     #[test]

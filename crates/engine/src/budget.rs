@@ -243,6 +243,31 @@ impl ExecBudget {
         Ok(())
     }
 
+    /// Charge `n` random walks at once (one atomic add for a whole SoA
+    /// batch) and return how many were admitted under the cap.
+    ///
+    /// `Ok(k)` with `k <= n` means the caller may start `k` walks;
+    /// `Err(WalkLimit)` means the cap was already reached and none are
+    /// admitted. The unadmitted remainder is refunded, so the counter only
+    /// tracks admitted walks and a partial batch cannot trip
+    /// [`ExecBudget::check`] for walks the cap allowed. At `n == 1` this
+    /// admits and refuses exactly like [`ExecBudget::charge_walk`].
+    pub fn charge_walks(&self, n: u64) -> Result<u64, BudgetExceeded> {
+        let Some(inner) = &self.inner else { return Ok(n) };
+        let prev = inner.walks.fetch_add(n, Ordering::Relaxed);
+        let admitted = inner.walk_limit.saturating_sub(prev).min(n);
+        if admitted < n {
+            // Concurrent reservations are disjoint `[prev, prev + n)`
+            // windows, so refunding this caller's own unadmitted tail
+            // never gives back another caller's admitted slots.
+            inner.walks.fetch_sub(n - admitted, Ordering::Relaxed);
+        }
+        if admitted == 0 {
+            return Err(self.exceeded(BudgetReason::WalkLimit { limit: inner.walk_limit }));
+        }
+        Ok(admitted)
+    }
+
     /// Charge `n` bytes of (approximate) allocation and fail if over.
     pub fn charge_bytes(&self, n: u64) -> Result<(), BudgetExceeded> {
         let Some(inner) = &self.inner else { return Ok(()) };
@@ -490,6 +515,28 @@ mod tests {
             b.charge_bytes(11).unwrap_err().reason,
             BudgetReason::MemoryLimit { limit: 10 }
         );
+    }
+
+    #[test]
+    fn charge_walks_admits_partial_batches() {
+        let b = ExecBudget::builder().walk_limit(10).build();
+        assert_eq!(b.charge_walks(4).unwrap(), 4);
+        assert_eq!(b.charge_walks(4).unwrap(), 4);
+        // Only two slots left under the cap.
+        assert_eq!(b.charge_walks(4).unwrap(), 2);
+        assert_eq!(
+            b.charge_walks(4).unwrap_err().reason,
+            BudgetReason::WalkLimit { limit: 10 }
+        );
+        // Unlimited admits everything.
+        assert_eq!(ExecBudget::unlimited().charge_walks(7).unwrap(), 7);
+        // n == 1 agrees with charge_walk.
+        let a = ExecBudget::builder().walk_limit(1).build();
+        assert_eq!(a.charge_walks(1).unwrap(), 1);
+        assert!(a.charge_walks(1).is_err());
+        let c = ExecBudget::builder().walk_limit(1).build();
+        c.charge_walk().unwrap();
+        assert!(c.charge_walk().is_err());
     }
 
     #[test]

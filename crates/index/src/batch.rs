@@ -1,0 +1,236 @@
+//! Sorted batch seeks over the trie levels — the index half of the SoA
+//! batched walk runner.
+//!
+//! A batched walk step resolves one prefix range per live walk. Issuing
+//! the probes in sorted key order turns per-walk hash lookups into a
+//! near-sequential scan of the CSR level arrays: a cursor carried from
+//! the previous hit makes each gallop start where the last one ended, so
+//! a batch of B probes touches each cache line of `l0_keys`/`l1_keys` at
+//! most once instead of B random hash-bucket lines. An optional software
+//! prefetch pulls the window ahead of the cursor while the current probe
+//! resolves.
+//!
+//! Probes are `(key, slot)` pairs **sorted by key**; results land in
+//! `out[slot]`, so the caller keeps walk order while the index sees key
+//! order. The CSR layout on a delta-free index takes the galloping fast
+//! path; the row layout and overlaid indexes fall back to the O(1) hash
+//! lookups per probe (still counted in `index.trie.seek_batch`). Both
+//! paths derive from the same sorted rows, so the ranges they return are
+//! identical — `batch_seeks_agree_with_hash_lookups` checks exactly that.
+
+use crate::columnar::GALLOP_LINEAR_SPAN;
+use crate::delta::LiveRange;
+use crate::store::{Storage, TrieIndex};
+
+/// Prefetch the cache line holding `keys[i]` (no-op when out of range or
+/// off x86-64). Hides the latency of the next sorted probe's window while
+/// the current gallop resolves.
+#[inline]
+fn prefetch_key(keys: &[u32], i: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if let Some(p) = keys.get(i) {
+            // SAFETY: `p` points into a live slice; prefetch reads nothing
+            // architecturally and has no memory effects.
+            unsafe {
+                std::arch::x86_64::_mm_prefetch(
+                    (p as *const u32).cast::<i8>(),
+                    std::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (keys, i);
+    }
+}
+
+/// First index in `lo..hi` where `keys[i] >= v` — the columnar gallop over
+/// a plain slice, outcome dropped (batch seeks are not attributed to the
+/// per-variable LFTJ stats).
+#[inline]
+fn gallop(keys: &[u32], lo: usize, hi: usize, v: u32) -> usize {
+    crate::columnar::gallop_lower_bound(lo, hi, v, |i| keys[i]).0
+}
+
+impl TrieIndex {
+    /// Resolve a batch of 1-value prefix probes, sorted by key ascending
+    /// (duplicate keys allowed). `out[slot]` receives the live range of
+    /// `key` — identical to [`TrieIndex::range1_live`] per probe.
+    pub fn seek1_batch(&self, probes: &[(u32, u32)], out: &mut [LiveRange]) {
+        debug_assert!(
+            probes.windows(2).all(|w| w[0].0 <= w[1].0),
+            "seek1_batch probes must be key-sorted"
+        );
+        kgoa_obs::metrics::TRIE_SEEK_BATCH.add(probes.len() as u64);
+        if !self.has_delta() {
+            if let Storage::Csr(t) = self.storage() {
+                let keys = t.l0_key_slice();
+                let mut cur = 0usize;
+                for &(key, slot) in probes {
+                    let pos = gallop(keys, cur, keys.len(), key);
+                    cur = pos;
+                    prefetch_key(keys, pos + GALLOP_LINEAR_SPAN);
+                    out[slot as usize] = if pos < keys.len() && keys[pos] == key {
+                        LiveRange::solid(t.l0_leaf_range(pos as u32))
+                    } else {
+                        LiveRange::EMPTY
+                    };
+                }
+                return;
+            }
+        }
+        for &(key, slot) in probes {
+            out[slot as usize] = self.range1_live(key);
+        }
+    }
+
+    /// Resolve a batch of 2-value prefix probes, sorted by
+    /// [`crate::pack2`]-packed key ascending (lexicographic `(a, b)`;
+    /// duplicates allowed). `out[slot]` receives the live range of
+    /// `(a, b)` — identical to [`TrieIndex::range2_live`] per probe.
+    pub fn seek2_batch(&self, probes: &[(u64, u32)], out: &mut [LiveRange]) {
+        debug_assert!(
+            probes.windows(2).all(|w| w[0].0 <= w[1].0),
+            "seek2_batch probes must be key-sorted"
+        );
+        kgoa_obs::metrics::TRIE_SEEK_BATCH.add(probes.len() as u64);
+        if !self.has_delta() {
+            if let Storage::Csr(t) = self.storage() {
+                let k0 = t.l0_key_slice();
+                let k1 = t.l1_key_slice();
+                let mut cur0 = 0usize;
+                // Level-1 cursor and parent window, valid while the probe
+                // stream stays on the same level-0 key.
+                let mut last_a = None;
+                let mut a_found = false;
+                let mut win = (0usize, 0usize);
+                let mut cur1 = 0usize;
+                for &(packed, slot) in probes {
+                    let a = (packed >> 32) as u32;
+                    let b = packed as u32;
+                    if last_a != Some(a) {
+                        let pos = gallop(k0, cur0, k0.len(), a);
+                        cur0 = pos;
+                        a_found = pos < k0.len() && k0[pos] == a;
+                        if a_found {
+                            let (lo, hi) = t.l0_children(pos as u32);
+                            win = (lo as usize, hi as usize);
+                            cur1 = win.0;
+                            prefetch_key(k1, cur1);
+                        }
+                        last_a = Some(a);
+                    }
+                    out[slot as usize] = if a_found {
+                        let pos1 = gallop(k1, cur1, win.1, b);
+                        cur1 = pos1;
+                        prefetch_key(k1, pos1 + GALLOP_LINEAR_SPAN);
+                        if pos1 < win.1 && k1[pos1] == b {
+                            LiveRange::solid(t.l1_leaf_range(pos1 as u32))
+                        } else {
+                            LiveRange::EMPTY
+                        }
+                    } else {
+                        LiveRange::EMPTY
+                    };
+                }
+                return;
+            }
+        }
+        for &(packed, slot) in probes {
+            out[slot as usize] = self.range2_live((packed >> 32) as u32, packed as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::pack2;
+    use crate::order::IndexOrder;
+    use crate::store::Layout;
+    use kgoa_rdf::Triple;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::from([s, p, o])
+    }
+
+    fn base() -> Vec<Triple> {
+        vec![
+            t(1, 10, 100),
+            t(1, 10, 101),
+            t(1, 11, 100),
+            t(2, 10, 100),
+            t(2, 12, 105),
+            t(3, 12, 103),
+            t(7, 10, 100),
+            t(7, 15, 101),
+        ]
+    }
+
+    fn variants(layout: Layout) -> Vec<TrieIndex> {
+        let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &base(), layout);
+        let overlaid =
+            idx.with_delta(&[t(1, 10, 99), t(4, 13, 104)], &[t(1, 10, 101), t(3, 12, 103)]);
+        vec![idx, overlaid]
+    }
+
+    #[test]
+    fn batch_seeks_agree_with_hash_lookups() {
+        for layout in Layout::ALL {
+            for idx in variants(layout) {
+                // 1-prefix probes: present, absent, duplicated, unsorted
+                // walk order (slots permuted).
+                let keys = [0u32, 1, 1, 2, 3, 4, 5, 7, 9];
+                let mut probes: Vec<(u32, u32)> =
+                    keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+                probes.sort_unstable_by_key(|&(k, _)| k);
+                let mut out = vec![LiveRange::EMPTY; keys.len()];
+                idx.seek1_batch(&probes, &mut out);
+                for (i, &k) in keys.iter().enumerate() {
+                    assert_eq!(out[i], idx.range1_live(k), "layout {layout} key {k}");
+                }
+
+                // 2-prefix probes.
+                let pairs = [(1u32, 9u32), (1, 10), (1, 11), (2, 12), (3, 12), (4, 13), (7, 15), (8, 1)];
+                let mut probes: Vec<(u64, u32)> = pairs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(a, b))| (pack2(a, b), i as u32))
+                    .collect();
+                probes.sort_unstable_by_key(|&(k, _)| k);
+                let mut out = vec![LiveRange::EMPTY; pairs.len()];
+                idx.seek2_batch(&probes, &mut out);
+                for (i, &(a, b)) in pairs.iter().enumerate() {
+                    assert_eq!(out[i], idx.range2_live(a, b), "layout {layout} pair ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_seek_counts_probes() {
+        let _guard = kgoa_obs::metrics::test_lock();
+        kgoa_obs::set_enabled(true);
+        let idx = TrieIndex::build(IndexOrder::Spo, &base());
+        let before = kgoa_obs::metrics::TRIE_SEEK_BATCH.get();
+        let mut out = vec![LiveRange::EMPTY; 3];
+        idx.seek1_batch(&[(1, 0), (2, 1), (3, 2)], &mut out);
+        let after = kgoa_obs::metrics::TRIE_SEEK_BATCH.get();
+        kgoa_obs::set_enabled(false);
+        assert_eq!(after - before, 3);
+    }
+
+    #[test]
+    fn empty_index_batch_seeks() {
+        for layout in Layout::ALL {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &[], layout);
+            let mut out = vec![LiveRange::solid(idx.full_range()); 2];
+            idx.seek1_batch(&[(5, 0), (6, 1)], &mut out);
+            assert!(out.iter().all(|r| r.is_empty()), "layout {layout}");
+            idx.seek2_batch(&[(pack2(5, 5), 0), (pack2(6, 6), 1)], &mut out);
+            assert!(out.iter().all(|r| r.is_empty()), "layout {layout}");
+        }
+    }
+}

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod columnar;
 pub mod delta;
 pub mod hash;

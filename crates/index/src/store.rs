@@ -64,6 +64,18 @@ impl RowRange {
             Some(rng.gen_range(self.start..self.end))
         }
     }
+
+    /// Map one pre-drawn uniform `u64` onto a row of this (non-empty)
+    /// range via the same multiply-shift `gen_range` uses, so a batched
+    /// sampler that pre-fills raw words reproduces [`RowRange::pick`]
+    /// bit-for-bit. Callers handle empty ranges (and the draw metric)
+    /// themselves.
+    #[inline]
+    pub fn pick_keyed(self, raw: u64) -> u32 {
+        debug_assert!(!self.is_empty(), "pick_keyed on empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + ((raw as u128 * span as u128) >> 64) as u32
+    }
 }
 
 /// Physical storage layout of a [`TrieIndex`].

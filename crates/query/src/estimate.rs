@@ -142,6 +142,27 @@ impl SuffixEstimator {
     pub fn full_join(&self) -> f64 {
         self.suffix_from[0]
     }
+
+    /// Plan-time prediction of the step at which an Audit Join walk tips
+    /// into its exact suffix computation: the first step `i ≥ 1` whose
+    /// estimated remaining completions (`suffix_from[i]`, taking an average
+    /// fan-out of 1 at the tipping check) fall below `threshold`. Returns
+    /// `plan.len()` when no step is expected to tip (walks run full).
+    pub fn expected_tip_step(&self, threshold: f64) -> usize {
+        let n = self.suffix_from.len() - 1;
+        (1..=n).find(|&i| self.suffix_from[i] < threshold).unwrap_or(n)
+    }
+
+    /// Plan-time cost model for one Audit Join walk under a tipping
+    /// `threshold`: the sampled steps until the expected tipping point plus
+    /// the expected exact-suffix work at the tip. The suffix term is capped
+    /// by the threshold (the tipping rule never commits to a suffix
+    /// estimated larger than it), making costs comparable across walk
+    /// orders with very different suffix estimates.
+    pub fn walk_cost(&self, threshold: f64) -> f64 {
+        let tip = self.expected_tip_step(threshold);
+        tip as f64 + self.suffix_from[tip].min(threshold.max(1.0))
+    }
 }
 
 #[cfg(test)]
@@ -222,5 +243,30 @@ mod tests {
         assert!((est.remaining(1, 2) - 2.0).abs() < 1e-9);
         // remaining(step 0, fanout 4) = 4 * factor(step1).
         assert!((est.remaining(0, 4) - 4.0 * (2.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn walk_cost_tracks_tipping_point() {
+        let (ig, p10, p11) = build_ig();
+        let q = ExplorationQuery::new(
+            vec![
+                TriplePattern::new(Var(0), p10, Var(1)),
+                TriplePattern::new(Var(1), p11, Var(2)),
+            ],
+            Var(2),
+            Var(1),
+            true,
+        )
+        .unwrap();
+        let plan = WalkPlan::canonical(&q, &IndexOrder::PAPER_DEFAULT).unwrap();
+        let est = SuffixEstimator::new(&ig, &q, &plan);
+        // suffix_from = [8/3, 2/3, 1]. A generous threshold tips at the
+        // first checkable step; a tiny one never tips.
+        assert_eq!(est.expected_tip_step(1024.0), 1);
+        assert_eq!(est.expected_tip_step(0.5), 2);
+        assert!((est.walk_cost(1024.0) - (1.0 + 2.0 / 3.0)).abs() < 1e-9);
+        assert!((est.walk_cost(0.5) - 3.0).abs() < 1e-9);
+        // Cheaper threshold caps the suffix term: cost is monotone sane.
+        assert!(est.walk_cost(1024.0) <= est.walk_cost(0.5));
     }
 }

@@ -51,7 +51,7 @@ fn sum_estimates_converge_on_generated_graph() {
     let mut saj = SumAuditJoin::new(
         &ig,
         &query,
-        kgoa::online::AuditJoinConfig { tipping_threshold: 1024.0, seed: 5 },
+        kgoa::online::AuditJoinConfig { tipping: kgoa::online::Tipping::Static(1024.0), seed: 5 },
     )
     .unwrap();
     saj.run(120_000);
