@@ -17,10 +17,10 @@
 //!   --tipping X                       AJ tipping threshold (default 1024)
 //!   --threads N                       cap on the scale thread sweep (default 8)
 //!   --batch N                         walks per SoA batch (default 256; 1 = legacy parity)
-//!   --layout rows|csr                 index storage layout (default csr)
+//!   --layout rows|csr|compressed      index storage layout (default csr)
 //!   --out PATH                        JSON output path (trace, bench-json, profile)
 //!   --baseline PATH                   baseline bench JSON (regress)
-//!   --candidate PATH                  candidate bench JSON (regress; default BENCH_PR9.json)
+//!   --candidate PATH                  candidate bench JSON (regress; default BENCH_PR10.json)
 //!   --tolerance X                     regression tolerance factor (default 1.25)
 //!   --paper                           paper protocol: 9 ticks × 1 s
 //! ```
@@ -179,7 +179,15 @@ const EXPERIMENTS: &[Experiment] = &[
     Experiment {
         name: "bench-json",
         help: "machine-readable benchmark export (BENCH_PR*.json)",
-        run: |c| ok(bench_json(c.datasets, c.workload, c.cfg, c.opts.out.as_deref())),
+        run: |c| {
+            ok(bench_json(
+                c.datasets,
+                c.workload,
+                c.cfg,
+                c.opts.out.as_deref(),
+                kgoa_bench::INDEX_SCALE_MULT,
+            ))
+        },
         in_all: true,
         needs_workload: true,
     },
@@ -192,14 +200,14 @@ const EXPERIMENTS: &[Experiment] = &[
     },
     Experiment {
         name: "index-bench",
-        help: "index layout A/B: rows vs CSR build + micro-ops (PR 4)",
+        help: "index layout A/B: rows vs CSR vs compressed, build + micro-ops + bytes/triple",
         run: |c| ok(index_bench(c.cfg)),
         in_all: true,
         needs_workload: false,
     },
     Experiment {
         name: "layout-parity",
-        help: "rows vs CSR exact/sampled parity gate (nonzero exit on fail)",
+        help: "rows/CSR/compressed exact+sampled parity gate (nonzero exit on fail)",
         run: |c| layout_parity(c.cfg),
         in_all: true,
         needs_workload: false,
@@ -239,7 +247,7 @@ const EXPERIMENTS: &[Experiment] = &[
             let Some(baseline) = c.opts.baseline.as_deref() else {
                 return ("regress requires --baseline PATH".into(), false);
             };
-            let candidate = c.opts.candidate.as_deref().unwrap_or("BENCH_PR9.json");
+            let candidate = c.opts.candidate.as_deref().unwrap_or("BENCH_PR10.json");
             regress(baseline, candidate, c.opts.tolerance.unwrap_or(1.25))
         },
         in_all: false,
@@ -272,10 +280,10 @@ fn usage() -> ExitCode {
          --tipping X                       AJ tipping threshold (default 1024)\n  \
          --threads N                       cap on the scale thread sweep (default 8)\n  \
          --batch N                         walks per SoA batch (default 256; 1 = legacy parity)\n  \
-         --layout rows|csr                 index storage layout (default csr)\n  \
+         --layout rows|csr|compressed      index storage layout (default csr)\n  \
          --out PATH                        JSON output path (trace, bench-json, profile)\n  \
          --baseline PATH                   baseline bench JSON (regress)\n  \
-         --candidate PATH                  candidate bench JSON (regress; default BENCH_PR9.json)\n  \
+         --candidate PATH                  candidate bench JSON (regress; default BENCH_PR10.json)\n  \
          --tolerance X                     regression tolerance factor (default 1.25)\n  \
          --paper                           paper protocol: 9 ticks × 1 s"
     );

@@ -1,23 +1,30 @@
-//! Layout A/B experiments for the PR 4 columnar index.
+//! Layout A/B experiments for the PR 4 columnar index and the PR 10
+//! compressed index.
 //!
 //! Two experiments compare the legacy row-oriented trie storage
-//! ([`Layout::Rows`]) against the CSR columnar layout ([`Layout::Csr`]):
+//! ([`Layout::Rows`]) against the CSR columnar layout ([`Layout::Csr`])
+//! and the bit-packed compressed layout ([`Layout::Compressed`]):
 //!
-//! - `index-bench` builds both layouts over the paper-shaped graphs and
-//!   times construction plus the three index hot paths (full trie walks,
-//!   galloped seeks, point containment) — the micro-level evidence behind
-//!   the BENCH_PR4 macro numbers;
-//! - `layout-parity` is a gate: exact CTJ/LFTJ results and deterministic
-//!   Wander Join runs must be *identical* across layouts (leaf positions
-//!   coincide by construction, so even the sampled walks are bit-equal).
+//! - `index-bench` builds all three layouts over the paper-shaped graphs
+//!   (at 10× the configured scale, where the space/speed trade-off is
+//!   visible) and times construction plus the three index hot paths (full
+//!   trie walks, galloped seeks, point containment) plus batched Wander
+//!   Join throughput, and reports storage bytes per stored triple — the
+//!   micro-level evidence behind the BENCH macro numbers;
+//! - `layout-parity` is a gate: leaf positions, `pick` draws, exact
+//!   CTJ/LFTJ results and deterministic Wander Join runs must be
+//!   *identical* across all three layouts (leaf positions coincide by
+//!   construction, so even the sampled walks are bit-equal).
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use kgoa_core::{run_walks_batched, WanderJoin};
 use kgoa_datagen::{generate_with_info, KgConfig};
 use kgoa_engine::{CountEngine, CtjEngine, LftjEngine, YannakakisEngine};
 use kgoa_explore::{generate_explorations, GeneratorConfig};
 use kgoa_index::{IndexOrder, IndexedGraph, Layout, TrieCursor};
+use kgoa_obs::Json;
 
 use crate::metrics::fmt_duration;
 use crate::workload::{load_datasets_in, run_fixed_walks, Algo, BenchConfig};
@@ -36,6 +43,16 @@ impl Lcg {
 
 /// Number of probe operations per micro-op timing loop.
 const PROBES: usize = 50_000;
+
+/// Entity multiplier applied by `index-bench` on top of the configured
+/// scale: layout storage effects (cache misses, bytes/triple) only
+/// separate once the key columns outgrow small caches.
+pub const INDEX_SCALE_MULT: usize = 10;
+
+/// Walks used to measure batched Wander Join throughput per layout —
+/// enough for each timed run to outlast scheduler jitter (tens of
+/// milliseconds on the fast layouts at the 10×-scaled configs).
+const WJ_THROUGHPUT_WALKS: u64 = 30_000;
 
 /// Walk the full trie depth-first, returning the number of keys visited
 /// at all levels — the enumeration pattern of CTJ's per-step scans.
@@ -112,127 +129,372 @@ fn time_best<F: FnMut() -> u64>(mut f: F) -> (Duration, u64) {
     (best, sum)
 }
 
-/// Total index memory across all built orders.
+/// Total index memory across all built orders (includes prefix hash maps).
 fn memory(ig: &IndexedGraph) -> usize {
     ig.built_orders().into_iter().map(|o| ig.require(o).memory_bytes()).sum()
 }
 
-/// `index-bench`: build + micro-op timings, Rows vs CSR, per dataset.
-pub fn index_bench(cfg: &BenchConfig) -> String {
+/// Layout-owned storage across all built orders (hash maps excluded) —
+/// the numerator of the bytes/triple comparison.
+fn storage(ig: &IndexedGraph) -> usize {
+    ig.built_orders().into_iter().map(|o| ig.require(o).storage_bytes()).sum()
+}
+
+/// One (dataset, layout) measurement from `index-bench`.
+pub struct IndexPoint {
+    /// Dataset name, including the `-xN` scale suffix.
+    pub dataset: String,
+    /// Layout measured.
+    pub layout: Layout,
+    /// Triples in the generated graph.
+    pub triples: usize,
+    /// Build time for all index orders.
+    pub build: Duration,
+    /// Full-trie DFS time (CTJ enumeration pattern).
+    pub walk: Duration,
+    /// Seek-storm time (LFTJ/WJ navigation pattern).
+    pub seek: Duration,
+    /// Point-containment storm time.
+    pub contains: Duration,
+    /// Layout storage bytes across built orders.
+    pub storage: usize,
+    /// Total index memory (storage + hash maps) across built orders.
+    pub memory: usize,
+    /// Storage bytes per stored triple copy (each order stores every
+    /// triple once, so this divides by orders × triples).
+    pub bytes_per_triple: f64,
+    /// Batched Wander Join throughput, walks/second.
+    pub wj_walks_per_sec: f64,
+}
+
+/// Scale a generator config's entity count by `mult`, renaming the
+/// dataset so reports and JSON keys are unambiguous about the size.
+fn scale_up(mut kg: KgConfig, mult: usize) -> KgConfig {
+    if mult > 1 {
+        kg.num_entities *= mult;
+        kg.name = format!("{}-x{mult}", kg.name);
+    }
+    kg
+}
+
+/// Measure batched Wander Join throughput over one deterministic
+/// generated query. The canonical walk plan is used so every layout
+/// walks the identical order (and, by parity, the identical RNG
+/// stream) — any walks/sec difference is pure storage effect.
+fn wj_throughput(ig: &IndexedGraph, cfg: &BenchConfig) -> f64 {
+    let gen_cfg = GeneratorConfig { runs: 1, max_steps: cfg.max_steps.max(2), seed: cfg.seed };
+    let queries = generate_explorations(ig, &YannakakisEngine, gen_cfg)
+        .expect("generator over valid graph");
+    let q = &queries.last().expect("generator produced at least one query").query;
+    let plan = kgoa_query::WalkPlan::canonical(q, &IndexOrder::PAPER_DEFAULT)
+        .expect("plan for valid query");
+    // Best of three identical deterministic runs, like the other
+    // micro-ops — a single 10k-walk run is short enough for scheduler
+    // noise to dominate the cross-layout ratio.
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut wj =
+            WanderJoin::with_plan(ig, q, plan.clone(), cfg.seed).expect("wj");
+        let t0 = Instant::now();
+        run_walks_batched(&mut wj, WJ_THROUGHPUT_WALKS, cfg.batch);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    if best > 0.0 && best.is_finite() { WJ_THROUGHPUT_WALKS as f64 / best } else { 0.0 }
+}
+
+/// Build and measure every layout over both paper-shaped graphs with the
+/// entity count multiplied by `mult`. Points are dataset-major, in
+/// [`Layout::ALL`] order within a dataset.
+pub fn index_points(cfg: &BenchConfig, mult: usize) -> Vec<IndexPoint> {
+    let mut out = Vec::new();
+    for make in [KgConfig::dbpedia_like, KgConfig::lgd_like] {
+        let (graph, info) = generate_with_info(&scale_up(make(cfg.scale), mult));
+        for layout in Layout::ALL {
+            let g = graph.clone();
+            let t0 = Instant::now();
+            let ig = IndexedGraph::build_with_layout(g, layout);
+            let build = t0.elapsed();
+            let spo = ig.require(IndexOrder::Spo);
+            let (walk, walked) = time_best(|| full_walk(&mut TrieCursor::over_index(spo)));
+            let mut rng = Lcg(cfg.seed);
+            let (seek, _) = time_best(|| seek_storm(spo, &mut rng));
+            let mut rng = Lcg(cfg.seed ^ 0xDEAD);
+            let (contains, _) = time_best(|| contains_storm(spo, &mut rng));
+            assert!(walked >= spo.len() as u64, "walk visited too few keys");
+            let wj_walks_per_sec = wj_throughput(&ig, cfg);
+            let storage = storage(&ig);
+            let orders = ig.built_orders().len().max(1);
+            let triples = info.triples;
+            out.push(IndexPoint {
+                dataset: info.name.clone(),
+                layout,
+                triples,
+                build,
+                walk,
+                seek,
+                contains,
+                storage,
+                memory: memory(&ig),
+                bytes_per_triple: storage as f64 / (orders * triples.max(1)) as f64,
+                wj_walks_per_sec,
+            });
+        }
+    }
+    out
+}
+
+/// Render the `index-bench` report from measured points.
+fn render_index_report(points: &[IndexPoint]) -> String {
     let mut out = String::new();
-    writeln!(out, "## Index layout A/B — row-oriented vs CSR columnar (PR 4)\n").unwrap();
+    writeln!(out, "## Index layout A/B — rows vs CSR vs compressed (PR 4 / PR 10)\n").unwrap();
     writeln!(
         out,
         "{} probes per micro-op; walk = full trie DFS (CTJ enumeration), seek = \
-         per-attribute galloped descent (LFTJ/WJ navigation), contains = point lookup.\n",
+         per-attribute galloped descent (LFTJ/WJ navigation), contains = point lookup, \
+         wj/s = batched Wander Join walks per second.\n",
         PROBES
     )
     .unwrap();
     writeln!(
         out,
-        "{:<14} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "dataset", "layout", "build", "walk", "seek", "contains", "mem(MB)"
+        "{:<18} {:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>10}",
+        "dataset", "layout", "build", "walk", "seek", "contains", "B/triple", "mem(MB)", "wj/s"
     )
     .unwrap();
-    for make in [KgConfig::dbpedia_like, KgConfig::lgd_like] {
-        let (graph, info) = generate_with_info(&make(cfg.scale));
-        let mut timings: Vec<(Layout, [Duration; 4])> = Vec::new();
-        for layout in Layout::ALL {
-            let g = graph.clone();
-            let t0 = Instant::now();
-            let ig = IndexedGraph::build_with_layout(g, layout);
-            let t_build = t0.elapsed();
-            let spo = ig.require(IndexOrder::Spo);
-            let (t_walk, walked) = time_best(|| full_walk(&mut TrieCursor::over_index(spo)));
-            let mut rng = Lcg(cfg.seed);
-            let (t_seek, _) = time_best(|| seek_storm(spo, &mut rng));
-            let mut rng = Lcg(cfg.seed ^ 0xDEAD);
-            let (t_contains, _) = time_best(|| contains_storm(spo, &mut rng));
-            assert!(walked >= spo.len() as u64, "walk visited too few keys");
+    let mut datasets: Vec<&str> = Vec::new();
+    for p in points {
+        if !datasets.contains(&p.dataset.as_str()) {
+            datasets.push(&p.dataset);
+        }
+    }
+    for name in datasets {
+        let ds: Vec<&IndexPoint> = points.iter().filter(|p| p.dataset == name).collect();
+        for p in &ds {
             writeln!(
                 out,
-                "{:<14} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9.1}",
-                info.name,
-                layout.name(),
-                fmt_duration(t_build),
-                fmt_duration(t_walk),
-                fmt_duration(t_seek),
-                fmt_duration(t_contains),
-                memory(&ig) as f64 / (1024.0 * 1024.0),
+                "{:<18} {:<10} {:>9} {:>9} {:>9} {:>9} {:>9.2} {:>8.1} {:>10.0}",
+                p.dataset,
+                p.layout.name(),
+                fmt_duration(p.build),
+                fmt_duration(p.walk),
+                fmt_duration(p.seek),
+                fmt_duration(p.contains),
+                p.bytes_per_triple,
+                p.memory as f64 / (1024.0 * 1024.0),
+                p.wj_walks_per_sec,
             )
             .unwrap();
-            timings.push((layout, [t_build, t_walk, t_seek, t_contains]));
         }
-        let rows = timings.iter().find(|(l, _)| *l == Layout::Rows).unwrap().1;
-        let csr = timings.iter().find(|(l, _)| *l == Layout::Csr).unwrap().1;
-        let ratio = |i: usize| rows[i].as_secs_f64() / csr[i].as_secs_f64().max(1e-9);
+        let by = |l: Layout| ds.iter().find(|p| p.layout == l).expect("all layouts measured");
+        let (rows, csr, comp) = (by(Layout::Rows), by(Layout::Csr), by(Layout::Compressed));
+        let tr = |a: &IndexPoint, b: &IndexPoint, f: fn(&IndexPoint) -> Duration| {
+            f(a).as_secs_f64() / f(b).as_secs_f64().max(1e-9)
+        };
         writeln!(
             out,
-            "{:<14} {:<6} {:>8.2}x {:>8.2}x {:>8.2}x {:>8.2}x   (rows/csr; >1 ⇒ CSR faster)\n",
-            info.name,
+            "{:<18} {:<10} {:>8.2}x {:>8.2}x {:>8.2}x {:>8.2}x   (rows/csr; >1 ⇒ CSR faster)",
+            name,
             "ratio",
-            ratio(0),
-            ratio(1),
-            ratio(2),
-            ratio(3),
+            tr(rows, csr, |p| p.build),
+            tr(rows, csr, |p| p.walk),
+            tr(rows, csr, |p| p.seek),
+            tr(rows, csr, |p| p.contains),
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:<18} {:<10} space {:.2}x smaller than csr, seek {:.2}x, wj {:.2}x csr speed \
+             (gates: ≥1.8 / ≥0.7 / ≥0.8)\n",
+            name,
+            "compressed",
+            csr.bytes_per_triple / comp.bytes_per_triple.max(1e-9),
+            tr(csr, comp, |p| p.seek),
+            comp.wj_walks_per_sec / csr.wj_walks_per_sec.max(1e-9),
         )
         .unwrap();
     }
     out
 }
 
+/// `index-bench`: build + micro-op timings + bytes/triple, all three
+/// layouts, per dataset, at [`INDEX_SCALE_MULT`]× the configured scale.
+pub fn index_bench(cfg: &BenchConfig) -> String {
+    render_index_report(&index_points(cfg, INDEX_SCALE_MULT))
+}
+
+/// JSON form of the `index-bench` measurements, recorded under the
+/// `index` key of `repro bench-json` output (the BENCH_PR10 evidence for
+/// the compressed-layout space/speed gates).
+pub fn index_points_json(points: &[IndexPoint]) -> Json {
+    let mut datasets: Vec<&str> = Vec::new();
+    for p in points {
+        if !datasets.contains(&p.dataset.as_str()) {
+            datasets.push(&p.dataset);
+        }
+    }
+    let mut ds_objs = Vec::new();
+    for name in datasets {
+        let ds: Vec<&IndexPoint> = points.iter().filter(|p| p.dataset == name).collect();
+        let layouts = ds
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("layout".into(), Json::str(p.layout.name())),
+                    ("build_ms".into(), Json::Num(p.build.as_secs_f64() * 1e3)),
+                    ("walk_ms".into(), Json::Num(p.walk.as_secs_f64() * 1e3)),
+                    ("seek_ms".into(), Json::Num(p.seek.as_secs_f64() * 1e3)),
+                    ("contains_ms".into(), Json::Num(p.contains.as_secs_f64() * 1e3)),
+                    ("storage_bytes".into(), Json::Num(p.storage as f64)),
+                    ("bytes_per_triple".into(), Json::Num(p.bytes_per_triple)),
+                    ("wj_walks_per_sec".into(), Json::Num(p.wj_walks_per_sec)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let by = |l: Layout| ds.iter().find(|p| p.layout == l).expect("all layouts measured");
+        let (csr, comp) = (by(Layout::Csr), by(Layout::Compressed));
+        ds_objs.push(Json::Obj(vec![
+            ("dataset".into(), Json::str(name)),
+            ("triples".into(), Json::Num(ds[0].triples as f64)),
+            ("layouts".into(), Json::Arr(layouts)),
+            (
+                "compression_vs_csr".into(),
+                Json::Num(csr.bytes_per_triple / comp.bytes_per_triple.max(1e-9)),
+            ),
+            (
+                "seek_vs_csr".into(),
+                Json::Num(csr.seek.as_secs_f64() / comp.seek.as_secs_f64().max(1e-9)),
+            ),
+            (
+                "wj_vs_csr".into(),
+                Json::Num(comp.wj_walks_per_sec / csr.wj_walks_per_sec.max(1e-9)),
+            ),
+        ]));
+    }
+    Json::Obj(vec![
+        ("scale_mult".into(), Json::Num(INDEX_SCALE_MULT as f64)),
+        ("datasets".into(), Json::Arr(ds_objs)),
+    ])
+}
+
+/// Number of sampled prefix ranges checked for `pick` draw parity.
+const PICK_PROBES: usize = 256;
+
+/// Structural parity between two same-graph indexes: leaf positions
+/// (row order) per built order, and `pick_keyed` draws over sampled 1-
+/// and 2-attribute prefix ranges. These are the invariants the sampled
+/// estimators depend on — if they hold, WJ/AJ RNG streams are identical.
+fn structural_parity(
+    out: &mut String,
+    name: &str,
+    other: Layout,
+    a: &IndexedGraph,
+    b: &IndexedGraph,
+    seed: u64,
+) -> (usize, usize) {
+    let mut checks = 0usize;
+    let mut mismatches = 0usize;
+    for order in a.built_orders() {
+        checks += 1;
+        if a.require(order).to_rows() != b.require(order).to_rows() {
+            mismatches += 1;
+            writeln!(out, "MISMATCH {name}/{order:?}: {} leaf positions differ", other.name())
+                .unwrap();
+        }
+    }
+    let spo_a = a.require(IndexOrder::Spo);
+    let spo_b = b.require(IndexOrder::Spo);
+    let mut rng = Lcg(seed ^ 0x00C0_FFEE);
+    let mut pick_ok = true;
+    for _ in 0..PICK_PROBES {
+        let pos = (rng.next() % spo_a.len() as u64) as u32;
+        let [s, p, _] = spo_a.row(pos);
+        let raw = rng.next();
+        let (r1a, r1b) = (spo_a.range1(s), spo_b.range1(s));
+        let (r2a, r2b) = (spo_a.range2(s, p), spo_b.range2(s, p));
+        pick_ok &= r1a == r1b
+            && r2a == r2b
+            && r1a.pick_keyed(raw) == r1b.pick_keyed(raw)
+            && r2a.pick_keyed(raw) == r2b.pick_keyed(raw);
+    }
+    checks += 1;
+    if !pick_ok {
+        mismatches += 1;
+        writeln!(out, "MISMATCH {name}: {} pick draws differ", other.name()).unwrap();
+    }
+    (checks, mismatches)
+}
+
 /// `layout-parity`: exact and sampled results must be identical across
-/// layouts. Returns the report and whether the gate passed.
+/// all three layouts. Returns the report and whether the gate passed.
 pub fn layout_parity(cfg: &BenchConfig) -> (String, bool) {
     let mut out = String::new();
-    writeln!(out, "## Layout parity gate — Rows vs CSR must agree exactly\n").unwrap();
+    writeln!(out, "## Layout parity gate — rows vs CSR vs compressed must agree exactly\n")
+        .unwrap();
     let rows_ds = load_datasets_in(cfg.scale, Layout::Rows);
-    let csr_ds = load_datasets_in(cfg.scale, Layout::Csr);
     let gen_cfg = GeneratorConfig { runs: cfg.runs, max_steps: cfg.max_steps, seed: cfg.seed };
     let mut checks = 0usize;
     let mut mismatches = 0usize;
-    for (r, c) in rows_ds.iter().zip(&csr_ds) {
-        // The generator samples through the index; identical leaf
-        // positions must reproduce the identical query workload.
-        let qs_rows = generate_explorations(&r.ig, &YannakakisEngine, gen_cfg)
-            .expect("generator over rows layout");
-        let qs_csr = generate_explorations(&c.ig, &YannakakisEngine, gen_cfg)
-            .expect("generator over csr layout");
-        if qs_rows.len() != qs_csr.len()
-            || qs_rows.iter().zip(&qs_csr).any(|(a, b)| a.query != b.query)
-        {
-            writeln!(out, "MISMATCH {}: generated workloads differ across layouts", r.name)
-                .unwrap();
-            mismatches += 1;
-            continue;
-        }
-        for (qi, g) in qs_csr.iter().enumerate() {
-            let q = &g.query;
-            let ctj_r = CtjEngine.evaluate(&r.ig, q).expect("ctj rows");
-            let ctj_c = CtjEngine.evaluate(&c.ig, q).expect("ctj csr");
-            let lftj_r = LftjEngine.evaluate(&r.ig, q).expect("lftj rows");
-            let lftj_c = LftjEngine.evaluate(&c.ig, q).expect("lftj csr");
-            // Deterministic sampled runs: same seed + same leaf-position
-            // space ⇒ the RNG draws, walks, and estimates are bit-equal.
-            let (mae_r, st_r) = run_fixed_walks(&r.ig, q, &ctj_r, Algo::Wj, 256, cfg);
-            let (mae_c, st_c) = run_fixed_walks(&c.ig, q, &ctj_c, Algo::Wj, 256, cfg);
-            checks += 1;
-            let exact_ok = ctj_r == ctj_c && lftj_r == lftj_c && ctj_r == lftj_r;
-            let sampled_ok = mae_r.to_bits() == mae_c.to_bits() && st_r == st_c;
-            if !exact_ok || !sampled_ok {
-                mismatches += 1;
+    for other in [Layout::Csr, Layout::Compressed] {
+        let other_ds = load_datasets_in(cfg.scale, other);
+        for (r, c) in rows_ds.iter().zip(&other_ds) {
+            // Physical invariants first: identical leaf positions and
+            // sampling draws are what make everything below bit-equal.
+            let (sc, sm) = structural_parity(&mut out, r.name, other, &r.ig, &c.ig, cfg.seed);
+            checks += sc;
+            mismatches += sm;
+            // The generator samples through the index; identical leaf
+            // positions must reproduce the identical query workload.
+            let qs_rows = generate_explorations(&r.ig, &YannakakisEngine, gen_cfg)
+                .expect("generator over rows layout");
+            let qs_other = generate_explorations(&c.ig, &YannakakisEngine, gen_cfg)
+                .expect("generator over other layout");
+            if qs_rows.len() != qs_other.len()
+                || qs_rows.iter().zip(&qs_other).any(|(a, b)| a.query != b.query)
+            {
                 writeln!(
                     out,
-                    "MISMATCH {}/q{:02}/step{}: exact_ok={} sampled_ok={}",
-                    r.name, qi, g.step, exact_ok, sampled_ok
+                    "MISMATCH {}: generated workloads differ between rows and {}",
+                    r.name,
+                    other.name()
                 )
                 .unwrap();
+                mismatches += 1;
+                continue;
+            }
+            for (qi, g) in qs_other.iter().enumerate() {
+                let q = &g.query;
+                let ctj_r = CtjEngine.evaluate(&r.ig, q).expect("ctj rows");
+                let ctj_c = CtjEngine.evaluate(&c.ig, q).expect("ctj other");
+                let lftj_r = LftjEngine.evaluate(&r.ig, q).expect("lftj rows");
+                let lftj_c = LftjEngine.evaluate(&c.ig, q).expect("lftj other");
+                // Deterministic sampled runs: same seed + same leaf-position
+                // space ⇒ the RNG draws, walks, and estimates are bit-equal.
+                let (mae_r, st_r) = run_fixed_walks(&r.ig, q, &ctj_r, Algo::Wj, 256, cfg);
+                let (mae_c, st_c) = run_fixed_walks(&c.ig, q, &ctj_c, Algo::Wj, 256, cfg);
+                checks += 1;
+                let exact_ok = ctj_r == ctj_c && lftj_r == lftj_c && ctj_r == lftj_r;
+                let sampled_ok = mae_r.to_bits() == mae_c.to_bits() && st_r == st_c;
+                if !exact_ok || !sampled_ok {
+                    mismatches += 1;
+                    writeln!(
+                        out,
+                        "MISMATCH {}/{}/q{:02}/step{}: exact_ok={} sampled_ok={}",
+                        r.name,
+                        other.name(),
+                        qi,
+                        g.step,
+                        exact_ok,
+                        sampled_ok
+                    )
+                    .unwrap();
+                }
             }
         }
     }
     writeln!(
         out,
-        "{} queries checked across {} datasets (CTJ + LFTJ exact, 256-walk WJ): {}",
+        "{} checks across {} datasets × {{csr, compressed}} (leaf positions, pick draws, \
+         CTJ + LFTJ exact, 256-walk WJ): {}",
         checks,
         rows_ds.len(),
         if mismatches == 0 { "all identical" } else { "LAYOUTS DISAGREE" }
@@ -267,13 +529,59 @@ mod tests {
         let (report, ok) = layout_parity(&tiny_cfg());
         assert!(ok, "parity gate failed:\n{report}");
         assert!(report.contains("all identical"));
+        assert!(report.contains("compressed"));
     }
 
     #[test]
-    fn index_bench_reports_both_layouts() {
-        let report = index_bench(&tiny_cfg());
+    fn index_bench_reports_all_layouts() {
+        // mult = 1 keeps the debug-mode test fast; the CLI path applies
+        // INDEX_SCALE_MULT.
+        let points = index_points(&tiny_cfg(), 1);
+        let report = render_index_report(&points);
         assert!(report.contains("rows"), "missing rows row:\n{report}");
         assert!(report.contains("csr"), "missing csr row:\n{report}");
+        assert!(report.contains("compressed"), "missing compressed row:\n{report}");
         assert!(report.contains("ratio"));
+        for p in &points {
+            assert!(p.bytes_per_triple > 0.0);
+            assert!(p.wj_walks_per_sec > 0.0);
+        }
+        // Compression must actually engage even at tiny scale: compressed
+        // storage strictly below CSR on every dataset.
+        for name in ["dbpedia-like", "lgd-like"] {
+            let by = |l: Layout| {
+                points
+                    .iter()
+                    .find(|p| p.dataset.starts_with(name) && p.layout == l)
+                    .expect("point")
+            };
+            assert!(
+                by(Layout::Compressed).storage < by(Layout::Csr).storage,
+                "compressed not smaller than csr on {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_points_json_has_gate_ratios() {
+        let points = index_points(&tiny_cfg(), 1);
+        let json = index_points_json(&points).to_string();
+        for key in ["compression_vs_csr", "seek_vs_csr", "wj_vs_csr", "bytes_per_triple"] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        let reparsed = Json::parse(&json).expect("well-formed index JSON");
+        let datasets = reparsed.get("datasets").and_then(Json::as_arr).expect("datasets");
+        assert_eq!(datasets.len(), 2);
+    }
+
+    #[test]
+    fn scale_up_multiplies_entities_and_renames() {
+        let base = KgConfig::dbpedia_like(Scale::Tiny);
+        let scaled = scale_up(base.clone(), 10);
+        assert_eq!(scaled.num_entities, base.num_entities * 10);
+        assert!(scaled.name.ends_with("-x10"), "name: {}", scaled.name);
+        let same = scale_up(base.clone(), 1);
+        assert_eq!(same.name, base.name);
+        assert_eq!(same.num_entities, base.num_entities);
     }
 }

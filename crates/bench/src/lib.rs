@@ -25,7 +25,7 @@ pub use experiments::{
     ablate_cache, ablate_order, ablate_tipping, deadline_sweep, fig11, fig8, fig8_queries,
     fig9_10, parallel_scaling, sample_time, table1, verify_engines,
 };
-pub use layouts::{index_bench, layout_parity};
+pub use layouts::{index_bench, index_points, index_points_json, layout_parity, IndexPoint, INDEX_SCALE_MULT};
 pub use metrics::{fmt_duration, fmt_pct, selectivity, tukey, Tukey};
 pub use monitor::monitor_bench;
 pub use profiler::{folded_path_for, profile_report, regress};

@@ -363,7 +363,7 @@ mod tests {
         let dir = std::env::temp_dir().join("kgoa-regress-test");
         std::fs::create_dir_all(&dir).unwrap();
         let base = dir.join("base.json");
-        bench_json(&datasets, &workload, &cfg, Some(base.to_str().unwrap()));
+        bench_json(&datasets, &workload, &cfg, Some(base.to_str().unwrap()), 1);
         let base_s = base.to_str().unwrap();
 
         // Identical documents: no regression by construction.

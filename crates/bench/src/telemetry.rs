@@ -164,11 +164,16 @@ pub fn trace_report(
 /// plus fixed-walk MAE and throughput for both estimators, then appends
 /// the full telemetry snapshot. Written to `out` (default
 /// `BENCH_PR2.json`) as a [`BENCH_SCHEMA`] document.
+///
+/// `index_mult` is the entity multiplier for the index layout A/B that
+/// rides along under the `index` key — the CLI passes
+/// [`crate::layouts::INDEX_SCALE_MULT`]; tests pass 1.
 pub fn bench_json(
     datasets: &[Dataset],
     workload: &[PreparedQuery],
     cfg: &BenchConfig,
     out: Option<&str>,
+    index_mult: usize,
 ) -> String {
     const CTJ_RUNS: usize = 5;
     const BENCH_WALKS: u64 = 2048;
@@ -265,6 +270,14 @@ pub fn bench_json(
     let (walk_rows, walks_parity) = walks_points(datasets, workload, cfg, &mut report);
     assert!(walks_parity, "batch-1 runs must reproduce the sequential runner bit for bit");
 
+    // The index layout A/B rides along under the `index` key, so the
+    // committed snapshot records bytes/triple and the compressed-layout
+    // space/speed ratios (PR 10) next to the numbers the regression gate
+    // compares (the gate ignores keys it does not know).
+    let index_pts = crate::layouts::index_points(cfg, index_mult);
+    writeln!(report, "index: {} layout points at {index_mult}x entity scale", index_pts.len())
+        .unwrap();
+
     let snap = kgoa_obs::snapshot();
     kgoa_obs::set_enabled(false);
 
@@ -288,6 +301,7 @@ pub fn bench_json(
         fields.push(("scale".into(), scale));
     }
     fields.push(("walks".into(), Json::Arr(walk_rows)));
+    fields.push(("index".into(), crate::layouts::index_points_json(&index_pts)));
     fields.push(("telemetry".into(), snap.to_json()));
     let doc = Json::Obj(fields);
     let text = doc.pretty(2);
@@ -868,7 +882,7 @@ mod tests {
         let dir = std::env::temp_dir().join("kgoa-bench-json-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_TEST.json");
-        let r = bench_json(&datasets, &workload, &cfg, Some(path.to_str().unwrap()));
+        let r = bench_json(&datasets, &workload, &cfg, Some(path.to_str().unwrap()), 1);
         assert!(r.contains("wrote"));
         let text = std::fs::read_to_string(&path).unwrap();
         let doc = Json::parse(&text).unwrap();
@@ -876,6 +890,10 @@ mod tests {
         let exps = doc.get("experiments").and_then(Json::as_arr).unwrap();
         assert_eq!(exps.len(), datasets.len());
         assert!(doc.get("telemetry").and_then(|t| t.get("counters")).is_some());
+        let index = doc.get("index").expect("index key");
+        let ds = index.get("datasets").and_then(Json::as_arr).expect("index.datasets");
+        assert_eq!(ds.len(), 2);
+        assert!(ds[0].get("compression_vs_csr").is_some());
         std::fs::remove_file(&path).ok();
     }
 

@@ -12,11 +12,13 @@
 //!
 //! Probes are `(key, slot)` pairs **sorted by key**; results land in
 //! `out[slot]`, so the caller keeps walk order while the index sees key
-//! order. The CSR layout on a delta-free index takes the galloping fast
-//! path; the row layout and overlaid indexes fall back to the O(1) hash
-//! lookups per probe (still counted in `index.trie.seek_batch`). Both
-//! paths derive from the same sorted rows, so the ranges they return are
-//! identical — `batch_seeks_agree_with_hash_lookups` checks exactly that.
+//! order. The CSR and compressed layouts on a delta-free index take the
+//! galloping fast path (compressed seeks additionally skip whole
+//! bit-packed blocks via the per-block directory); the row layout and
+//! overlaid indexes fall back to the O(1) hash lookups per probe (still
+//! counted in `index.trie.seek_batch`). All paths derive from the same
+//! sorted rows, so the ranges they return are identical —
+//! `batch_seeks_agree_with_hash_lookups` checks exactly that.
 
 use crate::columnar::GALLOP_LINEAR_SPAN;
 use crate::delta::LiveRange;
@@ -80,6 +82,25 @@ impl TrieIndex {
                 }
                 return;
             }
+            if let Storage::Compressed(t) = self.storage() {
+                // Same carried-cursor discipline; the seek skips whole
+                // bit-packed blocks via the directory's first keys, and
+                // the carried block cache means each block the sorted
+                // sweep crosses is unpacked exactly once.
+                let n = t.l0_len();
+                let mut cache = crate::compressed::BlockCache::new();
+                let mut cur = 0usize;
+                for &(key, slot) in probes {
+                    let (pos, k) = t.seek0_cached(&mut cache, cur, n, key);
+                    cur = pos;
+                    out[slot as usize] = if k == Some(key) {
+                        LiveRange::solid(t.l0_leaf_range(pos as u32))
+                    } else {
+                        LiveRange::EMPTY
+                    };
+                }
+                return;
+            }
         }
         for &(key, slot) in probes {
             out[slot as usize] = self.range1_live(key);
@@ -127,6 +148,43 @@ impl TrieIndex {
                         cur1 = pos1;
                         prefetch_key(k1, pos1 + GALLOP_LINEAR_SPAN);
                         if pos1 < win.1 && k1[pos1] == b {
+                            LiveRange::solid(t.l1_leaf_range(pos1 as u32))
+                        } else {
+                            LiveRange::EMPTY
+                        }
+                    } else {
+                        LiveRange::EMPTY
+                    };
+                }
+                return;
+            }
+            if let Storage::Compressed(t) = self.storage() {
+                let n0 = t.l0_len();
+                let mut cache0 = crate::compressed::BlockCache::new();
+                let mut cache1 = crate::compressed::BlockCache::new();
+                let mut cur0 = 0usize;
+                let mut last_a = None;
+                let mut a_found = false;
+                let mut win = (0usize, 0usize);
+                let mut cur1 = 0usize;
+                for &(packed, slot) in probes {
+                    let a = (packed >> 32) as u32;
+                    let b = packed as u32;
+                    if last_a != Some(a) {
+                        let (pos, k) = t.seek0_cached(&mut cache0, cur0, n0, a);
+                        cur0 = pos;
+                        a_found = k == Some(a);
+                        if a_found {
+                            let (lo, hi) = t.l0_children(pos as u32);
+                            win = (lo as usize, hi as usize);
+                            cur1 = win.0;
+                        }
+                        last_a = Some(a);
+                    }
+                    out[slot as usize] = if a_found {
+                        let (pos1, k1) = t.seek1_cached(&mut cache1, cur1, win.1, b);
+                        cur1 = pos1;
+                        if k1 == Some(b) {
                             LiveRange::solid(t.l1_leaf_range(pos1 as u32))
                         } else {
                             LiveRange::EMPTY
@@ -220,6 +278,61 @@ mod tests {
         let after = kgoa_obs::metrics::TRIE_SEEK_BATCH.get();
         kgoa_obs::set_enabled(false);
         assert_eq!(after - before, 3);
+    }
+
+    #[test]
+    fn batch_seeks_cross_block_boundaries() {
+        // A multi-block index (> 128 distinct l0 keys and > 128-wide l1
+        // windows) with probes pinned to block edges: the compressed fast
+        // path must agree with the hash lookups exactly where directory
+        // skips engage.
+        let blk = crate::compressed::KEYS_PER_BLOCK as u32;
+        let triples: Vec<Triple> = (0..4 * blk)
+            .flat_map(|a| (0..3u32).map(move |b| t(a * 3, 10 + b, a + b)))
+            .chain((0..3 * blk).map(|b| t(9999, b * 2, 1)))
+            .collect();
+        let keys: Vec<u32> = [
+            0,
+            (blk - 1) * 3,
+            blk * 3,
+            (blk + 1) * 3,
+            2 * blk * 3,
+            (4 * blk - 1) * 3,
+            4 * blk * 3, // absent
+            9999,
+            10_000, // absent
+        ]
+        .into_iter()
+        .collect();
+        for layout in Layout::ALL {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &triples, layout);
+            let mut probes: Vec<(u32, u32)> =
+                keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+            probes.sort_unstable_by_key(|&(k, _)| k);
+            let mut out = vec![LiveRange::EMPTY; keys.len()];
+            idx.seek1_batch(&probes, &mut out);
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(out[i], idx.range1_live(k), "layout {layout} key {k}");
+            }
+            // 2-prefix probes across the wide (9999, *) window, including
+            // both sides of each block edge.
+            let pairs: Vec<(u32, u32)> = [0, blk - 1, blk, blk + 1, 2 * blk, 3 * blk - 1]
+                .into_iter()
+                .flat_map(|b| [(9999u32, b * 2), (9999, b * 2 + 1)])
+                .chain([(0u32, 10), (blk * 3, 11), (4 * blk * 3, 10)])
+                .collect();
+            let mut probes: Vec<(u64, u32)> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| (pack2(a, b), i as u32))
+                .collect();
+            probes.sort_unstable_by_key(|&(k, _)| k);
+            let mut out = vec![LiveRange::EMPTY; pairs.len()];
+            idx.seek2_batch(&probes, &mut out);
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                assert_eq!(out[i], idx.range2_live(a, b), "layout {layout} pair ({a},{b})");
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use kgoa_rdf::Triple;
 use rand::Rng;
 
-use crate::store::{RowRange, TrieIndex};
+use crate::store::{Layout, RowRange, TrieIndex};
 
 /// The mutable overlay of a [`TrieIndex`]: inserted rows as a small trie
 /// in the same attribute order and layout, plus tombstoned main positions.
@@ -182,7 +182,14 @@ impl TrieIndex {
         add_rows.sort_unstable();
         add_rows.dedup();
         add_rows.retain(|r| self.locate(r[0], r[1], r[2]).is_none());
-        let adds = TrieIndex::from_sorted_rows_in(order, add_rows, self.layout());
+        // Deltas are small and short-lived: a compressed main keeps its
+        // adds trie uncompressed (CSR) so appends never pay a re-pack —
+        // the background merge re-packs when it folds the delta in.
+        let adds_layout = match self.layout() {
+            Layout::Compressed => Layout::Csr,
+            other => other,
+        };
+        let adds = TrieIndex::from_sorted_rows_in(order, add_rows, adds_layout);
         let mut tomb: Vec<u32> = deletes
             .iter()
             .filter_map(|t| {
@@ -562,6 +569,21 @@ mod tests {
             let idx = TrieIndex::build(order, &base()).with_delta(&inserts, &deletes);
             let rebuilt = TrieIndex::build(order, &expect);
             assert_eq!(idx.to_rows_live(), rebuilt.to_rows(), "order {order}");
+        }
+    }
+
+    #[test]
+    fn compressed_main_keeps_its_delta_uncompressed() {
+        let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &base(), Layout::Compressed);
+        let d = idx.with_delta(&[t(9, 9, 9)], &[t(1, 10, 100)]);
+        assert_eq!(d.layout(), Layout::Compressed, "main stays compressed");
+        let adds_layout = d.delta_part().expect("delta").adds.layout();
+        assert_eq!(adds_layout, Layout::Csr, "adds trie must stay uncompressed");
+        // Other layouts keep their own layout for the adds trie.
+        for layout in [Layout::Rows, Layout::Csr] {
+            let idx = TrieIndex::build_with_layout(IndexOrder::Spo, &base(), layout);
+            let d = idx.with_delta(&[t(9, 9, 9)], &[]);
+            assert_eq!(d.delta_part().expect("delta").adds.layout(), layout);
         }
     }
 }

@@ -269,13 +269,20 @@ mod tests {
         use crate::store::Layout;
         let rows = IndexedGraph::build_with_layout(graph(), Layout::Rows);
         let csr = IndexedGraph::build_with_layout(graph(), Layout::Csr);
+        let comp = IndexedGraph::build_with_layout(graph(), Layout::Compressed);
         assert_eq!(rows.layout(), Layout::Rows);
         assert_eq!(csr.layout(), Layout::Csr);
+        assert_eq!(comp.layout(), Layout::Compressed);
         for order in IndexOrder::PAPER_DEFAULT {
             assert_eq!(
                 rows.require(order).to_rows(),
                 csr.require(order).to_rows(),
                 "order {order}"
+            );
+            assert_eq!(
+                csr.require(order).to_rows(),
+                comp.require(order).to_rows(),
+                "order {order} (compressed)"
             );
         }
         assert_eq!(rows.stats().triples, csr.stats().triples);

@@ -11,8 +11,10 @@
 //!
 //! Provided here:
 //! - [`TrieIndex`] — one order's sorted trie + prefix hash maps, behind a
-//!   runtime [`Layout`] (row-oriented or columnar CSR),
+//!   runtime [`Layout`] (row-oriented, columnar CSR, or compressed),
 //! - [`ColumnarTrie`] — the CSR per-level key/offset arrays,
+//! - [`CompressedTrie`] — bit-packed key blocks with a per-block directory
+//!   and frequency-ordered dense-id re-encoding,
 //! - [`TrieCursor`] — the LFTJ `TrieIterator` interface over any prefix
 //!   range, with galloping seeks on either layout,
 //! - [`IndexedGraph`] — a graph with all its indexes and statistics,
@@ -23,6 +25,7 @@
 
 pub mod batch;
 pub mod columnar;
+pub mod compressed;
 pub mod delta;
 pub mod hash;
 pub mod indexed;
@@ -33,6 +36,7 @@ pub mod trie_iter;
 pub mod update;
 
 pub use columnar::{ColumnarTrie, SeekOutcome};
+pub use compressed::{CompressedTrie, KEYS_PER_BLOCK};
 pub use delta::{LivePositions, LiveRange};
 pub use hash::{pack2, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use indexed::IndexedGraph;

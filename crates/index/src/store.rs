@@ -5,15 +5,16 @@
 //! hashtable indexes point to a sorted array, allowing O(1)-time sampling
 //! for WJ and O(log n)-time search for CTJ". Hash maps give O(1) access to
 //! the contiguous range of any 1- or 2-value prefix; galloping search
-//! handles the third level. Two physical layouts sit behind the same
-//! position space (see [`Layout`]): leaf positions are identical in both,
-//! so ranges, sampling and cache keys carry over unchanged.
+//! handles the third level. Three physical layouts sit behind the same
+//! position space (see [`Layout`]): leaf positions are identical in all
+//! of them, so ranges, sampling and cache keys carry over unchanged.
 
 use std::sync::Arc;
 
 use kgoa_rdf::Triple;
 
 use crate::columnar::ColumnarTrie;
+use crate::compressed::CompressedTrie;
 use crate::delta::DeltaPart;
 use crate::hash::{pack2, FxHashMap};
 use crate::order::IndexOrder;
@@ -80,9 +81,10 @@ impl RowRange {
 
 /// Physical storage layout of a [`TrieIndex`].
 ///
-/// Both layouts expose the same leaf position space, so an exact engine or
-/// sampler produces identical results on either — `repro layout-parity`
-/// checks exactly that, and `repro index-bench` A/Bs the two.
+/// All layouts expose the same leaf position space, so an exact engine or
+/// sampler produces identical results on any of them — `repro
+/// layout-parity` checks exactly that, and `repro index-bench` A/Bs the
+/// tiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Layout {
     /// Sorted `[u32; 3]` rows; seeks compare 12-byte rows.
@@ -90,17 +92,22 @@ pub enum Layout {
     /// Columnar CSR: per-level key arrays + child offsets (the default).
     #[default]
     Csr,
+    /// Compressed tier: bit-packed key blocks with a per-block directory
+    /// and frequency-ordered dense-id re-encoding; offsets stay CSR-style
+    /// (see [`crate::compressed`]).
+    Compressed,
 }
 
 impl Layout {
-    /// Both layouts, for layout-generic tests and A/B benches.
-    pub const ALL: [Layout; 2] = [Layout::Rows, Layout::Csr];
+    /// Every layout, for layout-generic tests and A/B benches.
+    pub const ALL: [Layout; 3] = [Layout::Rows, Layout::Csr, Layout::Compressed];
 
-    /// Parse a CLI name ("rows" / "csr").
+    /// Parse a CLI name ("rows" / "csr" / "compressed").
     pub fn parse(s: &str) -> Option<Layout> {
         match s {
             "rows" => Some(Layout::Rows),
             "csr" => Some(Layout::Csr),
+            "compressed" => Some(Layout::Compressed),
             _ => None,
         }
     }
@@ -110,6 +117,7 @@ impl Layout {
         match self {
             Layout::Rows => "rows",
             Layout::Csr => "csr",
+            Layout::Compressed => "compressed",
         }
     }
 }
@@ -127,6 +135,8 @@ pub(crate) enum Storage {
     Rows(Vec<[u32; 3]>),
     /// Columnar CSR arrays.
     Csr(ColumnarTrie),
+    /// Bit-packed compressed blocks.
+    Compressed(CompressedTrie),
 }
 
 /// The immutable part of a [`TrieIndex`], shared across epoch snapshots
@@ -211,6 +221,7 @@ impl TrieIndex {
         }
         let storage = match layout {
             Layout::Csr => Storage::Csr(ColumnarTrie::from_sorted_rows(&rows)),
+            Layout::Compressed => Storage::Compressed(CompressedTrie::from_sorted_rows(&rows)),
             Layout::Rows => Storage::Rows(rows),
         };
         TrieIndex {
@@ -256,6 +267,7 @@ impl TrieIndex {
         match self.core.storage {
             Storage::Rows(_) => Layout::Rows,
             Storage::Csr(_) => Layout::Csr,
+            Storage::Compressed(_) => Layout::Compressed,
         }
     }
 
@@ -271,6 +283,7 @@ impl TrieIndex {
         match &self.core.storage {
             Storage::Rows(rows) => rows.clone(),
             Storage::Csr(c) => (0..self.core.len).map(|pos| c.row(pos)).collect(),
+            Storage::Compressed(c) => c.to_rows(),
         }
     }
 
@@ -319,13 +332,15 @@ impl TrieIndex {
     /// level-2 key slice.
     pub fn locate(&self, a: u32, b: u32, c: u32) -> Option<u32> {
         let r = self.range2(a, b);
-        let off = match &self.core.storage {
-            Storage::Csr(t) => t.l2_slice(r).binary_search(&c).ok()?,
-            Storage::Rows(rows) => {
-                rows[r.as_usize()].binary_search_by_key(&c, |row| row[2]).ok()?
+        match &self.core.storage {
+            Storage::Csr(t) => {
+                Some(r.start + t.l2_slice(r).binary_search(&c).ok()? as u32)
             }
-        };
-        Some(r.start + off as u32)
+            Storage::Compressed(t) => t.l2_search(r, c),
+            Storage::Rows(rows) => Some(
+                r.start + rows[r.as_usize()].binary_search_by_key(&c, |row| row[2]).ok()? as u32,
+            ),
+        }
     }
 
     /// True if the *live* row `(a, b, c)` (in this order's layout)
@@ -344,6 +359,7 @@ impl TrieIndex {
             match &self.core.storage {
                 Storage::Rows(rows) => rows[pos as usize],
                 Storage::Csr(t) => t.row(pos),
+                Storage::Compressed(t) => t.row(pos),
             }
         } else {
             let d = self.delta.as_deref().expect("position beyond main without a delta");
@@ -361,6 +377,7 @@ impl TrieIndex {
             match &self.core.storage {
                 Storage::Rows(rows) => rows[pos as usize],
                 Storage::Csr(t) => t.row_from(pos, from),
+                Storage::Compressed(t) => t.row_from(pos, from),
             }
         } else {
             let d = self.delta.as_deref().expect("position beyond main without a delta");
@@ -400,6 +417,14 @@ impl TrieIndex {
                 node += 1;
                 Some(item)
             }
+            Storage::Compressed(t) => {
+                if node as usize >= t.l0_len() {
+                    return None;
+                }
+                let item = (t.key0(node), t.l0_leaf_range(node));
+                node += 1;
+                Some(item)
+            }
             Storage::Rows(rows) => {
                 if row_pos >= self.core.len {
                     return None;
@@ -412,11 +437,24 @@ impl TrieIndex {
         })
     }
 
+    /// Physical storage bytes of the main part only — the layout-specific
+    /// arrays, excluding the (layout-independent) hash prefix maps and any
+    /// delta overlay. The basis for the bytes/triple comparison in
+    /// `repro index-bench`.
+    pub fn storage_bytes(&self) -> usize {
+        match &self.core.storage {
+            Storage::Rows(rows) => rows.len() * std::mem::size_of::<[u32; 3]>(),
+            Storage::Csr(t) => t.memory_bytes(),
+            Storage::Compressed(t) => t.storage_bytes(),
+        }
+    }
+
     /// Approximate heap memory used by this index, in bytes.
     pub fn memory_bytes(&self) -> usize {
         let storage = match &self.core.storage {
             Storage::Rows(rows) => rows.len() * std::mem::size_of::<[u32; 3]>(),
             Storage::Csr(t) => t.memory_bytes(),
+            Storage::Compressed(t) => t.memory_bytes(),
         };
         let delta = self.delta.as_deref().map_or(0, |d| {
             d.adds.memory_bytes() + d.tomb.capacity() * std::mem::size_of::<u32>()

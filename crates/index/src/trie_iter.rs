@@ -1,17 +1,20 @@
 //! Trie iterators over [`TrieIndex`] ranges — the access interface required
 //! by LeapFrog Trie Join (Veldhuizen 2014).
 //!
-//! One public cursor type fronts both physical layouts. On
+//! One public cursor type fronts all three physical layouts. On
 //! [`Layout::Rows`](crate::Layout) levels are row windows and a key's run
 //! must be recomputed after each move; on [`Layout::Csr`](crate::Layout)
 //! levels are node windows over the contiguous per-level key arrays, so
 //! `next_key` is `node + 1` and a run is an `offsets[i]..offsets[i+1]`
-//! lookup. Seeks gallop: a short linear scan (LFTJ seeks usually land
-//! nearby), then exponential probing, then binary search — see
+//! lookup; on [`Layout::Compressed`](crate::Layout) the same node windows
+//! apply but keys decode from bit-packed blocks and seeks skip by the
+//! block directory. Seeks gallop: a short linear scan (LFTJ seeks usually
+//! land nearby), then exponential probing, then binary search — see
 //! [`gallop_lower_bound`].
 
 use crate::columnar::{gallop_lower_bound, ColumnarTrie};
 pub use crate::columnar::SeekOutcome;
+use crate::compressed::CompressedTrie;
 use crate::delta::tombs_within;
 use crate::store::{RowRange, Storage, TrieIndex};
 
@@ -57,6 +60,7 @@ pub struct TrieCursor<'a> {
 enum Repr<'a> {
     Rows(RowsCursor<'a>),
     Csr(CsrCursor<'a>),
+    Comp(CompCursor<'a>),
     /// Overlay view: a main-side cursor merged with a cursor over the
     /// delta's adds trie, with tombstoned main subtrees skipped.
     Merged(Box<MergedCursor<'a>>),
@@ -81,6 +85,12 @@ impl<'a> TrieCursor<'a> {
             }),
             Storage::Csr(csr) => Repr::Csr(CsrCursor {
                 csr,
+                base,
+                prefix_len,
+                levels: Vec::with_capacity(3),
+            }),
+            Storage::Compressed(comp) => Repr::Comp(CompCursor {
+                comp,
                 base,
                 prefix_len,
                 levels: Vec::with_capacity(3),
@@ -119,6 +129,7 @@ impl<'a> TrieCursor<'a> {
         match &self.repr {
             Repr::Rows(c) => c.levels.len(),
             Repr::Csr(c) => c.levels.len(),
+            Repr::Comp(c) => c.levels.len(),
             Repr::Merged(c) => c.levels.len(),
         }
     }
@@ -132,6 +143,7 @@ impl<'a> TrieCursor<'a> {
         match &mut self.repr {
             Repr::Rows(c) => c.open(),
             Repr::Csr(c) => c.open(),
+            Repr::Comp(c) => c.open(),
             Repr::Merged(c) => c.open(),
         }
     }
@@ -141,6 +153,7 @@ impl<'a> TrieCursor<'a> {
         match &mut self.repr {
             Repr::Rows(c) => c.up(),
             Repr::Csr(c) => c.up(),
+            Repr::Comp(c) => c.up(),
             Repr::Merged(c) => c.up(),
         }
     }
@@ -151,6 +164,7 @@ impl<'a> TrieCursor<'a> {
         match &self.repr {
             Repr::Rows(c) => c.at_end(),
             Repr::Csr(c) => c.at_end(),
+            Repr::Comp(c) => c.at_end(),
             Repr::Merged(c) => c.at_end(),
         }
     }
@@ -161,6 +175,7 @@ impl<'a> TrieCursor<'a> {
         match &self.repr {
             Repr::Rows(c) => c.key(),
             Repr::Csr(c) => c.key(),
+            Repr::Comp(c) => c.key(),
             Repr::Merged(c) => c.key(),
         }
     }
@@ -175,6 +190,7 @@ impl<'a> TrieCursor<'a> {
         match &self.repr {
             Repr::Rows(c) => c.run(),
             Repr::Csr(c) => c.run(),
+            Repr::Comp(c) => c.run(),
             Repr::Merged(_) => {
                 panic!("run() is main-positional; use fanout() on a merged overlay cursor")
             }
@@ -188,6 +204,7 @@ impl<'a> TrieCursor<'a> {
         match &self.repr {
             Repr::Rows(c) => c.run().len(),
             Repr::Csr(c) => c.run().len(),
+            Repr::Comp(c) => c.run().len(),
             Repr::Merged(c) => c.fanout(),
         }
     }
@@ -197,6 +214,7 @@ impl<'a> TrieCursor<'a> {
         match &mut self.repr {
             Repr::Rows(c) => c.next_key(),
             Repr::Csr(c) => c.next_key(),
+            Repr::Comp(c) => c.next_key(),
             Repr::Merged(c) => c.next_key(),
         }
     }
@@ -220,6 +238,7 @@ impl<'a> TrieCursor<'a> {
         match &mut self.repr {
             Repr::Rows(c) => c.seek(v),
             Repr::Csr(c) => c.seek(v),
+            Repr::Comp(c) => c.seek(v),
             Repr::Merged(c) => c.seek(v),
         }
     }
@@ -597,6 +616,119 @@ impl CsrCursor<'_> {
     }
 }
 
+/// Compressed-layout cursor: identical node-window navigation to
+/// [`CsrCursor`] (the offset arrays are the same), but keys decode from
+/// bit-packed blocks and seeks skip whole blocks via the per-block
+/// directory ([`CompressedTrie::seek0`] and friends).
+#[derive(Debug, Clone)]
+struct CompCursor<'a> {
+    comp: &'a CompressedTrie,
+    base: RowRange,
+    prefix_len: usize,
+    levels: Vec<CsrLevel>,
+}
+
+impl CompCursor<'_> {
+    /// The absolute trie level (0=first attr … 2=leaf) of the top level.
+    #[inline]
+    fn abs_level(&self) -> usize {
+        self.prefix_len + self.levels.len() - 1
+    }
+
+    /// Node window at absolute level `prefix_len` covering `base` — the
+    /// CSR derivation, with the reverse-map lookups replaced by offset
+    /// binary searches.
+    fn root_window(&self) -> (u32, u32) {
+        if self.base.is_empty() {
+            return (0, 0);
+        }
+        let last = self.base.end - 1;
+        match self.prefix_len {
+            2 => (self.base.start, self.base.end),
+            1 => (self.comp.l1_node_of(self.base.start), self.comp.l1_node_of(last) + 1),
+            _ => (
+                self.comp.l0_node_of(self.comp.l1_node_of(self.base.start)),
+                self.comp.l0_node_of(self.comp.l1_node_of(last)) + 1,
+            ),
+        }
+    }
+
+    fn open(&mut self) {
+        let opening = self.prefix_len + self.levels.len();
+        let (lo, hi) = match self.levels.last() {
+            None => self.root_window(),
+            Some(top) => {
+                assert!(top.cur < top.hi, "open() on exhausted level");
+                match opening {
+                    1 => self.comp.l0_children(top.cur),
+                    _ => self.comp.l1_children(top.cur),
+                }
+            }
+        };
+        self.levels.push(CsrLevel { cur: lo, hi });
+    }
+
+    fn up(&mut self) {
+        self.levels.pop().expect("up() at root");
+    }
+
+    #[inline]
+    fn at_end(&self) -> bool {
+        let top = self.levels.last().expect("at_end() requires an open level");
+        top.cur >= top.hi
+    }
+
+    /// Decode the key of node `i` at absolute level `level`.
+    #[inline]
+    fn key_at(&self, level: usize, i: u32) -> u32 {
+        match level {
+            0 => self.comp.key0(i),
+            1 => self.comp.key1(i),
+            _ => self.comp.key2(i),
+        }
+    }
+
+    #[inline]
+    fn key(&self) -> u32 {
+        let top = self.levels.last().expect("key() requires an open level");
+        debug_assert!(top.cur < top.hi, "key() at end");
+        self.key_at(self.abs_level(), top.cur)
+    }
+
+    #[inline]
+    fn run(&self) -> RowRange {
+        let top = self.levels.last().expect("run() requires an open level");
+        debug_assert!(top.cur < top.hi, "run() at end");
+        match self.abs_level() {
+            0 => self.comp.l0_leaf_range(top.cur),
+            1 => self.comp.l1_leaf_range(top.cur),
+            _ => RowRange { start: top.cur, end: top.cur + 1 },
+        }
+    }
+
+    fn next_key(&mut self) {
+        let top = self.levels.last_mut().expect("next_key() requires an open level");
+        debug_assert!(top.cur < top.hi, "next_key() at end");
+        top.cur += 1;
+    }
+
+    fn seek(&mut self, v: u32) -> SeekOutcome {
+        let level = self.abs_level();
+        let top = *self.levels.last().expect("seek() requires an open level");
+        if top.cur >= top.hi || self.key_at(level, top.cur) >= v {
+            return SeekOutcome::Linear;
+        }
+        let (pos, outcome) = match level {
+            0 => self.comp.seek0(top.cur as usize, top.hi as usize, v),
+            1 => self.comp.seek1(top.cur as usize, top.hi as usize, v),
+            _ => self.comp.seek2(top.cur as usize, top.hi as usize, v),
+        };
+        debug_assert!(pos as u32 >= top.cur, "seek must be monotone");
+        self.levels.last_mut().expect("level present").cur = pos as u32;
+        outcome
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -820,39 +952,42 @@ mod tests {
 
     #[test]
     fn layouts_agree_on_full_walk() {
-        // Walk both layouts through an identical open/seek/next script and
-        // require identical keys and runs at every point.
+        // Walk every layout through an identical open/seek/next script and
+        // require identical keys and runs at every point (Rows is the
+        // reference).
         let triples: Vec<Triple> = (0..40u32)
             .map(|i| Triple::from([i % 5, 10 + (i % 3), 100 + i]))
             .collect();
         let rows_idx = TrieIndex::build_with_layout(IndexOrder::Spo, &triples, Layout::Rows);
-        let csr_idx = TrieIndex::build_with_layout(IndexOrder::Spo, &triples, Layout::Csr);
-        let mut a = TrieCursor::over_index(&rows_idx);
-        let mut b = TrieCursor::over_index(&csr_idx);
-        a.open();
-        b.open();
-        while !a.at_end() {
-            assert!(!b.at_end());
-            assert_eq!(a.key(), b.key());
-            assert_eq!(a.run(), b.run());
+        for other in [Layout::Csr, Layout::Compressed] {
+            let other_idx = TrieIndex::build_with_layout(IndexOrder::Spo, &triples, other);
+            let mut a = TrieCursor::over_index(&rows_idx);
+            let mut b = TrieCursor::over_index(&other_idx);
             a.open();
             b.open();
-            a.seek(11);
-            b.seek(11);
             while !a.at_end() {
-                assert!(!b.at_end());
-                assert_eq!(a.key(), b.key());
-                assert_eq!(a.run(), b.run());
+                assert!(!b.at_end(), "layout {other}");
+                assert_eq!(a.key(), b.key(), "layout {other}");
+                assert_eq!(a.run(), b.run(), "layout {other}");
+                a.open();
+                b.open();
+                a.seek(11);
+                b.seek(11);
+                while !a.at_end() {
+                    assert!(!b.at_end(), "layout {other}");
+                    assert_eq!(a.key(), b.key(), "layout {other}");
+                    assert_eq!(a.run(), b.run(), "layout {other}");
+                    a.next_key();
+                    b.next_key();
+                }
+                assert!(b.at_end(), "layout {other}");
+                a.up();
+                b.up();
                 a.next_key();
                 b.next_key();
             }
-            assert!(b.at_end());
-            a.up();
-            b.up();
-            a.next_key();
-            b.next_key();
+            assert!(b.at_end(), "layout {other}");
         }
-        assert!(b.at_end());
     }
 
     /// Exhaustively walk a cursor, returning (depth, key, fanout) tuples
@@ -974,6 +1109,17 @@ mod tests {
     #[should_panic(expected = "open() past leaf level")]
     fn open_past_leaf_panics_rows() {
         let idx = index_in(Layout::Rows);
+        let mut c = TrieCursor::over_index(&idx);
+        c.open();
+        c.open();
+        c.open();
+        c.open();
+    }
+
+    #[test]
+    #[should_panic(expected = "open() past leaf level")]
+    fn open_past_leaf_panics_compressed() {
+        let idx = index_in(Layout::Compressed);
         let mut c = TrieCursor::over_index(&idx);
         c.open();
         c.open();

@@ -316,6 +316,10 @@ well_known! {
             "Plan steps advanced by the batched SoA walk runner (one per step per batch).",
         TRIE_SEEK_BATCH => "index.trie.seek_batch":
             "Prefix probes resolved through the sorted batch-seek entry points.",
+        INDEX_BLOCK_SKIPS => "index.block.skips":
+            "Compressed-layout blocks skipped via the per-block directory during seeks.",
+        INDEX_BLOCK_UNPACKS => "index.block.unpacks":
+            "Compressed-layout blocks unpacked to finish a directory-skipped seek.",
         SUPERVISOR_EXACT => "supervisor.rung.exact":
             "Supervised queries served by the exact CTJ rung.",
         SUPERVISOR_DEGRADED_AJ => "supervisor.rung.audit_join":
@@ -396,6 +400,8 @@ well_known! {
             "Predicates whose walk-rate delta vs the previous epoch exceeds the drift limit.",
         AJ_TIP_THRESHOLD => "core.aj.tip_threshold":
             "Current Audit Join tipping threshold (adaptive controller trajectory; static value otherwise).",
+        INDEX_BITS_PER_KEY => "index.compressed.bits_per_key":
+            "Mean payload bits per key of the most recently built compressed index (ceil).",
     }
     histograms {
         SUPERVISE_NS => "supervisor.supervise_ns":

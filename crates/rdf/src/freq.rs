@@ -1,0 +1,223 @@
+//! Frequency-ordered dense term-id re-encoding (the KOGNAC idea).
+//!
+//! Real knowledge graphs intern terms in discovery order, so the hottest
+//! terms — predicates, classes, popular entities — end up scattered across
+//! the id space. A bit-packed index block whose keys mix a handful of hot
+//! terms then pays for the *positional* spread of their ids, not for their
+//! true cardinality. [`DenseRemap`] fixes that with a stable permutation
+//! `TermId -> DenseId` ordered by per-term occurrence count (ties broken
+//! by original id, so the permutation is deterministic): the k hottest
+//! terms land in `0..k`, and any key set drawn from them packs into
+//! `ceil(log2 k)` bits.
+//!
+//! The map is **sparse in the term-id domain**: memory is proportional to
+//! the number of *distinct occurring* terms, never to the largest id —
+//! arbitrary (e.g. hash-shaped) u32 keys cost nothing extra. Only
+//! occurring terms receive dense ids.
+//!
+//! The remap is **internal to an index**: it is applied when choosing a
+//! block encoding and inverted on decode, so query text, the public
+//! [`crate::Dictionary`], and every position-space invariant are
+//! untouched. The forward table exists only during the index build; at
+//! runtime only the (truncated) inverse survives.
+
+use crate::triple::Triple;
+
+/// A stable permutation of occurring term ids ordered by descending
+/// occurrence count. See the module docs for the role it plays in
+/// compressed indexes.
+#[derive(Debug, Clone, Default)]
+pub struct DenseRemap {
+    /// Occurring term ids, ascending — the forward map's search keys.
+    terms: Vec<u32>,
+    /// `term_dense[i]` — the dense id of `terms[i]`.
+    term_dense: Vec<u32>,
+    /// `to_term[dense] = term` — inverse map, hottest first.
+    to_term: Vec<u32>,
+}
+
+impl DenseRemap {
+    /// Build from a stream of term-id occurrences (duplicates are the
+    /// point — each occurrence is one count). Memory is bounded by the
+    /// stream length, not by the id range.
+    pub fn from_occurrences(ids: impl Iterator<Item = u32>) -> Self {
+        let mut occ: Vec<u32> = ids.collect();
+        occ.sort_unstable();
+        let mut pairs: Vec<(u32, u64)> = Vec::new();
+        for &id in &occ {
+            match pairs.last_mut() {
+                Some((last, n)) if *last == id => *n += 1,
+                _ => pairs.push((id, 1)),
+            }
+        }
+        Self::from_pairs(pairs)
+    }
+
+    /// Build from per-id occurrence counts (`counts[id]`); ids with a
+    /// zero count do not occur and receive no dense id. The permutation
+    /// sorts by `(count desc, id asc)` — stable and fully deterministic.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        Self::from_pairs(
+            counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(id, &c)| (id as u32, c))
+                .collect(),
+        )
+    }
+
+    /// Build from the three id columns of a triple set. Occurrence counts
+    /// are summed over all positions, so the permutation is invariant
+    /// under attribute reordering — every index order derives the same
+    /// remap from the same triples.
+    pub fn from_triples(triples: &[Triple]) -> Self {
+        Self::from_occurrences(triples.iter().flat_map(|t| [t.s.0, t.p.0, t.o.0]))
+    }
+
+    /// `pairs` must be `(term, count)` sorted by term, terms distinct,
+    /// counts nonzero.
+    fn from_pairs(pairs: Vec<(u32, u64)>) -> Self {
+        let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(pairs[i as usize].1), pairs[i as usize].0));
+        let to_term: Vec<u32> = order.iter().map(|&i| pairs[i as usize].0).collect();
+        let mut term_dense = vec![0u32; pairs.len()];
+        for (dense, &i) in order.iter().enumerate() {
+            term_dense[i as usize] = dense as u32;
+        }
+        let terms: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        DenseRemap { terms, term_dense, to_term }
+    }
+
+    /// Number of distinct occurring terms.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if built over an empty occurrence stream.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Forward map: the dense id of `term`. Panics if `term` never
+    /// occurred in the stream this remap was built over.
+    #[inline]
+    pub fn dense(&self, term: u32) -> u32 {
+        match self.terms.binary_search(&term) {
+            Ok(i) => self.term_dense[i],
+            Err(_) => panic!("term {term} not in remap universe"),
+        }
+    }
+
+    /// Inverse map: the original term id of `dense`.
+    #[inline]
+    pub fn term(&self, dense: u32) -> u32 {
+        self.to_term[dense as usize]
+    }
+
+    /// The inverse table `dense -> term`, truncated to the first
+    /// `keep` entries. A compressed index only references dense ids below
+    /// the largest one any dense-mode block encodes, so it keeps just this
+    /// hot prefix at runtime and drops the forward table entirely.
+    pub fn into_inverse_prefix(self, keep: usize) -> Vec<u32> {
+        let mut inv = self.to_term;
+        inv.truncate(keep);
+        inv.shrink_to_fit();
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::TermId;
+
+    #[test]
+    fn hot_ids_come_first() {
+        // id 7 occurs 5×, id 2 occurs 3×, id 9 occurs once.
+        let ids = [7u32, 7, 2, 7, 9, 2, 7, 2, 7];
+        let r = DenseRemap::from_occurrences(ids.iter().copied());
+        assert_eq!(r.dense(7), 0);
+        assert_eq!(r.dense(2), 1);
+        assert_eq!(r.dense(9), 2);
+        assert_eq!(r.term(0), 7);
+        assert_eq!(r.term(1), 2);
+        assert_eq!(r.term(2), 9);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_with_stable_ties() {
+        // Ids 0..6, all count 1 except 4 (count 2): 4 first, then by id.
+        let ids = [0u32, 1, 2, 3, 4, 4, 5];
+        let r = DenseRemap::from_occurrences(ids.iter().copied());
+        assert_eq!(r.len(), 6);
+        let densified: Vec<u32> = (0..6).map(|t| r.dense(t)).collect();
+        let mut sorted = densified.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>(), "bijection");
+        assert_eq!(r.dense(4), 0);
+        // Ties resolve by ascending original id.
+        assert_eq!(densified, vec![1, 2, 3, 4, 0, 5]);
+        for t in 0..6u32 {
+            assert_eq!(r.term(r.dense(t)), t, "roundtrip {t}");
+        }
+    }
+
+    #[test]
+    fn sparse_in_the_id_domain() {
+        // Huge scattered ids must cost nothing: two distinct terms, two
+        // dense ids, no dense-array allocation over the id range.
+        let ids = [u32::MAX - 1, 5, u32::MAX - 1];
+        let r = DenseRemap::from_occurrences(ids.iter().copied());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dense(u32::MAX - 1), 0);
+        assert_eq!(r.dense(5), 1);
+        assert_eq!(r.term(0), u32::MAX - 1);
+    }
+
+    #[test]
+    fn from_counts_skips_zero_counts() {
+        // Only ids 3 (2×) and 8 (1×) occur; gaps receive no dense id.
+        let mut counts = vec![0u64; 9];
+        counts[3] = 2;
+        counts[8] = 1;
+        let r = DenseRemap::from_counts(&counts);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dense(3), 0);
+        assert_eq!(r.dense(8), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in remap universe")]
+    fn unknown_term_panics() {
+        let r = DenseRemap::from_occurrences([4u32].iter().copied());
+        r.dense(0);
+    }
+
+    #[test]
+    fn from_triples_counts_all_positions() {
+        let t = |s, p, o| Triple::new(TermId(s), TermId(p), TermId(o));
+        // Predicate 1 occurs in every triple — it must be the densest id.
+        let triples = vec![t(10, 1, 20), t(11, 1, 20), t(12, 1, 21)];
+        let r = DenseRemap::from_triples(&triples);
+        assert_eq!(r.dense(1), 0);
+        assert_eq!(r.dense(20), 1); // 2 occurrences
+    }
+
+    #[test]
+    fn inverse_prefix_truncates() {
+        let r = DenseRemap::from_occurrences([5u32, 5, 1].iter().copied());
+        let inv = r.into_inverse_prefix(2);
+        assert_eq!(inv, vec![5, 1]);
+    }
+
+    #[test]
+    fn empty_remap() {
+        let r = DenseRemap::from_occurrences(std::iter::empty());
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.into_inverse_prefix(4).is_empty());
+    }
+}

@@ -4,8 +4,8 @@
 //!
 //! 1. **Batch-1 compatibility is bit-identical** to the legacy sequential
 //!    runner — same estimates, same half-widths, same walk and per-step
-//!    counters, and the same RNG stream position afterwards — on both
-//!    index layouts and with and without distinct semantics.
+//!    counters, and the same RNG stream position afterwards — on all
+//!    three index layouts and with and without distinct semantics.
 //! 2. **Larger batches stay unbiased**: on seeded fuzz graphs the batched
 //!    estimators converge to the exact answer.
 //! 3. **Adaptive tipping converges** within the static threshold's error
@@ -99,9 +99,10 @@ fn bits(est: &GroupedEstimates) -> Vec<(u32, u64, u64)> {
 
 #[test]
 fn wander_join_batch_one_is_bit_identical_across_layouts() {
-    // Regenerate the (deterministic) graph per layout so the two runs
-    // walk physically different indexes over identical data.
-    for layout in [Layout::Rows, Layout::Csr] {
+    // Regenerate the (deterministic) graph per layout so the runs walk
+    // physically different indexes (row-oriented, CSR, compressed) over
+    // identical data.
+    for layout in Layout::ALL {
         let (graph, query) = fuzz_graph(0xB00B_5EED);
         let ig = IndexedGraph::build_with_layout(graph, layout);
         for distinct in [false, true] {
@@ -136,7 +137,7 @@ fn wander_join_batch_one_is_bit_identical_across_layouts() {
 
 #[test]
 fn audit_join_batch_one_is_bit_identical_across_layouts() {
-    for layout in [Layout::Rows, Layout::Csr] {
+    for layout in Layout::ALL {
         let (graph, query) = fuzz_graph(0xC0FF_EE00);
         let ig = IndexedGraph::build_with_layout(graph, layout);
         for distinct in [false, true] {
